@@ -1,0 +1,218 @@
+//! The **Plain Huffman** baseline (§4): adjacency lists whose targets are
+//! canonical-Huffman-coded by in-degree.
+//!
+//! "Pages with higher in-degree are assigned smaller codes since they occur
+//! more frequently in adjacency lists" — the same code the S-Node scheme
+//! applies to its (much smaller) supernode graph. A resident offset table
+//! (the page-ID index) provides O(1) random access to each page's coded
+//! list.
+
+use crate::{BaselineError, Result};
+use wg_bitio::{codes, BitReader, BitWriter, HuffmanCode, HuffmanDecoder};
+use wg_graph::{Graph, PageId};
+
+/// In-memory Huffman-coded Web graph.
+#[derive(Debug)]
+pub struct HuffmanGraph {
+    num_pages: u32,
+    num_edges: u64,
+    /// Coded adjacency payload (table + lists).
+    bytes: Vec<u8>,
+    bit_len: u64,
+    /// Bit offset of each page's list (resident page-ID index).
+    offsets: Vec<u64>,
+    decoder: HuffmanDecoder,
+}
+
+impl HuffmanGraph {
+    /// Encodes `graph`.
+    pub fn build(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        // In-degree frequencies over all pages. A page that never occurs as
+        // a target gets frequency 0 and no code — it never needs one.
+        let mut freqs = vec![0u64; n as usize];
+        for (_, t) in graph.edges() {
+            freqs[t as usize] += 1;
+        }
+        let code = HuffmanCode::from_frequencies(&freqs);
+
+        let mut w = BitWriter::new();
+        code.write_lengths(&mut w);
+        let mut offsets = Vec::with_capacity(n as usize);
+        for p in 0..n {
+            offsets.push(w.bit_len());
+            let targets = graph.neighbors(p);
+            codes::write_gamma(&mut w, targets.len() as u64);
+            for &t in targets {
+                code.encode(&mut w, t);
+            }
+        }
+        let (bytes, bit_len) = w.finish();
+        Self {
+            num_pages: n,
+            num_edges: graph.num_edges(),
+            bytes,
+            bit_len,
+            offsets,
+            decoder: code.decoder(),
+        }
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// Coded payload size in bits (code table + all lists). This is the
+    /// Table 1 numerator; the resident offset table is the page-ID index,
+    /// which every scheme carries and Table 1 excludes.
+    pub fn payload_bits(&self) -> u64 {
+        self.bit_len
+    }
+
+    /// Bits per edge (Table 1's metric).
+    pub fn bits_per_edge(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.bit_len as f64 / self.num_edges as f64
+        }
+    }
+
+    /// Bytes of the resident offset table.
+    pub fn index_bytes(&self) -> usize {
+        self.offsets.len() * 8
+    }
+
+    /// Random access: decodes the adjacency list of `p`.
+    pub fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
+        if p >= self.num_pages {
+            return Err(BaselineError::Corrupt("page id out of range"));
+        }
+        let mut r = BitReader::with_bit_len(&self.bytes, self.bit_len);
+        r.seek(self.offsets[p as usize])
+            .map_err(BaselineError::Bits)?;
+        self.decode_list(&mut r)
+    }
+
+    /// Sequential access: decodes every list in page order, invoking
+    /// `f(page, targets)`.
+    pub fn for_each_list(&self, mut f: impl FnMut(PageId, &[PageId])) -> Result<()> {
+        let mut r = BitReader::with_bit_len(&self.bytes, self.bit_len);
+        if self.num_pages > 0 {
+            r.seek(self.offsets[0]).map_err(BaselineError::Bits)?;
+        }
+        for p in 0..self.num_pages {
+            let list = self.decode_list(&mut r)?;
+            f(p, &list);
+        }
+        Ok(())
+    }
+
+    fn decode_list(&self, r: &mut BitReader<'_>) -> Result<Vec<PageId>> {
+        let deg = codes::read_gamma(r)?;
+        let mut out = Vec::with_capacity(deg.min(1 << 20) as usize);
+        for _ in 0..deg {
+            out.push(self.decoder.decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges(
+            6,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (4, 2),
+                (5, 2),
+                (5, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn random_access_matches_source() {
+        let g = sample();
+        let h = HuffmanGraph::build(&g);
+        for p in 0..g.num_nodes() {
+            assert_eq!(h.out_neighbors(p).unwrap(), g.neighbors(p), "page {p}");
+        }
+    }
+
+    #[test]
+    fn sequential_access_matches_source() {
+        let g = sample();
+        let h = HuffmanGraph::build(&g);
+        let mut seen = 0u32;
+        h.for_each_list(|p, list| {
+            assert_eq!(list, g.neighbors(p));
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn popular_targets_get_short_codes() {
+        // Page 2 has in-degree 5; its codeword must be the shortest, so a
+        // graph dominated by links to 2 compresses below fixed width.
+        let g = sample();
+        let h = HuffmanGraph::build(&g);
+        // 8 edges; fixed width would be 3 bits each = 24 + degrees.
+        assert!(h.bits_per_edge() < 8.0, "bpe = {}", h.bits_per_edge());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []);
+        let h = HuffmanGraph::build(&g);
+        assert_eq!(h.num_pages(), 0);
+        assert_eq!(h.bits_per_edge(), 0.0);
+        assert!(h.out_neighbors(0).is_err());
+    }
+
+    #[test]
+    fn pages_with_empty_lists() {
+        let g = Graph::from_edges(4, [(0, 3)]);
+        let h = HuffmanGraph::build(&g);
+        assert_eq!(h.out_neighbors(0).unwrap(), vec![3]);
+        for p in 1..4 {
+            assert!(h.out_neighbors(p).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn larger_pseudorandom_graph_round_trips() {
+        let n = 3_000u32;
+        let mut s = 7u64;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for _ in 0..10 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                // Zipf-flavoured targets so the Huffman table is skewed.
+                let t = ((s >> 33) as u32 % n) % (1 + (s >> 45) as u32 % n);
+                edges.push((u, t % n));
+            }
+        }
+        let g = Graph::from_edges(n, edges);
+        let h = HuffmanGraph::build(&g);
+        for p in (0..n).step_by(131) {
+            assert_eq!(h.out_neighbors(p).unwrap(), g.neighbors(p));
+        }
+        assert!(h.bits_per_edge() > 0.0);
+    }
+}

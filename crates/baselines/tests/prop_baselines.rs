@@ -1,0 +1,69 @@
+//! Property tests: both baseline representations must reproduce arbitrary
+//! graphs exactly, in memory and (for Link3) through the disk path.
+
+use proptest::prelude::*;
+use wg_baselines::{HuffmanGraph, Link3DiskStore, Link3Graph};
+use wg_graph::Graph;
+
+fn arb_graph(max_n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        prop::collection::vec((0..n, 0..n), 0..=max_edges)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn huffman_reproduces_arbitrary_graphs(g in arb_graph(150, 1_500)) {
+        let h = HuffmanGraph::build(&g);
+        for p in 0..g.num_nodes() {
+            prop_assert_eq!(h.out_neighbors(p).unwrap(), g.neighbors(p));
+        }
+        let mut count = 0;
+        h.for_each_list(|p, list| {
+            assert_eq!(list, g.neighbors(p));
+            count += 1;
+        })
+        .unwrap();
+        prop_assert_eq!(count, g.num_nodes());
+    }
+
+    #[test]
+    fn link3_reproduces_arbitrary_graphs(g in arb_graph(150, 1_500)) {
+        let l = Link3Graph::build(&g);
+        for p in 0..g.num_nodes() {
+            prop_assert_eq!(l.out_neighbors(p).unwrap(), g.neighbors(p));
+        }
+        let mut count = 0;
+        l.for_each_list(|p, list| {
+            assert_eq!(list, g.neighbors(p));
+            count += 1;
+        })
+        .unwrap();
+        prop_assert_eq!(count, g.num_nodes());
+    }
+
+    #[test]
+    fn link3_disk_agrees_with_in_memory(g in arb_graph(80, 600), seed in any::<u64>()) {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "wg_prop_link3_{}_{}",
+            std::process::id(),
+            seed
+        ));
+        let mut store = Link3DiskStore::create(&path, &g, 64 * 1024).unwrap();
+        // Random access order.
+        let mut order: Vec<u32> = (0..g.num_nodes()).collect();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        for &p in &order {
+            prop_assert_eq!(store.out_neighbors(p).unwrap(), g.neighbors(p));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

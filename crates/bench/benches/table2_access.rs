@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks behind **Table 2**: per-adjacency-list decode
+//! cost for the three in-memory compressed representations.
+//!
+//! Run with `cargo bench -p wg-bench --bench table2_access`. The
+//! `table2_access` *binary* prints the paper-style ns/edge table; this
+//! bench gives statistically robust per-call numbers for the same paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wg_baselines::{HuffmanGraph, Link3Graph};
+use wg_corpus::{Corpus, CorpusConfig};
+use wg_graph::Graph;
+use wg_snode::{build_snode, RepoInput, SNodeConfig, SNodeInMemory};
+
+/// Minimal scoped temp dir (no external crates).
+struct DirGuard(std::path::PathBuf);
+impl Drop for DirGuard {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+struct Fixture {
+    graph: Graph,
+    huffman: HuffmanGraph,
+    link3: Link3Graph,
+    snode: SNodeInMemory,
+    _dir: DirGuard,
+}
+
+fn fixture(pages: u32) -> Fixture {
+    let corpus = Corpus::generate(CorpusConfig::scaled(pages, 42));
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("wg_bench_t2_{}_{}", pages, std::process::id()));
+    let input = RepoInput {
+        urls: &urls,
+        domains: &domains,
+        graph: &corpus.graph,
+    };
+    let (_stats, renum) = build_snode(input, &SNodeConfig::default(), &dir).expect("build");
+    let graph = Graph::from_edges(
+        corpus.graph.num_nodes(),
+        corpus
+            .graph
+            .edges()
+            .map(|(u, v)| (renum.new_of_old[u as usize], renum.new_of_old[v as usize])),
+    );
+    Fixture {
+        huffman: HuffmanGraph::build(&graph),
+        link3: Link3Graph::build(&graph),
+        snode: SNodeInMemory::load(&dir).expect("load"),
+        graph,
+        _dir: DirGuard(dir),
+    }
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    let f = fixture(25_000);
+    let n = f.graph.num_nodes();
+    let pages: Vec<u32> = (0..512u64)
+        .map(|i| {
+            let x = i
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as u32) % n
+        })
+        .collect();
+    let edges: u64 = pages
+        .iter()
+        .map(|&p| f.graph.neighbors(p).len() as u64)
+        .sum();
+
+    let mut group = c.benchmark_group("table2_random_access");
+    group.throughput(Throughput::Elements(edges));
+    group.bench_with_input(BenchmarkId::new("huffman", "25k"), &pages, |b, pages| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in pages {
+                acc += f.huffman.out_neighbors(p).expect("decode").len();
+            }
+            acc
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("link3", "25k"), &pages, |b, pages| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in pages {
+                acc += f.link3.out_neighbors(p).expect("decode").len();
+            }
+            acc
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("snode", "25k"), &pages, |b, pages| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &p in pages {
+                acc += f.snode.out_neighbors(p).expect("decode").len();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_sequential_access(c: &mut Criterion) {
+    let f = fixture(25_000);
+    let n = f.graph.num_nodes().min(512);
+    let edges: u64 = (0..n).map(|p| f.graph.neighbors(p).len() as u64).sum();
+
+    let mut group = c.benchmark_group("table2_sequential_access");
+    group.throughput(Throughput::Elements(edges));
+    group.bench_function("huffman", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in 0..n {
+                acc += f.huffman.out_neighbors(p).expect("decode").len();
+            }
+            acc
+        })
+    });
+    group.bench_function("link3", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in 0..n {
+                acc += f.link3.out_neighbors(p).expect("decode").len();
+            }
+            acc
+        })
+    });
+    group.bench_function("snode", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in 0..n {
+                acc += f.snode.out_neighbors(p).expect("decode").len();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_access, bench_sequential_access);
+criterion_main!(benches);

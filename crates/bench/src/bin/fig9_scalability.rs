@@ -1,0 +1,84 @@
+//! Regenerates **Figures 9(a), 9(b) and 10**: growth of the supernode
+//! graph (vertices, edges, Huffman-encoded megabytes including 4-byte
+//! pointers) as the repository grows through the paper's five sizes.
+//!
+//! Usage: `cargo run -p wg-bench --release --bin fig9_scalability
+//! [--scale pages-per-million] [--seed N] [--dir PATH]`
+
+use wg_bench::{corpus_for, crawl_prefix, row, timed, BenchArgs, PAPER_SIZES_M};
+use wg_snode::{build_snode, RepoInput, SNodeConfig};
+
+fn main() {
+    let args = BenchArgs::parse();
+    std::fs::create_dir_all(&args.work_dir).expect("work dir");
+    println!("== Figures 9(a), 9(b), 10: supernode-graph scalability ==");
+    println!(
+        "scale: {} pages per paper-million (paper sizes {:?} M)\n",
+        args.pages_per_million, PAPER_SIZES_M
+    );
+    let widths = [10usize, 10, 12, 12, 14, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "size(M)".into(),
+                "pages".into(),
+                "supernodes".into(),
+                "superedges".into(),
+                "sngraph(KB)".into(),
+                "bits/edge".into(),
+                "build(s)".into(),
+            ],
+            &widths
+        )
+    );
+
+    // One crawl; each data set is a prefix of it (§4's methodology).
+    let full = corpus_for(&args, *PAPER_SIZES_M.last().expect("sizes"));
+    let mut prev: Option<(u32, u64)> = None;
+    for &m in &PAPER_SIZES_M {
+        let (urls, domains, graph) = crawl_prefix(&full, args.pages_for(m));
+        let dir = args.work_dir.join(format!("fig9_{m}"));
+        let input = RepoInput {
+            urls: &urls,
+            domains: &domains,
+            graph: &graph,
+        };
+        let ((stats, _renum), elapsed) =
+            timed(|| build_snode(input, &SNodeConfig::default(), &dir).expect("build"));
+        println!(
+            "{}",
+            row(
+                &[
+                    m.to_string(),
+                    graph.num_nodes().to_string(),
+                    stats.num_supernodes.to_string(),
+                    stats.num_superedges.to_string(),
+                    format!(
+                        "{:.1}",
+                        stats.supernode_graph_bytes_with_pointers as f64 / 1024.0
+                    ),
+                    format!("{:.2}", stats.bits_per_edge()),
+                    format!("{:.1}", elapsed.as_secs_f64()),
+                ],
+                &widths
+            )
+        );
+        if let Some((ps, pe)) = prev {
+            let ds = stats.num_supernodes as f64 / ps as f64 - 1.0;
+            let de = stats.num_superedges as f64 / pe as f64 - 1.0;
+            println!(
+                "{:>10}  growth: supernodes +{:.1}%  superedges +{:.1}%",
+                "",
+                ds * 100.0,
+                de * 100.0
+            );
+        }
+        prev = Some((stats.num_supernodes, stats.num_superedges));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    println!(
+        "\npaper shape: sub-linear growth — a 20x page increase yields <3x supernode growth;\n\
+         the supernode graph stays a compact, memory-resident structural summary."
+    );
+}

@@ -1,0 +1,367 @@
+//! MSB-first bit streams over in-memory byte buffers.
+//!
+//! The writer appends bits into a `Vec<u8>`; the reader consumes bits from a
+//! `&[u8]`. Bits within a byte are ordered most-significant first so that the
+//! byte sequence reads like the bit sequence written, which keeps on-disk
+//! dumps inspectable with `xxd`.
+
+use crate::{BitError, Result};
+
+/// Append-only bit sink backed by a `Vec<u8>`.
+///
+/// Bits are packed MSB-first. [`BitWriter::finish`] pads the final partial
+/// byte with zero bits and returns the underlying buffer together with the
+/// exact bit length, so readers never confuse padding with payload.
+///
+/// # Examples
+/// ```
+/// use wg_bitio::{BitReader, BitWriter};
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bit(true);
+/// let (bytes, bits) = w.finish();
+/// assert_eq!(bits, 4);
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert!(r.read_bit().unwrap());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits of the final byte already used (0..8). When 0 the last byte of
+    /// `buf` is complete (or `buf` is empty).
+    partial_bits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with capacity for roughly `bits` bits.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(bits / 8 + 1),
+            partial_bits: 0,
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        if self.partial_bits == 0 {
+            self.buf.len() as u64 * 8
+        } else {
+            (self.buf.len() as u64 - 1) * 8 + u64::from(self.partial_bits)
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.partial_bits == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.last_mut().expect("buffer non-empty");
+            *last |= 1 << (7 - self.partial_bits);
+        }
+        self.partial_bits = (self.partial_bits + 1) % 8;
+    }
+
+    /// Appends the low `n` bits of `value`, most significant of those first.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`, or if `value` has bits set above position `n`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        debug_assert!(
+            n == 64 || value < (1u64 << n),
+            "value {value} does not fit in {n} bits"
+        );
+        // Write in chunks that fit the current partial byte.
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.partial_bits == 0 {
+                self.buf.push(0);
+            }
+            let space = 8 - self.partial_bits;
+            let take = space.min(remaining);
+            let shift = remaining - take;
+            let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
+            let last = self.buf.last_mut().expect("buffer non-empty");
+            *last |= chunk << (space - take);
+            self.partial_bits = (self.partial_bits + take) % 8;
+            remaining -= take;
+        }
+    }
+
+    /// Appends `n` zero bits.
+    #[inline]
+    pub fn write_zeros(&mut self, mut n: u64) {
+        while n >= 64 {
+            self.write_bits(0, 64);
+            n -= 64;
+        }
+        if n > 0 {
+            self.write_bits(0, n as u32);
+        }
+    }
+
+    /// Appends every bit produced by another finished writer.
+    pub fn append(&mut self, bytes: &[u8], bit_len: u64) {
+        let full = (bit_len / 8) as usize;
+        for &b in &bytes[..full] {
+            self.write_bits(u64::from(b), 8);
+        }
+        let rem = (bit_len % 8) as u32;
+        if rem > 0 {
+            self.write_bits(u64::from(bytes[full] >> (8 - rem)), rem);
+        }
+    }
+
+    /// Pads the final byte with zeros and returns `(bytes, exact_bit_len)`.
+    pub fn finish(self) -> (Vec<u8>, u64) {
+        let bits = self.bit_len();
+        (self.buf, bits)
+    }
+
+    /// Borrowing view of the bytes written so far (final byte zero-padded).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Bit-granular cursor over a byte slice.
+///
+/// The reader tracks its position in bits and fails with
+/// [`BitError::UnexpectedEof`] when asked to read past `bit_len`.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Current position in bits.
+    pos: u64,
+    /// Total number of valid bits (may be less than `buf.len() * 8`).
+    bit_len: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over all bits of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            bit_len: buf.len() as u64 * 8,
+        }
+    }
+
+    /// Creates a reader over the first `bit_len` bits of `buf`.
+    ///
+    /// # Panics
+    /// Panics if `bit_len` exceeds the buffer size in bits.
+    pub fn with_bit_len(buf: &'a [u8], bit_len: u64) -> Self {
+        assert!(bit_len <= buf.len() as u64 * 8, "bit_len exceeds buffer");
+        Self {
+            buf,
+            pos: 0,
+            bit_len,
+        }
+    }
+
+    /// Current position in bits from the start of the stream.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Number of bits remaining.
+    pub fn remaining(&self) -> u64 {
+        self.bit_len - self.pos
+    }
+
+    /// Repositions the cursor to an absolute bit offset.
+    pub fn seek(&mut self, bit_pos: u64) -> Result<()> {
+        if bit_pos > self.bit_len {
+            return Err(BitError::UnexpectedEof { position: bit_pos });
+        }
+        self.pos = bit_pos;
+        Ok(())
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool> {
+        if self.pos >= self.bit_len {
+            return Err(BitError::UnexpectedEof { position: self.pos });
+        }
+        let byte = self.buf[(self.pos / 8) as usize];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Reads `n` bits MSB-first into the low bits of a `u64`.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64> {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        if self.pos + u64::from(n) > self.bit_len {
+            return Err(BitError::UnexpectedEof { position: self.pos });
+        }
+        let mut out = 0u64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let byte = self.buf[(self.pos / 8) as usize];
+            let offset = (self.pos % 8) as u32;
+            let avail = 8 - offset;
+            let take = avail.min(remaining);
+            let chunk = (u64::from(byte) >> (avail - take)) & ((1u64 << take) - 1);
+            out = (out << take) | chunk;
+            self.pos += u64::from(take);
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Counts and consumes consecutive zero bits up to (not including) the
+    /// next one bit, then consumes that one bit. Returns the zero count.
+    ///
+    /// This is the primitive behind unary decoding.
+    #[inline]
+    pub fn read_unary(&mut self) -> Result<u64> {
+        let mut count = 0u64;
+        loop {
+            if self.pos >= self.bit_len {
+                return Err(BitError::UnexpectedEof { position: self.pos });
+            }
+            // Fast path: inspect the rest of the current byte at once.
+            let byte = self.buf[(self.pos / 8) as usize];
+            let offset = (self.pos % 8) as u32;
+            let window = byte << offset;
+            if window == 0 {
+                let advance = u64::from(8 - offset).min(self.bit_len - self.pos);
+                count += advance;
+                self.pos += advance;
+                continue;
+            }
+            let zeros = u64::from(window.leading_zeros());
+            let usable = (self.bit_len - self.pos).min(u64::from(8 - offset));
+            if zeros >= usable {
+                self.pos += usable;
+                return Err(BitError::UnexpectedEof { position: self.pos });
+            }
+            count += zeros;
+            self.pos += zeros + 1; // consume the terminating 1 bit
+            return Ok(count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 9);
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn multi_bit_writes_cross_byte_boundaries() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1101, 4);
+        w.write_bits(0b10110011101, 11);
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 1);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 80);
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        assert_eq!(r.read_bits(4).unwrap(), 0b1101);
+        assert_eq!(r.read_bits(11).unwrap(), 0b10110011101);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(1).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0);
+        assert_eq!(w.bit_len(), 0);
+        w.write_bit(true);
+        w.write_bits(0, 0);
+        assert_eq!(w.bit_len(), 1);
+    }
+
+    #[test]
+    fn unary_fast_path_handles_long_runs() {
+        let mut w = BitWriter::new();
+        w.write_zeros(1000);
+        w.write_bit(true);
+        w.write_bits(0b11, 2);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        assert_eq!(r.read_unary().unwrap(), 1000);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn unary_eof_is_error_not_panic() {
+        let mut w = BitWriter::new();
+        w.write_zeros(13);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        assert!(matches!(
+            r.read_unary(),
+            Err(BitError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn seek_and_position_agree() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD_BEEF, 32);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        r.seek(16).unwrap();
+        assert_eq!(r.read_bits(16).unwrap(), 0xBEEF);
+        assert!(r.seek(33).is_err());
+        r.seek(0).unwrap();
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn append_preserves_bit_sequence() {
+        let mut a = BitWriter::new();
+        a.write_bits(0b10110, 5);
+        let (ab, al) = a.finish();
+        let mut b = BitWriter::new();
+        b.write_bits(0b111, 3);
+        b.append(&ab, al);
+        let (bb, bl) = b.finish();
+        assert_eq!(bl, 8);
+        let mut r = BitReader::with_bit_len(&bb, bl);
+        assert_eq!(r.read_bits(3).unwrap(), 0b111);
+        assert_eq!(r.read_bits(5).unwrap(), 0b10110);
+    }
+
+    #[test]
+    fn reader_respects_explicit_bit_len() {
+        let bytes = [0xFF, 0xFF];
+        let mut r = BitReader::with_bit_len(&bytes, 3);
+        assert_eq!(r.read_bits(3).unwrap(), 0b111);
+        assert!(r.read_bit().is_err());
+    }
+}

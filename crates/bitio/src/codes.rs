@@ -1,0 +1,365 @@
+//! Instantaneous integer codes: unary, Elias γ, Elias δ, Rice, and
+//! minimal-binary ("truncated binary") codes.
+//!
+//! All codes in this module are defined over **non-negative** integers
+//! (`u64`). Elias codes classically code `x ≥ 1`; we follow the common
+//! convention of coding `x + 1` so that 0 is representable, which is what
+//! adjacency-gap coding needs (two equal consecutive ids never occur, but a
+//! gap of zero *does* occur for the first element offset and residual deltas).
+
+use crate::{BitError, BitReader, BitWriter, Result};
+
+/// Number of bits used by the unary code for `x` (that is, `x + 1`).
+#[inline]
+pub fn unary_len(x: u64) -> u64 {
+    x + 1
+}
+
+/// Writes `x` in unary: `x` zero bits followed by a one bit.
+#[inline]
+pub fn write_unary(w: &mut BitWriter, x: u64) {
+    w.write_zeros(x);
+    w.write_bit(true);
+}
+
+/// Reads a unary-coded value.
+#[inline]
+pub fn read_unary(r: &mut BitReader<'_>) -> Result<u64> {
+    r.read_unary()
+}
+
+/// Number of bits used by the γ code for `x` (codes `x + 1`).
+#[inline]
+pub fn gamma_len(x: u64) -> u64 {
+    let v = x + 1;
+    let b = 63 - u64::from(v.leading_zeros());
+    2 * b + 1
+}
+
+/// Writes `x` with the Elias γ code (codes `x + 1`).
+///
+/// γ(v) for v ≥ 1 is ⌊log₂ v⌋ zeros, then v's binary representation
+/// (which starts with a 1 bit).
+#[inline]
+pub fn write_gamma(w: &mut BitWriter, x: u64) {
+    let v = x
+        .checked_add(1)
+        .expect("gamma code domain is 0..=u64::MAX-1");
+    let b = 63 - v.leading_zeros(); // floor(log2 v)
+    w.write_zeros(u64::from(b));
+    w.write_bits(v, b + 1);
+}
+
+/// Reads an Elias-γ-coded value.
+#[inline]
+pub fn read_gamma(r: &mut BitReader<'_>) -> Result<u64> {
+    let b = r.read_unary()?; // zeros before the leading 1 of v
+    if b > 63 {
+        return Err(BitError::Corrupt {
+            what: "gamma length prefix exceeds 63",
+        });
+    }
+    let rest = r.read_bits(b as u32)?;
+    let v = (1u64 << b) | rest;
+    Ok(v - 1)
+}
+
+/// Number of bits used by the δ code for `x` (codes `x + 1`).
+#[inline]
+pub fn delta_len(x: u64) -> u64 {
+    let v = x + 1;
+    let b = 63 - u64::from(v.leading_zeros());
+    gamma_len(b) + b
+}
+
+/// Writes `x` with the Elias δ code (codes `x + 1`).
+///
+/// δ(v) codes ⌊log₂ v⌋ + 1 in γ, then the b low-order bits of v.
+#[inline]
+pub fn write_delta(w: &mut BitWriter, x: u64) {
+    let v = x
+        .checked_add(1)
+        .expect("delta code domain is 0..=u64::MAX-1");
+    let b = 63 - u64::from(v.leading_zeros());
+    write_gamma(w, b);
+    if b > 0 {
+        w.write_bits(v & ((1u64 << b) - 1), b as u32);
+    }
+}
+
+/// Reads an Elias-δ-coded value.
+#[inline]
+pub fn read_delta(r: &mut BitReader<'_>) -> Result<u64> {
+    let b = read_gamma(r)?;
+    if b > 63 {
+        return Err(BitError::Corrupt {
+            what: "delta length prefix exceeds 63",
+        });
+    }
+    let low = if b > 0 { r.read_bits(b as u32)? } else { 0 };
+    Ok(((1u64 << b) | low) - 1)
+}
+
+/// Number of bits used by the Rice code with parameter `k` for `x`.
+#[inline]
+pub fn rice_len(x: u64, k: u32) -> u64 {
+    (x >> k) + 1 + u64::from(k)
+}
+
+/// Writes `x` with a Rice code of parameter `k`: quotient `x >> k` in unary,
+/// then the `k` low-order bits verbatim.
+#[inline]
+pub fn write_rice(w: &mut BitWriter, x: u64, k: u32) {
+    assert!(k < 64, "rice parameter must be < 64");
+    write_unary(w, x >> k);
+    if k > 0 {
+        w.write_bits(x & ((1u64 << k) - 1), k);
+    }
+}
+
+/// Reads a Rice-coded value with parameter `k`.
+#[inline]
+pub fn read_rice(r: &mut BitReader<'_>, k: u32) -> Result<u64> {
+    assert!(k < 64, "rice parameter must be < 64");
+    let q = r.read_unary()?;
+    let low = if k > 0 { r.read_bits(k)? } else { 0 };
+    q.checked_shl(k)
+        .and_then(|hi| hi.checked_add(low))
+        .ok_or(BitError::Corrupt {
+            what: "rice quotient overflows u64",
+        })
+}
+
+/// Picks the Rice parameter that minimises expected code length for a list
+/// with the given mean, following the classic `k = max(0, ⌊log₂(mean)⌋)` rule.
+#[inline]
+pub fn rice_parameter_for_mean(mean: f64) -> u32 {
+    if mean <= 1.0 {
+        0
+    } else {
+        (mean.log2().floor() as u32).min(62)
+    }
+}
+
+/// Number of bits used by the minimal binary code for `x` in a universe of
+/// size `n` (`0 ≤ x < n`).
+#[inline]
+pub fn minimal_binary_len(x: u64, n: u64) -> u64 {
+    assert!(n > 0 && x < n, "minimal binary domain violated");
+    if n == 1 {
+        return 0;
+    }
+    let b = 64 - (n - 1).leading_zeros(); // ceil(log2 n)
+    let cutoff = (1u64 << b) - n;
+    if x < cutoff {
+        u64::from(b) - 1
+    } else {
+        u64::from(b)
+    }
+}
+
+/// Writes `x` (`0 ≤ x < n`) with the minimal binary (truncated binary) code.
+///
+/// Values below `2^⌈log₂ n⌉ − n` take ⌈log₂ n⌉ − 1 bits, the rest take
+/// ⌈log₂ n⌉ bits. For `n` a power of two this is plain fixed-width binary.
+/// For `n == 1` the code is empty.
+#[inline]
+pub fn write_minimal_binary(w: &mut BitWriter, x: u64, n: u64) {
+    assert!(n > 0, "universe must be non-empty");
+    assert!(x < n, "value {x} outside universe of size {n}");
+    if n == 1 {
+        return;
+    }
+    let b = 64 - (n - 1).leading_zeros(); // ceil(log2 n)
+    let cutoff = (1u64 << b) - n;
+    if x < cutoff {
+        w.write_bits(x, b - 1);
+    } else {
+        w.write_bits(x + cutoff, b);
+    }
+}
+
+/// Reads a minimal-binary-coded value from a universe of size `n`.
+#[inline]
+pub fn read_minimal_binary(r: &mut BitReader<'_>, n: u64) -> Result<u64> {
+    assert!(n > 0, "universe must be non-empty");
+    if n == 1 {
+        return Ok(0);
+    }
+    let b = 64 - (n - 1).leading_zeros();
+    let cutoff = (1u64 << b) - n;
+    let hi = r.read_bits(b - 1)?;
+    if hi < cutoff {
+        Ok(hi)
+    } else {
+        let lo = r.read_bits(1)?;
+        let x = (hi << 1) + lo - cutoff;
+        if x >= n {
+            return Err(BitError::Corrupt {
+                what: "minimal binary value out of range",
+            });
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_one(
+        write: impl Fn(&mut BitWriter, u64),
+        read: impl Fn(&mut BitReader<'_>) -> Result<u64>,
+        values: &[u64],
+    ) {
+        let mut w = BitWriter::new();
+        for &v in values {
+            write(&mut w, v);
+        }
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        for &v in values {
+            assert_eq!(read(&mut r).unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    const SAMPLES: &[u64] = &[
+        0,
+        1,
+        2,
+        3,
+        4,
+        7,
+        8,
+        15,
+        16,
+        100,
+        127,
+        128,
+        1000,
+        65535,
+        65536,
+        1 << 32,
+        (1 << 40) + 12345,
+        u64::MAX - 1,
+    ];
+
+    #[test]
+    fn unary_round_trip_small() {
+        round_trip_one(write_unary, read_unary, &[0, 1, 2, 3, 10, 63, 64, 200]);
+    }
+
+    #[test]
+    fn gamma_round_trip() {
+        round_trip_one(write_gamma, read_gamma, SAMPLES);
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        round_trip_one(write_delta, read_delta, SAMPLES);
+    }
+
+    #[test]
+    fn rice_round_trip_various_k() {
+        for k in [0u32, 1, 3, 5, 8, 13] {
+            round_trip_one(
+                |w, v| write_rice(w, v, k),
+                |r| read_rice(r, k),
+                &[0, 1, 2, 5, 100, 1023, 4096, 100_000],
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_binary_round_trip_all_universes() {
+        for n in 1u64..=40 {
+            let values: Vec<u64> = (0..n).collect();
+            round_trip_one(
+                |w, v| write_minimal_binary(w, v, n),
+                |r| read_minimal_binary(r, n),
+                &values,
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_binary_power_of_two_is_fixed_width() {
+        for &n in &[2u64, 4, 8, 256, 1024] {
+            let b = n.trailing_zeros() as u64;
+            for x in [0, n / 2, n - 1] {
+                assert_eq!(minimal_binary_len(x, n), b, "n={n} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn len_functions_match_actual_encoding() {
+        for &v in SAMPLES {
+            let mut w = BitWriter::new();
+            write_gamma(&mut w, v);
+            assert_eq!(w.bit_len(), gamma_len(v), "gamma len mismatch for {v}");
+
+            let mut w = BitWriter::new();
+            write_delta(&mut w, v);
+            assert_eq!(w.bit_len(), delta_len(v), "delta len mismatch for {v}");
+        }
+        for (v, k) in [(0u64, 0u32), (5, 2), (100, 4), (1000, 7)] {
+            let mut w = BitWriter::new();
+            write_rice(&mut w, v, k);
+            assert_eq!(w.bit_len(), rice_len(v, k));
+        }
+        for n in 1u64..32 {
+            for x in 0..n {
+                let mut w = BitWriter::new();
+                write_minimal_binary(&mut w, x, n);
+                assert_eq!(w.bit_len(), minimal_binary_len(x, n), "n={n} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_known_codewords() {
+        // gamma codes value+1: value 0 -> v=1 -> "1"
+        let mut w = BitWriter::new();
+        write_gamma(&mut w, 0);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 1);
+        assert_eq!(bytes[0] >> 7, 1);
+        // value 3 -> v=4 -> "00100"
+        let mut w = BitWriter::new();
+        write_gamma(&mut w, 3);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 5);
+        assert_eq!(bytes[0] >> 3, 0b00100);
+    }
+
+    #[test]
+    fn delta_shorter_than_gamma_for_large_values() {
+        let v = (1u64 << 40) + 999;
+        assert!(delta_len(v) < gamma_len(v));
+    }
+
+    #[test]
+    fn truncated_streams_error_cleanly() {
+        let mut w = BitWriter::new();
+        write_delta(&mut w, 123_456_789);
+        let (bytes, bits) = w.finish();
+        // Chop off the tail and make sure decoding errors instead of panicking.
+        for cut in 1..bits {
+            let mut r = BitReader::with_bit_len(&bytes, cut);
+            match read_delta(&mut r) {
+                Err(_) => {}
+                Ok(v) => panic!("decoded {v} from a truncated stream of {cut} bits"),
+            }
+        }
+    }
+
+    #[test]
+    fn rice_parameter_heuristic_is_sane() {
+        assert_eq!(rice_parameter_for_mean(0.5), 0);
+        assert_eq!(rice_parameter_for_mean(1.0), 0);
+        assert_eq!(rice_parameter_for_mean(2.0), 1);
+        assert_eq!(rice_parameter_for_mean(100.0), 6);
+    }
+}

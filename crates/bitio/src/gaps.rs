@@ -1,0 +1,162 @@
+//! Gap coding of strictly ascending integer lists.
+//!
+//! Adjacency lists are stored sorted; §3.3 of the paper cites "gap encoding
+//! adjacency lists" (Witten, Moffat & Bell) as one of its bit-level
+//! techniques. A sorted list `a₀ < a₁ < … < a_{d−1}` is stored as
+//! `γ(a₀)` followed by `γ(a_i − a_{i−1} − 1)` for each subsequent element.
+//! The list length is written first (also γ-coded), so the format is
+//! self-delimiting.
+
+use crate::{codes, BitError, BitReader, BitWriter, Result};
+
+/// Size in bits of [`write_gap_list`]'s output for `list`.
+///
+/// # Panics
+/// Panics (debug) if the list is not strictly ascending.
+pub fn gap_list_len(list: &[u64]) -> u64 {
+    let mut total = codes::gamma_len(list.len() as u64);
+    let mut prev: Option<u64> = None;
+    for &x in list {
+        total += match prev {
+            None => codes::gamma_len(x),
+            Some(p) => {
+                debug_assert!(x > p, "gap list must be strictly ascending");
+                codes::gamma_len(x - p - 1)
+            }
+        };
+        prev = Some(x);
+    }
+    total
+}
+
+/// Writes a strictly ascending list with γ-coded gaps, preceded by its
+/// γ-coded length.
+///
+/// # Panics
+/// Panics if the list is not strictly ascending.
+pub fn write_gap_list(w: &mut BitWriter, list: &[u64]) {
+    codes::write_gamma(w, list.len() as u64);
+    let mut prev: Option<u64> = None;
+    for &x in list {
+        match prev {
+            None => codes::write_gamma(w, x),
+            Some(p) => {
+                assert!(x > p, "gap list must be strictly ascending");
+                codes::write_gamma(w, x - p - 1);
+            }
+        }
+        prev = Some(x);
+    }
+}
+
+/// Reads a list written by [`write_gap_list`].
+pub fn read_gap_list(r: &mut BitReader<'_>) -> Result<Vec<u64>> {
+    let len = codes::read_gamma(r)?;
+    let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
+    read_gap_list_into(r, len, |x| out.push(x))?;
+    Ok(out)
+}
+
+/// Reads `len` gap-coded values (the header must already have been consumed
+/// by the caller) streaming each decoded value to `sink`.
+pub fn read_gap_list_into(
+    r: &mut BitReader<'_>,
+    len: u64,
+    mut sink: impl FnMut(u64),
+) -> Result<()> {
+    let mut prev: Option<u64> = None;
+    for _ in 0..len {
+        let g = codes::read_gamma(r)?;
+        let x = match prev {
+            None => g,
+            Some(p) => {
+                p.checked_add(g)
+                    .and_then(|v| v.checked_add(1))
+                    .ok_or(BitError::Corrupt {
+                        what: "gap list element overflows u64",
+                    })?
+            }
+        };
+        sink(x);
+        prev = Some(x);
+    }
+    Ok(())
+}
+
+/// Reads only the length header of a gap list, leaving the cursor on the
+/// first element.
+pub fn read_gap_list_header(r: &mut BitReader<'_>) -> Result<u64> {
+    codes::read_gamma(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(list: &[u64]) {
+        let mut w = BitWriter::new();
+        write_gap_list(&mut w, list);
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, gap_list_len(list));
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        assert_eq!(read_gap_list(&mut r).unwrap(), list);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_list() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn singleton_lists() {
+        round_trip(&[0]);
+        round_trip(&[42]);
+        round_trip(&[u64::MAX - 1]);
+    }
+
+    #[test]
+    fn dense_lists_compress_well() {
+        let list: Vec<u64> = (100..200).collect();
+        let mut w = BitWriter::new();
+        write_gap_list(&mut w, &list);
+        // 99 consecutive gaps of 0 cost 1 bit each.
+        assert!(w.bit_len() < 99 + 32, "dense list should cost ~1 bit/gap");
+        round_trip(&list);
+    }
+
+    #[test]
+    fn sparse_lists_round_trip() {
+        round_trip(&[3, 1000, 1_000_000, 1 << 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn non_ascending_list_panics() {
+        let mut w = BitWriter::new();
+        write_gap_list(&mut w, &[5, 5]);
+    }
+
+    #[test]
+    fn streaming_matches_materialised() {
+        let list = [2u64, 7, 9, 100, 101];
+        let mut w = BitWriter::new();
+        write_gap_list(&mut w, &list);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        let len = read_gap_list_header(&mut r).unwrap();
+        assert_eq!(len, 5);
+        let mut got = Vec::new();
+        read_gap_list_into(&mut r, len, |x| got.push(x)).unwrap();
+        assert_eq!(got, list);
+    }
+
+    #[test]
+    fn truncated_list_errors() {
+        let mut w = BitWriter::new();
+        write_gap_list(&mut w, &[10, 20, 30, 40]);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, bits / 2);
+        assert!(read_gap_list(&mut r).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests: every codec in `wg-bitio` must round-trip arbitrary
+//! inputs exactly, and interleaved heterogeneous streams must decode in
+//! order.
+
+use proptest::prelude::*;
+use wg_bitio::{codes, gaps, rle, BitReader, BitWriter, HuffmanCode};
+
+proptest! {
+    #[test]
+    fn gamma_round_trips(v in 0u64..=u64::MAX - 1) {
+        let mut w = BitWriter::new();
+        codes::write_gamma(&mut w, v);
+        let (bytes, bits) = w.finish();
+        prop_assert_eq!(bits, codes::gamma_len(v));
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        prop_assert_eq!(codes::read_gamma(&mut r).unwrap(), v);
+    }
+
+    #[test]
+    fn delta_round_trips(v in 0u64..=u64::MAX - 1) {
+        let mut w = BitWriter::new();
+        codes::write_delta(&mut w, v);
+        let (bytes, bits) = w.finish();
+        prop_assert_eq!(bits, codes::delta_len(v));
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        prop_assert_eq!(codes::read_delta(&mut r).unwrap(), v);
+    }
+
+    #[test]
+    fn rice_round_trips(v in 0u64..1_000_000_000u64, k in 0u32..20) {
+        let mut w = BitWriter::new();
+        codes::write_rice(&mut w, v, k);
+        let (bytes, bits) = w.finish();
+        prop_assert_eq!(bits, codes::rice_len(v, k));
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        prop_assert_eq!(codes::read_rice(&mut r, k).unwrap(), v);
+    }
+
+    #[test]
+    fn minimal_binary_round_trips(n in 1u64..100_000, seed in any::<u64>()) {
+        let x = seed % n;
+        let mut w = BitWriter::new();
+        codes::write_minimal_binary(&mut w, x, n);
+        let (bytes, bits) = w.finish();
+        prop_assert_eq!(bits, codes::minimal_binary_len(x, n));
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        prop_assert_eq!(codes::read_minimal_binary(&mut r, n).unwrap(), x);
+    }
+
+    #[test]
+    fn mixed_streams_decode_in_order(values in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut w = BitWriter::new();
+        for (i, &v) in values.iter().enumerate() {
+            match i % 4 {
+                0 => codes::write_gamma(&mut w, v),
+                1 => codes::write_delta(&mut w, v),
+                2 => codes::write_rice(&mut w, v, 4),
+                _ => codes::write_unary(&mut w, v % 257),
+            }
+        }
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        for (i, &v) in values.iter().enumerate() {
+            let got = match i % 4 {
+                0 => codes::read_gamma(&mut r).unwrap(),
+                1 => codes::read_delta(&mut r).unwrap(),
+                2 => codes::read_rice(&mut r, 4).unwrap(),
+                _ => codes::read_unary(&mut r).unwrap(),
+            };
+            let want = if i % 4 == 3 { v % 257 } else { v };
+            prop_assert_eq!(got, want);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bitvec_round_trips(bits in prop::collection::vec(any::<bool>(), 0..512)) {
+        let mut w = BitWriter::new();
+        rle::write_bitvec(&mut w, &bits);
+        let (bytes, blen) = w.finish();
+        prop_assert_eq!(blen, rle::encoded_len(&bits));
+        let mut r = BitReader::with_bit_len(&bytes, blen);
+        prop_assert_eq!(rle::read_bitvec(&mut r, bits.len()).unwrap(), bits);
+    }
+
+    #[test]
+    fn gap_list_round_trips(raw in prop::collection::btree_set(0u64..10_000_000, 0..300)) {
+        let list: Vec<u64> = raw.into_iter().collect();
+        let mut w = BitWriter::new();
+        gaps::write_gap_list(&mut w, &list);
+        let (bytes, bits) = w.finish();
+        prop_assert_eq!(bits, gaps::gap_list_len(&list));
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        prop_assert_eq!(gaps::read_gap_list(&mut r).unwrap(), list);
+    }
+
+    #[test]
+    fn huffman_round_trips_random_alphabets(
+        freqs in prop::collection::vec(0u64..10_000, 1..200),
+        picks in prop::collection::vec(any::<u32>(), 0..500),
+    ) {
+        let coded: Vec<u32> = freqs
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 0)
+            .map(|(s, _)| s as u32)
+            .collect();
+        prop_assume!(!coded.is_empty());
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let msg: Vec<u32> = picks.iter().map(|&p| coded[p as usize % coded.len()]).collect();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            code.encode(&mut w, s);
+        }
+        let (bytes, bits) = w.finish();
+        let dec = code.decoder();
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        for &s in &msg {
+            prop_assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn huffman_table_survives_serialisation(
+        freqs in prop::collection::vec(0u64..1_000, 1..100),
+    ) {
+        prop_assume!(freqs.iter().any(|&f| f > 0));
+        let code = HuffmanCode::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        code.write_lengths(&mut w);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, bits);
+        let rebuilt = HuffmanCode::read_lengths(&mut r).unwrap();
+        for s in 0..freqs.len() as u32 {
+            prop_assert_eq!(code.len_of(s), rebuilt.len_of(s));
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_decoders(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Decoding random garbage may error; it must never panic.
+        let mut r = BitReader::new(&data);
+        let _ = codes::read_gamma(&mut r);
+        let mut r = BitReader::new(&data);
+        let _ = codes::read_delta(&mut r);
+        let mut r = BitReader::new(&data);
+        let _ = codes::read_rice(&mut r, 3);
+        let mut r = BitReader::new(&data);
+        let _ = gaps::read_gap_list(&mut r);
+        let mut r = BitReader::new(&data);
+        let _ = rle::read_bitvec(&mut r, 40);
+        let mut r = BitReader::new(&data);
+        let _ = HuffmanCode::read_lengths(&mut r);
+    }
+}

@@ -1,0 +1,520 @@
+//! End-to-end S-Node construction (§3): refine the partition, renumber
+//! pages, encode every graph, and lay the representation out on disk.
+
+use crate::disk::{GraphLocator, IndexFileWriter, Renumbering, SNodeMeta};
+use crate::partition::{refine, Partition, RefineConfig, RefineStats};
+use crate::refenc::RefMode;
+use crate::subgraphs::{encode_intranode, encode_superedge, SuperedgeKind, SuperedgePolicy};
+use crate::supergraph::SupernodeGraph;
+use crate::Result;
+use std::collections::HashMap;
+use std::path::Path;
+use wg_graph::Graph;
+
+/// The repository slice the builder consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct RepoInput<'a> {
+    /// Full URL per page (drives URL split and page ordering).
+    pub urls: &'a [String],
+    /// Domain id per page (drives `P0` and the domain index).
+    pub domains: &'a [u32],
+    /// The Web graph.
+    pub graph: &'a Graph,
+}
+
+/// Build-time configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SNodeConfig {
+    /// Partition-refinement parameters.
+    pub refine: RefineConfig,
+    /// Reference-selection mode for intranode/superedge compression.
+    pub ref_mode: RefMode,
+    /// Positive/negative superedge selection policy.
+    pub superedge_policy: SuperedgePolicy,
+    /// Index-file size cap (paper: 500 MB).
+    pub max_file_bytes: u64,
+}
+
+impl Default for SNodeConfig {
+    fn default() -> Self {
+        Self {
+            refine: RefineConfig::default(),
+            ref_mode: RefMode::default(),
+            superedge_policy: SuperedgePolicy::default(),
+            max_file_bytes: 500 << 20,
+        }
+    }
+}
+
+/// Everything the builder measured, for the scalability and compression
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct BuildStats {
+    /// Partition-refinement statistics.
+    pub refine: RefineStats,
+    /// Final number of supernodes (Figure 9a).
+    pub num_supernodes: u32,
+    /// Final number of superedges (Figure 9b).
+    pub num_superedges: u64,
+    /// Huffman-encoded supernode-graph size including 4-byte pointers per
+    /// vertex and edge (Figure 10's accounting).
+    pub supernode_graph_bytes_with_pointers: u64,
+    /// Encoded supernode-graph adjacency alone, in bits.
+    pub supernode_graph_bits: u64,
+    /// Total bits across all intranode graphs.
+    pub intranode_bits: u64,
+    /// Total bits across all superedge graphs.
+    pub superedge_bits: u64,
+    /// Bytes of `meta.bin` (supernode graph + pointers + both indexes).
+    pub meta_bytes: u64,
+    /// Bytes across all index files.
+    pub index_bytes: u64,
+    /// Superedges stored positive.
+    pub positive_superedges: u64,
+    /// Superedges stored negative.
+    pub negative_superedges: u64,
+    /// Edges in the input graph.
+    pub num_edges: u64,
+}
+
+impl BuildStats {
+    /// Total representation size in bits: encoded supernode graph, pointer
+    /// tables, PageID index, domain index, and every intranode/superedge
+    /// graph — i.e. `meta.bin` plus the index files, the same accounting
+    /// the paper's Table 1 uses ("total space used by the graph
+    /// representation").
+    pub fn total_bits(&self) -> u64 {
+        (self.meta_bytes + self.index_bytes) * 8
+    }
+
+    /// Bits per edge (Table 1's metric).
+    pub fn bits_per_edge(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.total_bits() as f64 / self.num_edges as f64
+        }
+    }
+}
+
+/// Builds the complete S-Node representation of `input` under `dir`.
+///
+/// Returns the build statistics and the page renumbering (input ids →
+/// S-Node ids). The renumbering is also persisted as `pagemap.bin`.
+pub fn build_snode(
+    input: RepoInput<'_>,
+    config: &SNodeConfig,
+    dir: &Path,
+) -> Result<(BuildStats, Renumbering)> {
+    std::fs::create_dir_all(dir)?;
+    let n_pages = input.graph.num_nodes();
+    assert_eq!(input.urls.len(), n_pages as usize);
+    assert_eq!(input.domains.len(), n_pages as usize);
+
+    // 1. Iterative partition refinement (§3.2).
+    let (partition, refine_stats) = refine(input.urls, input.domains, input.graph, &config.refine);
+
+    // 2. Page numbering (§3.3): supernodes numbered 1..n in element order;
+    //    pages ordered by (supernode, lexicographic URL).
+    let renumbering = number_pages(&partition, input.urls);
+    let range_start = compute_ranges(&partition);
+
+    // 3. Remap the graph into new ids, bucketed per supernode.
+    let remapped = remap(&partition, input.graph, &renumbering, &range_start);
+
+    // 4. Supernode graph.
+    let supergraph = supergraph_from_buckets(&remapped);
+
+    // 5. Encode every graph and write the index files in linear order:
+    //    IntraNode_i, then SEdge_{i, j} for each j in superedge order.
+    let mut writer = IndexFileWriter::create(dir, config.max_file_bytes)?;
+    let n_super = partition.len();
+    let mut intranode_loc = Vec::with_capacity(n_super);
+    let mut superedge_loc: Vec<Vec<GraphLocator>> = Vec::with_capacity(n_super);
+    let mut intranode_bits = 0u64;
+    let mut superedge_bits = 0u64;
+    let mut positive_superedges = 0u64;
+    let mut negative_superedges = 0u64;
+    for s in 0..n_super {
+        let enc = encode_intranode(&remapped.intra[s], config.ref_mode);
+        intranode_bits += enc.bit_len;
+        intranode_loc.push(writer.append(&enc.bytes, enc.bit_len)?);
+
+        let mut locs = Vec::with_capacity(supergraph.adj[s].len());
+        for &j in &supergraph.adj[s] {
+            let lists = remapped
+                .superedges
+                .get(&(s as u32, j))
+                .expect("superedge bucket exists");
+            let nj = u64::from(range_start[j as usize + 1] - range_start[j as usize]);
+            let enc = encode_superedge(lists, nj, config.ref_mode, config.superedge_policy);
+            superedge_bits += enc.bit_len;
+            match enc.kind {
+                SuperedgeKind::Positive => positive_superedges += 1,
+                SuperedgeKind::Negative => negative_superedges += 1,
+            }
+            locs.push(writer.append(&enc.bytes, enc.bit_len)?);
+        }
+        superedge_loc.push(locs);
+    }
+    let (index_bytes, _files) = writer.finish()?;
+
+    // 6. Meta: supernode graph + pointers + PageID index + domain index.
+    let num_domains = input.domains.iter().copied().max().map_or(0, |d| d + 1);
+    let mut domain_supernodes: Vec<Vec<u32>> = vec![Vec::new(); num_domains as usize];
+    for (s, e) in partition.elements.iter().enumerate() {
+        domain_supernodes[e.domain as usize].push(s as u32);
+    }
+    let supergraph_bits = supergraph.encoded_bits();
+    let meta = SNodeMeta {
+        num_pages: n_pages,
+        range_start: range_start.clone(),
+        supergraph_bits,
+        supergraph,
+        intranode_loc,
+        superedge_loc,
+        domain_supernodes,
+        max_file_bytes: config.max_file_bytes,
+    };
+    let meta_bytes = meta.write(dir)?;
+    renumbering.write(dir)?;
+
+    let stats = BuildStats {
+        refine: refine_stats,
+        num_supernodes: meta.num_supernodes(),
+        num_superedges: meta.supergraph.num_superedges(),
+        supernode_graph_bytes_with_pointers: meta.supergraph.encoded_bytes_with_pointers(),
+        supernode_graph_bits: supergraph_bits,
+        intranode_bits,
+        superedge_bits,
+        meta_bytes,
+        index_bytes,
+        positive_superedges,
+        negative_superedges,
+        num_edges: input.graph.num_edges(),
+    };
+    Ok((stats, renumbering))
+}
+
+/// Orders pages: supernode by element index, lexicographic URL within.
+fn number_pages(partition: &Partition, urls: &[String]) -> Renumbering {
+    let mut old_of_new = Vec::with_capacity(urls.len());
+    for e in &partition.elements {
+        let mut pages = e.pages.clone();
+        pages.sort_by(|&a, &b| urls[a as usize].cmp(&urls[b as usize]));
+        old_of_new.extend_from_slice(&pages);
+    }
+    Renumbering::from_old_of_new(old_of_new)
+}
+
+/// Contiguous page-id range starts per supernode.
+fn compute_ranges(partition: &Partition) -> Vec<u32> {
+    let mut starts = Vec::with_capacity(partition.len() + 1);
+    let mut acc = 0u32;
+    starts.push(0);
+    for e in &partition.elements {
+        acc += e.pages.len() as u32;
+        starts.push(acc);
+    }
+    starts
+}
+
+/// The input graph re-expressed in new ids, bucketed per supernode.
+struct Remapped {
+    /// `intra[s][local]` = local targets within supernode `s`.
+    intra: Vec<Vec<Vec<u32>>>,
+    /// `(i, j)` → per-source (all |Ni| of them) local target lists in `Nj`.
+    superedges: HashMap<(u32, u32), Vec<Vec<u32>>>,
+}
+
+fn remap(
+    partition: &Partition,
+    graph: &Graph,
+    renumbering: &Renumbering,
+    range_start: &[u32],
+) -> Remapped {
+    let n_super = partition.len();
+    let mut intra: Vec<Vec<Vec<u32>>> = (0..n_super)
+        .map(|s| vec![Vec::new(); (range_start[s + 1] - range_start[s]) as usize])
+        .collect();
+    let mut superedges: HashMap<(u32, u32), Vec<Vec<u32>>> = HashMap::new();
+
+    // supernode of a *new* id is cheap: binary search over range_start.
+    let super_of =
+        |new_id: u32| -> u32 { (range_start.partition_point(|&st| st <= new_id) - 1) as u32 };
+
+    for new_src in 0..graph.num_nodes() {
+        let old_src = renumbering.old_of_new[new_src as usize];
+        let s = super_of(new_src);
+        let local_src = new_src - range_start[s as usize];
+        for &old_tgt in graph.neighbors(old_src) {
+            let new_tgt = renumbering.new_of_old[old_tgt as usize];
+            let j = super_of(new_tgt);
+            let local_tgt = new_tgt - range_start[j as usize];
+            if j == s {
+                intra[s as usize][local_src as usize].push(local_tgt);
+            } else {
+                let ni = (range_start[s as usize + 1] - range_start[s as usize]) as usize;
+                let bucket = superedges
+                    .entry((s, j))
+                    .or_insert_with(|| vec![Vec::new(); ni]);
+                bucket[local_src as usize].push(local_tgt);
+            }
+        }
+    }
+    // Lists must be sorted for the codecs.
+    for lists in &mut intra {
+        for l in lists {
+            l.sort_unstable();
+            l.dedup();
+        }
+    }
+    for lists in superedges.values_mut() {
+        for l in lists {
+            l.sort_unstable();
+            l.dedup();
+        }
+    }
+    Remapped { intra, superedges }
+}
+
+/// Derives the supernode graph from the superedge buckets (targets sorted).
+fn supergraph_from_buckets(remapped: &Remapped) -> SupernodeGraph {
+    let n = remapped.intra.len();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(i, j) in remapped.superedges.keys() {
+        adj[i as usize].push(j);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+    }
+    SupernodeGraph { adj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{IndexFileReader, SNodeMeta};
+    use crate::subgraphs::{decode_intranode, decode_superedge};
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wg_snode_build_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    /// A small but structured repository: 2 domains, 3 hosts, 12 pages.
+    fn small_repo() -> (Vec<String>, Vec<u32>, Graph) {
+        let urls: Vec<String> = vec![
+            "http://www.alpha.edu/a/p0.html",
+            "http://www.alpha.edu/a/p1.html",
+            "http://www.alpha.edu/b/p2.html",
+            "http://www.alpha.edu/b/p3.html",
+            "http://cs.alpha.edu/p4.html",
+            "http://cs.alpha.edu/p5.html",
+            "http://www.beta.com/x/p6.html",
+            "http://www.beta.com/x/p7.html",
+            "http://www.beta.com/y/p8.html",
+            "http://www.beta.com/p9.html",
+            "http://www.beta.com/y/p10.html",
+            "http://cs.alpha.edu/z/p11.html",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let domains = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0];
+        let graph = Graph::from_edges(
+            12,
+            [
+                (0, 1),
+                (1, 0),
+                (0, 2),
+                (2, 3),
+                (3, 6),
+                (4, 5),
+                (5, 11),
+                (6, 7),
+                (7, 8),
+                (8, 6),
+                (9, 10),
+                (10, 0),
+                (6, 0),
+                (1, 6),
+                (2, 6),
+                (4, 0),
+                (11, 4),
+            ],
+        );
+        (urls, domains, graph)
+    }
+
+    fn build_small(
+        name: &str,
+    ) -> (
+        std::path::PathBuf,
+        BuildStats,
+        Renumbering,
+        Graph,
+        Vec<String>,
+        Vec<u32>,
+    ) {
+        let (urls, domains, graph) = small_repo();
+        let dir = temp_dir(name);
+        let config = SNodeConfig {
+            max_file_bytes: 64, // force multiple index files
+            ..Default::default()
+        };
+        let input = RepoInput {
+            urls: &urls,
+            domains: &domains,
+            graph: &graph,
+        };
+        let (stats, renum) = build_snode(input, &config, &dir).unwrap();
+        (dir, stats, renum, graph, urls, domains)
+    }
+
+    #[test]
+    fn renumbering_is_a_permutation_grouped_by_supernode() {
+        let (dir, stats, renum, graph, urls, domains) = build_small("perm");
+        assert_eq!(renum.old_of_new.len(), graph.num_nodes() as usize);
+        let mut sorted = renum.old_of_new.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..graph.num_nodes()).collect::<Vec<_>>());
+        // Within each supernode range, URLs ascend.
+        let meta = SNodeMeta::read(&dir).unwrap();
+        for s in 0..meta.num_supernodes() {
+            let r = meta.page_range(s);
+            let window: Vec<&str> = r
+                .clone()
+                .map(|n| urls[renum.old_of_new[n as usize] as usize].as_str())
+                .collect();
+            assert!(window.windows(2).all(|w| w[0] < w[1]), "supernode {s}");
+            // Domain purity.
+            let doms: Vec<u32> = r
+                .map(|n| domains[renum.old_of_new[n as usize] as usize])
+                .collect();
+            assert!(doms.windows(2).all(|w| w[0] == w[1]));
+        }
+        assert!(stats.num_supernodes >= 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn representation_reconstructs_graph_exactly() {
+        let (dir, _stats, renum, graph, _urls, _domains) = build_small("exact");
+        let meta = SNodeMeta::read(&dir).unwrap();
+        let files = IndexFileReader::open(&dir).unwrap();
+
+        // Decode everything back and compare edge sets in new-id space.
+        let mut rebuilt: Vec<Vec<u32>> = vec![Vec::new(); graph.num_nodes() as usize];
+        for s in 0..meta.num_supernodes() {
+            let start = meta.page_range(s).start;
+            let bytes = files.read(&meta.intranode_loc[s as usize]).unwrap();
+            let lists = decode_intranode(&bytes, meta.intranode_loc[s as usize].bit_len).unwrap();
+            for (local, list) in lists.iter().enumerate() {
+                for &t in list {
+                    rebuilt[(start + local as u32) as usize].push(start + t);
+                }
+            }
+            for (k, &j) in meta.supergraph.adj[s as usize].iter().enumerate() {
+                let loc = &meta.superedge_loc[s as usize][k];
+                let bytes = files.read(loc).unwrap();
+                let ni = u64::from(meta.supernode_size(s));
+                let nj = u64::from(meta.supernode_size(j));
+                let lists = decode_superedge(&bytes, loc.bit_len, ni, nj).unwrap();
+                let jstart = meta.page_range(j).start;
+                for (local, list) in lists.iter().enumerate() {
+                    for &t in list {
+                        rebuilt[(start + local as u32) as usize].push(jstart + t);
+                    }
+                }
+            }
+        }
+        for l in &mut rebuilt {
+            l.sort_unstable();
+        }
+        for old in 0..graph.num_nodes() {
+            let new = renum.new_of_old[old as usize];
+            let expected: Vec<u32> = {
+                let mut v: Vec<u32> = graph
+                    .neighbors(old)
+                    .iter()
+                    .map(|&t| renum.new_of_old[t as usize])
+                    .collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(
+                rebuilt[new as usize], expected,
+                "adjacency mismatch for old page {old}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (dir, stats, _renum, graph, _urls, _domains) = build_small("stats");
+        assert_eq!(stats.num_edges, graph.num_edges());
+        assert!(stats.total_bits() > 0);
+        assert!(stats.bits_per_edge() > 0.0);
+        assert_eq!(
+            stats.positive_superedges + stats.negative_superedges,
+            stats.num_superedges
+        );
+        // index files hold exactly the encoded graphs.
+        assert!(stats.index_bytes > 0);
+        assert!(stats.meta_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn domain_index_covers_all_supernodes() {
+        let (dir, _stats, _renum, _graph, _urls, domains) = build_small("domidx");
+        let meta = SNodeMeta::read(&dir).unwrap();
+        let num_domains = domains.iter().copied().max().unwrap() + 1;
+        assert_eq!(meta.domain_supernodes.len(), num_domains as usize);
+        let mut covered: Vec<u32> = meta
+            .domain_supernodes
+            .iter()
+            .flat_map(|l| l.iter().copied())
+            .collect();
+        covered.sort_unstable();
+        assert_eq!(
+            covered,
+            (0..meta.num_supernodes()).collect::<Vec<_>>(),
+            "every supernode belongs to exactly one domain"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (dir_a, stats_a, renum_a, ..) = build_small("det_a");
+        let (dir_b, stats_b, renum_b, ..) = build_small("det_b");
+        assert_eq!(renum_a, renum_b);
+        assert_eq!(stats_a.num_supernodes, stats_b.num_supernodes);
+        assert_eq!(stats_a.total_bits(), stats_b.total_bits());
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn single_page_repository() {
+        let urls = vec!["http://www.solo.org/p.html".to_string()];
+        let domains = vec![0u32];
+        let graph = Graph::from_edges(1, []);
+        let dir = temp_dir("solo");
+        let input = RepoInput {
+            urls: &urls,
+            domains: &domains,
+            graph: &graph,
+        };
+        let (stats, renum) = build_snode(input, &SNodeConfig::default(), &dir).unwrap();
+        assert_eq!(stats.num_supernodes, 1);
+        assert_eq!(stats.num_superedges, 0);
+        assert_eq!(renum.old_of_new, vec![0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

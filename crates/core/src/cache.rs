@@ -1,0 +1,425 @@
+//! Memory-budgeted cache of decoded intranode / superedge graphs.
+//!
+//! The §4.3 experiments give each representation a fixed memory allowance;
+//! for S-Node, whatever is left after the resident supernode graph and
+//! indexes "was used to load and decode intranode and superedge graphs as
+//! required by the queries". This cache is that space: decoded graphs enter
+//! on first use, are evicted least-recently-used when the byte budget
+//! overflows, and every load/unload is recorded — the paper instrumented
+//! exactly these events to explain its Figure 11 numbers.
+
+use crate::refenc::ListsIndex;
+use crate::subgraphs::SuperedgeIndex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of a cached graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKey {
+    /// The intranode graph of supernode `s`.
+    Intra(u32),
+    /// The superedge graph of superedge `from → to`.
+    Super(u32, u32),
+}
+
+/// A decoded graph: positive adjacency lists in local ids.
+///
+/// Intranode graphs are dense (one list per page of the supernode);
+/// superedge graphs are kept **sparse** — only the sources with cross-links
+/// are materialised, since on a Web-scale partition the overwhelming
+/// majority of a supernode's pages have no links into any one neighbour.
+#[derive(Debug)]
+pub enum CachedGraph {
+    /// One list per local id.
+    Dense {
+        /// `lists[local]` = sorted local targets.
+        lists: Vec<Vec<u32>>,
+        /// Approximate decoded footprint (drives eviction).
+        bytes: usize,
+    },
+    /// Lists only for the sources that have any.
+    Sparse {
+        /// Sorted local source ids with non-empty lists.
+        sources: Vec<u32>,
+        /// Parallel target lists.
+        lists: Vec<Vec<u32>>,
+        /// Approximate decoded footprint (drives eviction).
+        bytes: usize,
+    },
+    /// An intranode graph kept *encoded*, with its parsed directory;
+    /// individual lists decode on demand. This is the query-time resident
+    /// form: it keeps a supernode's working set close to its on-disk size
+    /// instead of its decoded size, which is what lets the §4.3 memory
+    /// caps hold "all the intranode and superedge graphs relevant to a
+    /// query" at once.
+    EncodedIntra {
+        /// The encoded graph.
+        data: Vec<u8>,
+        /// Exact bit length.
+        bit_len: u64,
+        /// Parsed directory (offsets rebuilt at load).
+        index: ListsIndex,
+        /// Resident footprint (encoded bytes + directory).
+        bytes: usize,
+    },
+    /// A superedge graph kept encoded, with its parsed directory.
+    EncodedSuper {
+        /// The encoded graph.
+        data: Vec<u8>,
+        /// Exact bit length.
+        bit_len: u64,
+        /// Parsed directory.
+        index: SuperedgeIndex,
+        /// `|Nj|`, needed to complement negative representations.
+        nj: u64,
+        /// Resident footprint.
+        bytes: usize,
+    },
+}
+
+impl CachedGraph {
+    /// Wraps dense decoded lists, computing the footprint.
+    pub fn new(lists: Vec<Vec<u32>>) -> Self {
+        let bytes: usize = lists
+            .iter()
+            .map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>())
+            .sum::<usize>()
+            + std::mem::size_of::<Self>();
+        CachedGraph::Dense { lists, bytes }
+    }
+
+    /// Wraps sparse decoded lists, computing the footprint.
+    pub fn new_sparse(sources: Vec<u32>, lists: Vec<Vec<u32>>) -> Self {
+        debug_assert_eq!(sources.len(), lists.len());
+        let bytes: usize = lists
+            .iter()
+            .map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>() + 4)
+            .sum::<usize>()
+            + std::mem::size_of::<Self>();
+        CachedGraph::Sparse {
+            sources,
+            lists,
+            bytes,
+        }
+    }
+
+    /// Wraps an encoded intranode graph with its parsed directory.
+    pub fn new_encoded_intra(data: Vec<u8>, bit_len: u64, index: ListsIndex) -> Self {
+        let bytes = data.len() + index.heap_bytes() + std::mem::size_of::<Self>();
+        CachedGraph::EncodedIntra {
+            data,
+            bit_len,
+            index,
+            bytes,
+        }
+    }
+
+    /// Wraps an encoded superedge graph with its parsed directory.
+    pub fn new_encoded_super(data: Vec<u8>, bit_len: u64, index: SuperedgeIndex, nj: u64) -> Self {
+        let bytes = data.len() + index.heap_bytes() + std::mem::size_of::<Self>();
+        CachedGraph::EncodedSuper {
+            data,
+            bit_len,
+            index,
+            nj,
+            bytes,
+        }
+    }
+
+    /// The positive target list of local id `local` (empty when absent).
+    pub fn decode_list_for(&self, local: u32) -> crate::Result<Vec<u32>> {
+        match self {
+            CachedGraph::Dense { lists, .. } => {
+                Ok(lists.get(local as usize).cloned().unwrap_or_default())
+            }
+            CachedGraph::Sparse { sources, lists, .. } => match sources.binary_search(&local) {
+                Ok(i) => Ok(lists[i].clone()),
+                Err(_) => Ok(Vec::new()),
+            },
+            CachedGraph::EncodedIntra {
+                data,
+                bit_len,
+                index,
+                ..
+            } => index.decode_list(data, *bit_len, local),
+            CachedGraph::EncodedSuper {
+                data,
+                bit_len,
+                index,
+                nj,
+                ..
+            } => index.targets_of(data, *bit_len, u64::from(local), *nj),
+        }
+    }
+
+    /// Approximate resident footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        match self {
+            CachedGraph::Dense { bytes, .. }
+            | CachedGraph::Sparse { bytes, .. }
+            | CachedGraph::EncodedIntra { bytes, .. }
+            | CachedGraph::EncodedSuper { bytes, .. } => *bytes,
+        }
+    }
+}
+
+/// One cache instrumentation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A graph was decoded into the cache.
+    Load(GraphKey),
+    /// A graph was evicted to make room.
+    Unload(GraphKey),
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphCacheStats {
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups requiring a load.
+    pub misses: u64,
+    /// Graphs evicted.
+    pub evictions: u64,
+    /// Total bytes decoded over the lifetime (load traffic).
+    pub bytes_loaded: u64,
+}
+
+/// LRU cache of decoded graphs under a byte budget.
+#[derive(Debug)]
+pub struct GraphCache {
+    budget: usize,
+    used: usize,
+    tick: u64,
+    map: HashMap<GraphKey, Entry>,
+    stats: GraphCacheStats,
+    /// When `Some`, every load/unload is appended here (the paper's log).
+    log: Option<Vec<CacheEvent>>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    graph: Arc<CachedGraph>,
+    last_used: u64,
+}
+
+impl GraphCache {
+    /// Creates a cache bounded by `budget_bytes` of decoded graph data.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget: budget_bytes.max(1),
+            used: 0,
+            tick: 0,
+            map: HashMap::new(),
+            stats: GraphCacheStats::default(),
+            log: None,
+        }
+    }
+
+    /// Enables event logging (disabled by default; the log grows unbounded
+    /// while enabled).
+    pub fn enable_log(&mut self) {
+        self.log = Some(Vec::new());
+    }
+
+    /// Takes the accumulated event log, leaving logging enabled.
+    pub fn take_log(&mut self) -> Vec<CacheEvent> {
+        match &mut self.log {
+            Some(l) => std::mem::take(l),
+            None => Vec::new(),
+        }
+    }
+
+    /// Byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Number of graphs currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> GraphCacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = GraphCacheStats::default();
+    }
+
+    /// Looks up a graph, bumping its recency.
+    pub fn get(&mut self, key: GraphKey) -> Option<Arc<CachedGraph>> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.graph))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly decoded graph, evicting LRU entries as needed.
+    /// A graph larger than the whole budget is still admitted (the query
+    /// could not proceed otherwise) after evicting everything else.
+    pub fn insert(&mut self, key: GraphKey, graph: CachedGraph) -> Arc<CachedGraph> {
+        self.tick += 1;
+        let bytes = graph.bytes();
+        self.stats.bytes_loaded += bytes as u64;
+        if let Some(log) = &mut self.log {
+            log.push(CacheEvent::Load(key));
+        }
+        // Evict until it fits (or nothing is left to evict).
+        while self.used + bytes > self.budget && !self.map.is_empty() {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty map");
+            let removed = self.map.remove(&victim).expect("victim exists");
+            self.used -= removed.graph.bytes();
+            self.stats.evictions += 1;
+            if let Some(log) = &mut self.log {
+                log.push(CacheEvent::Unload(victim));
+            }
+        }
+        let arc = Arc::new(graph);
+        let prev = self.map.insert(
+            key,
+            Entry {
+                graph: Arc::clone(&arc),
+                last_used: self.tick,
+            },
+        );
+        if let Some(p) = prev {
+            self.used -= p.graph.bytes();
+        }
+        self.used += bytes;
+        arc
+    }
+
+    /// Drops every cached graph (cold start between experiment runs).
+    pub fn clear(&mut self) {
+        if let Some(log) = &mut self.log {
+            log.extend(self.map.keys().map(|&k| CacheEvent::Unload(k)));
+        }
+        self.map.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(bytes_target: usize) -> CachedGraph {
+        // Build lists whose accounted size is near bytes_target.
+        let per_list = 64usize;
+        let lists = bytes_target / per_list;
+        CachedGraph::new(vec![
+            vec![
+                1u32;
+                (per_list - std::mem::size_of::<Vec<u32>>()) / 4
+            ];
+            lists
+        ])
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = GraphCache::new(1 << 20);
+        assert!(c.get(GraphKey::Intra(3)).is_none());
+        c.insert(GraphKey::Intra(3), CachedGraph::new(vec![vec![1, 2]]));
+        assert!(c.get(GraphKey::Intra(3)).is_some());
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget_pressure() {
+        let mut c = GraphCache::new(10_000);
+        for i in 0..10u32 {
+            c.insert(GraphKey::Intra(i), graph_of(3_000));
+        }
+        assert!(c.used() <= 10_000);
+        assert!(c.stats().evictions > 0);
+        // The most recent keys survive.
+        assert!(c.get(GraphKey::Intra(9)).is_some());
+        assert!(c.get(GraphKey::Intra(0)).is_none());
+    }
+
+    #[test]
+    fn recently_used_graphs_survive() {
+        let mut c = GraphCache::new(10_000);
+        c.insert(GraphKey::Intra(0), graph_of(3_000));
+        c.insert(GraphKey::Intra(1), graph_of(3_000));
+        c.insert(GraphKey::Intra(2), graph_of(3_000));
+        // Touch 0 so 1 becomes LRU.
+        assert!(c.get(GraphKey::Intra(0)).is_some());
+        c.insert(GraphKey::Intra(3), graph_of(3_000));
+        assert!(c.get(GraphKey::Intra(0)).is_some(), "0 was touched");
+        assert!(c.get(GraphKey::Intra(1)).is_none(), "1 was LRU");
+    }
+
+    #[test]
+    fn oversized_graph_is_still_admitted() {
+        let mut c = GraphCache::new(1_000);
+        c.insert(GraphKey::Intra(0), graph_of(500));
+        c.insert(GraphKey::Super(1, 2), graph_of(50_000));
+        assert!(c.get(GraphKey::Super(1, 2)).is_some());
+        assert!(c.get(GraphKey::Intra(0)).is_none(), "evicted for the giant");
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_leak_bytes() {
+        let mut c = GraphCache::new(1 << 20);
+        c.insert(GraphKey::Intra(7), graph_of(2_000));
+        let used_once = c.used();
+        c.insert(GraphKey::Intra(7), graph_of(2_000));
+        assert_eq!(c.used(), used_once);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut c = GraphCache::new(1 << 20);
+        c.insert(GraphKey::Intra(0), graph_of(1_000));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn event_log_records_loads_and_unloads() {
+        let mut c = GraphCache::new(7_000);
+        c.enable_log();
+        c.insert(GraphKey::Intra(0), graph_of(3_000));
+        c.insert(GraphKey::Intra(1), graph_of(3_000));
+        c.insert(GraphKey::Intra(2), graph_of(3_000)); // evicts 0
+        let log = c.take_log();
+        assert!(log.contains(&CacheEvent::Load(GraphKey::Intra(0))));
+        assert!(log.contains(&CacheEvent::Unload(GraphKey::Intra(0))));
+        assert!(log.contains(&CacheEvent::Load(GraphKey::Intra(2))));
+        // take_log drains.
+        assert!(c.take_log().is_empty());
+    }
+}

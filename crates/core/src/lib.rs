@@ -1,0 +1,101 @@
+//! **S-Node representation of Web graphs** — the primary contribution of
+//! *Representing Web Graphs* (Raghavan & Garcia-Molina, ICDE 2003),
+//! implemented in full.
+//!
+//! An S-Node representation is a two-level structure over a partition
+//! `P = {N1..Nn}` of the repository's pages (§2 of the paper):
+//!
+//! * the **supernode graph** has one vertex per partition element and a
+//!   superedge `i → j` iff some page of `Ni` links into `Nj`; it is Huffman
+//!   encoded by supernode in-degree and stays resident in memory, acting as
+//!   the index over
+//! * per-element **intranode graphs** (links inside `Ni`) and per-superedge
+//!   **positive or negative superedge graphs** (the bipartite links
+//!   `Ni → Nj`, stored complemented when the complement is smaller), each
+//!   compressed with reference encoding + γ-coded gap lists + RLE bit
+//!   vectors (§3.1, §3.3).
+//!
+//! The partition is produced by **iterative refinement** (§3.2): start from
+//! the domain partition, split elements by URL prefix (up to three
+//! directory levels), then by k-means clustering of supernode-adjacency bit
+//! vectors, stopping after a run of consecutive clustered-split aborts.
+//!
+//! Module map:
+//!
+//! | module | paper section | contents |
+//! |---|---|---|
+//! | [`refenc`] | §3.1 | affinity graph, Chu–Liu/Edmonds arborescence, windowed reference selection, list codec |
+//! | [`kmeans`] | §3.2 | k-means over supernode-adjacency bit vectors |
+//! | [`partition`] | §3.2 | URL split, clustered split, iterative refinement loop |
+//! | [`supergraph`] | §3.3 | supernode graph + Huffman encoding + pointer accounting |
+//! | [`subgraphs`] | §2, §3.3 | intranode / positive / negative superedge graph codecs |
+//! | [`disk`] | §3.3 | index files, linear ordering, PageID index, domain index |
+//! | [`cache`] | §4.3 | memory-budgeted decoded-graph cache with load/unload instrumentation |
+//! | [`build`] | §3 | end-to-end construction: refine → renumber → encode → write |
+//! | [`repr`] | §4 | the queryable [`repr::SNode`] handle (disk-backed) and [`repr::SNodeInMemory`] (Table 2 access path) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod cache;
+pub mod disk;
+pub mod kmeans;
+pub mod partition;
+pub mod refenc;
+pub mod repr;
+pub mod subgraphs;
+pub mod supergraph;
+pub mod verify;
+
+pub use build::{build_snode, BuildStats, RepoInput, SNodeConfig};
+pub use disk::Renumbering;
+pub use repr::{SNode, SNodeInMemory};
+pub use verify::{verify, VerifyReport};
+
+/// Errors produced while building, writing, or reading an S-Node
+/// representation.
+#[derive(Debug)]
+pub enum SNodeError {
+    /// Bit-level decoding failure inside a stored graph.
+    Bits(wg_bitio::BitError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Structural inconsistency in the on-disk representation.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for SNodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SNodeError::Bits(e) => write!(f, "bit-level decode error: {e}"),
+            SNodeError::Io(e) => write!(f, "I/O error: {e}"),
+            SNodeError::Corrupt(w) => write!(f, "corrupt S-Node representation: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for SNodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SNodeError::Bits(e) => Some(e),
+            SNodeError::Io(e) => Some(e),
+            SNodeError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<wg_bitio::BitError> for SNodeError {
+    fn from(e: wg_bitio::BitError) -> Self {
+        SNodeError::Bits(e)
+    }
+}
+
+impl From<std::io::Error> for SNodeError {
+    fn from(e: std::io::Error) -> Self {
+        SNodeError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SNodeError>;

@@ -1,0 +1,455 @@
+//! Queryable S-Node handles.
+//!
+//! Two access paths, matching the paper's two experimental setups:
+//!
+//! * [`SNode`] — the disk-backed representation used by the §4.3 query
+//!   experiments: the supernode graph, PageID index and domain index stay
+//!   resident; intranode and superedge graphs are read from the index
+//!   files, decoded, and held in a byte-budgeted [`GraphCache`].
+//! * [`SNodeInMemory`] — the Table 2 setup: all *encoded* graphs resident
+//!   in memory with pre-parsed directories, each adjacency-list access
+//!   paying the S-Node decode cost (reference-chain walk) but no I/O and
+//!   no cache management.
+
+use crate::cache::{CacheEvent, CachedGraph, GraphCache, GraphCacheStats, GraphKey};
+use crate::disk::{IndexFileReader, SNodeMeta};
+use crate::refenc::{ListsIndex, Universe};
+use crate::subgraphs::SuperedgeIndex;
+use crate::Result;
+use std::path::Path;
+use std::sync::Arc;
+use wg_graph::PageId;
+
+/// Disk-backed S-Node representation with a memory-budgeted graph cache.
+#[derive(Debug)]
+pub struct SNode {
+    meta: SNodeMeta,
+    files: IndexFileReader,
+    cache: GraphCache,
+}
+
+impl SNode {
+    /// Opens the representation under `dir` with a decoded-graph budget of
+    /// `cache_budget_bytes` (the experiment's memory cap, §4.3).
+    pub fn open(dir: &Path, cache_budget_bytes: usize) -> Result<Self> {
+        let meta = SNodeMeta::read(dir)?;
+        let files = IndexFileReader::open(dir)?;
+        Ok(Self {
+            meta,
+            files,
+            cache: GraphCache::new(cache_budget_bytes),
+        })
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> u32 {
+        self.meta.num_pages
+    }
+
+    /// Number of supernodes.
+    pub fn num_supernodes(&self) -> u32 {
+        self.meta.num_supernodes()
+    }
+
+    /// Resident metadata (supernode graph, PageID + domain indexes).
+    pub fn meta(&self) -> &SNodeMeta {
+        &self.meta
+    }
+
+    /// Supernode owning page `p`.
+    pub fn supernode_of(&self, p: PageId) -> u32 {
+        self.meta.supernode_of(p)
+    }
+
+    /// Page-id range of supernode `s`.
+    pub fn page_range(&self, s: u32) -> std::ops::Range<u32> {
+        self.meta.page_range(s)
+    }
+
+    /// Supernodes holding pages of `domain` (from the resident domain
+    /// index).
+    pub fn supernodes_of_domain(&self, domain: u32) -> &[u32] {
+        self.meta
+            .domain_supernodes
+            .get(domain as usize)
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// All page ids of `domain` (union of its supernodes' ranges).
+    pub fn pages_in_domain(&self, domain: u32) -> Vec<PageId> {
+        let mut out = Vec::new();
+        for &s in self.supernodes_of_domain(domain) {
+            out.extend(self.page_range(s));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The complete adjacency list of page `p`, assembled from the
+    /// intranode graph of its supernode and all out-superedge graphs —
+    /// exactly the paper's observation that "the adjacency list of a page
+    /// is partitioned across an intranode graph and a set of one or more
+    /// superedge graphs".
+    pub fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+        let s = self.meta.supernode_of(p);
+        let s_start = self.meta.page_range(s).start;
+        let local = (p - s_start) as usize;
+
+        // (target-range start, local list) per contributing graph.
+        let mut parts: Vec<(u32, Vec<u32>)> = Vec::new();
+        {
+            let intra = self.intranode(s)?;
+            let list = intra.decode_list_for(local as u32)?;
+            if !list.is_empty() {
+                parts.push((s_start, list));
+            }
+        }
+        let targets = self.meta.supergraph.adj[s as usize].clone();
+        for (k, j) in targets.into_iter().enumerate() {
+            let j_start = self.meta.page_range(j).start;
+            let se = self.superedge(s, k as u32, j)?;
+            let list = se.decode_list_for(local as u32)?;
+            if !list.is_empty() {
+                parts.push((j_start, list));
+            }
+        }
+        // Ranges are disjoint, lists sorted: sort parts by range start and
+        // concatenate for a globally sorted adjacency list.
+        parts.sort_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(parts.iter().map(|(_, l)| l.len()).sum());
+        for (start, list) in parts {
+            out.extend(list.into_iter().map(|t| start + t));
+        }
+        Ok(out)
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> GraphCacheStats {
+        self.cache.stats()
+    }
+
+    /// Physical graph reads from the index files.
+    pub fn disk_reads(&self) -> u64 {
+        self.files.read_count()
+    }
+
+    /// Clears the decoded-graph cache (cold start) and resets statistics.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+        self.cache.reset_stats();
+    }
+
+    /// Enables cache event logging.
+    pub fn enable_cache_log(&mut self) {
+        self.cache.enable_log();
+    }
+
+    /// Drains the cache event log.
+    pub fn take_cache_log(&mut self) -> Vec<CacheEvent> {
+        self.cache.take_log()
+    }
+
+    fn intranode(&mut self, s: u32) -> Result<Arc<CachedGraph>> {
+        let key = GraphKey::Intra(s);
+        if let Some(g) = self.cache.get(key) {
+            return Ok(g);
+        }
+        let loc = self.meta.intranode_loc[s as usize];
+        let bytes = self.files.read(&loc)?;
+        let index = ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount)?;
+        Ok(self.cache.insert(
+            key,
+            CachedGraph::new_encoded_intra(bytes, loc.bit_len, index),
+        ))
+    }
+
+    fn superedge(&mut self, s: u32, edge_idx: u32, j: u32) -> Result<Arc<CachedGraph>> {
+        let key = GraphKey::Super(s, j);
+        if let Some(g) = self.cache.get(key) {
+            return Ok(g);
+        }
+        let loc = self.meta.superedge_loc[s as usize][edge_idx as usize];
+        let bytes = self.files.read(&loc)?;
+        let ni = u64::from(self.meta.supernode_size(s));
+        let nj = u64::from(self.meta.supernode_size(j));
+        let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
+        Ok(self.cache.insert(
+            key,
+            CachedGraph::new_encoded_super(bytes, loc.bit_len, index, nj),
+        ))
+    }
+}
+
+/// Fully memory-resident *encoded* S-Node representation (Table 2 setup).
+#[derive(Debug)]
+pub struct SNodeInMemory {
+    meta: SNodeMeta,
+    /// Per supernode: encoded intranode bytes + pre-parsed directory.
+    intra: Vec<(Vec<u8>, u64, ListsIndex)>,
+    /// Per supernode, per superedge (order of `supergraph.adj[s]`).
+    supers: Vec<Vec<(Vec<u8>, u64, SuperedgeIndex)>>,
+}
+
+impl SNodeInMemory {
+    /// Loads every encoded graph under `dir` into memory.
+    pub fn load(dir: &Path) -> Result<Self> {
+        let meta = SNodeMeta::read(dir)?;
+        let files = IndexFileReader::open(dir)?;
+        let n = meta.num_supernodes();
+        let mut intra = Vec::with_capacity(n as usize);
+        let mut supers = Vec::with_capacity(n as usize);
+        for s in 0..n {
+            let loc = meta.intranode_loc[s as usize];
+            let bytes = files.read(&loc)?;
+            let index = ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount)?;
+            intra.push((bytes, loc.bit_len, index));
+            let mut row = Vec::with_capacity(meta.supergraph.adj[s as usize].len());
+            let ni = u64::from(meta.supernode_size(s));
+            for (k, loc) in meta.superedge_loc[s as usize].iter().enumerate() {
+                let j = meta.supergraph.adj[s as usize][k];
+                let nj = u64::from(meta.supernode_size(j));
+                let bytes = files.read(loc)?;
+                let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
+                row.push((bytes, loc.bit_len, index));
+            }
+            supers.push(row);
+        }
+        Ok(Self {
+            meta,
+            intra,
+            supers,
+        })
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> u32 {
+        self.meta.num_pages
+    }
+
+    /// Resident metadata.
+    pub fn meta(&self) -> &SNodeMeta {
+        &self.meta
+    }
+
+    /// Decodes the adjacency list of `p` straight from the in-memory
+    /// encoded graphs (one list per contributing graph — this is the
+    /// random-access path whose cost Table 2 reports).
+    pub fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
+        let s = self.meta.supernode_of(p);
+        let s_start = self.meta.page_range(s).start;
+        let local = p - s_start;
+
+        let mut parts: Vec<(u32, Vec<u32>)> = Vec::new();
+        {
+            let (bytes, bits, index) = &self.intra[s as usize];
+            let list = index.decode_list(bytes, *bits, local)?;
+            if !list.is_empty() {
+                parts.push((s_start, list));
+            }
+        }
+        for (k, &j) in self.meta.supergraph.adj[s as usize].iter().enumerate() {
+            let (bytes, bits, index) = &self.supers[s as usize][k];
+            let nj = u64::from(self.meta.supernode_size(j));
+            let list = index.targets_of(bytes, *bits, u64::from(local), nj)?;
+            if !list.is_empty() {
+                parts.push((self.meta.page_range(j).start, list));
+            }
+        }
+        parts.sort_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(parts.iter().map(|(_, l)| l.len()).sum());
+        for (start, list) in parts {
+            out.extend(list.into_iter().map(|t| start + t));
+        }
+        Ok(out)
+    }
+
+    /// Decodes the entire representation back into a CSR graph — the
+    /// global-access path (§1.2): load the compressed graph into memory,
+    /// expand, and run whole-graph algorithms (SCC, PageRank, HITS) as
+    /// plain main-memory computations.
+    pub fn to_graph(&self) -> Result<wg_graph::Graph> {
+        let n = self.num_pages();
+        let mut lists = Vec::with_capacity(n as usize);
+        for p in 0..n {
+            lists.push(self.out_neighbors(p)?);
+        }
+        Ok(wg_graph::Graph::from_adjacency(lists))
+    }
+
+    /// Bytes of encoded graph data held resident (excluding directories).
+    pub fn encoded_bytes(&self) -> u64 {
+        let i: u64 = self.intra.iter().map(|(b, _, _)| b.len() as u64).sum();
+        let s: u64 = self
+            .supers
+            .iter()
+            .flat_map(|row| row.iter().map(|(b, _, _)| b.len() as u64))
+            .sum();
+        i + s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_snode, RepoInput, SNodeConfig};
+    use wg_graph::Graph;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wg_snode_repr_{name}_{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    /// Builds a deterministic pseudo-random repository and its S-Node form.
+    fn build_repo(
+        name: &str,
+        n: u32,
+    ) -> (
+        std::path::PathBuf,
+        Graph,
+        crate::disk::Renumbering,
+        Vec<u32>,
+    ) {
+        let hosts = ["http://www.a.edu", "http://cs.a.edu", "http://www.b.com"];
+        let urls: Vec<String> = (0..n)
+            .map(|i| format!("{}/d{}/p{:04}.html", hosts[(i % 3) as usize], i % 5, i))
+            .collect();
+        let domains: Vec<u32> = (0..n).map(|i| if i % 3 == 2 { 1 } else { 0 }).collect();
+        let mut edges = Vec::new();
+        let mut s = 0xABCDEFu64;
+        for u in 0..n {
+            for _ in 0..6 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = (s >> 33) as u32 % n;
+                if v != u {
+                    edges.push((u, v));
+                }
+            }
+            // Local edge for structure.
+            edges.push((u, (u + 3) % n));
+        }
+        let graph = Graph::from_edges(n, edges);
+        let dir = temp_dir(name);
+        let input = RepoInput {
+            urls: &urls,
+            domains: &domains,
+            graph: &graph,
+        };
+        let (_stats, renum) = build_snode(input, &SNodeConfig::default(), &dir).unwrap();
+        (dir, graph, renum, domains)
+    }
+
+    fn expected_neighbors(
+        graph: &Graph,
+        renum: &crate::disk::Renumbering,
+        new_id: u32,
+    ) -> Vec<u32> {
+        let old = renum.old_of_new[new_id as usize];
+        let mut v: Vec<u32> = graph
+            .neighbors(old)
+            .iter()
+            .map(|&t| renum.new_of_old[t as usize])
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn disk_backed_adjacency_matches_source() {
+        let (dir, graph, renum, _) = build_repo("disk", 120);
+        let mut snode = SNode::open(&dir, 1 << 20).unwrap();
+        for new_id in 0..graph.num_nodes() {
+            assert_eq!(
+                snode.out_neighbors(new_id).unwrap(),
+                expected_neighbors(&graph, &renum, new_id),
+                "page {new_id}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_adjacency_matches_source() {
+        let (dir, graph, renum, _) = build_repo("mem", 120);
+        let snode = SNodeInMemory::load(&dir).unwrap();
+        for new_id in 0..graph.num_nodes() {
+            assert_eq!(
+                snode.out_neighbors(new_id).unwrap(),
+                expected_neighbors(&graph, &renum, new_id),
+                "page {new_id}"
+            );
+        }
+        assert!(snode.encoded_bytes() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiny_cache_still_answers_correctly() {
+        let (dir, graph, renum, _) = build_repo("tinycache", 90);
+        // A cache of ~1KB forces constant load/unload churn.
+        let mut snode = SNode::open(&dir, 1024).unwrap();
+        for new_id in (0..graph.num_nodes()).rev() {
+            assert_eq!(
+                snode.out_neighbors(new_id).unwrap(),
+                expected_neighbors(&graph, &renum, new_id)
+            );
+        }
+        assert!(snode.cache_stats().evictions > 0, "1KB budget must evict");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_hits_on_locality() {
+        let (dir, graph, _renum, _) = build_repo("local", 100);
+        let mut snode = SNode::open(&dir, 8 << 20).unwrap();
+        // Two passes over the same supernode's pages: second pass all hits.
+        let r = snode.page_range(0);
+        for p in r.clone() {
+            snode.out_neighbors(p).unwrap();
+        }
+        let after_first = snode.cache_stats();
+        for p in r {
+            snode.out_neighbors(p).unwrap();
+        }
+        let after_second = snode.cache_stats();
+        assert_eq!(
+            after_first.misses, after_second.misses,
+            "second pass must not miss"
+        );
+        assert!(after_second.hits > after_first.hits);
+        let _ = graph;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn domain_index_resolves_pages() {
+        let (dir, _graph, renum, domains) = build_repo("domains", 80);
+        let snode = SNode::open(&dir, 1 << 20).unwrap();
+        for d in 0..2u32 {
+            let got = snode.pages_in_domain(d);
+            let mut expect: Vec<u32> = (0..80u32)
+                .filter(|&old| domains[old as usize] == d)
+                .map(|old| renum.new_of_old[old as usize])
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "domain {d}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_log_shows_loaded_graph_counts() {
+        let (dir, _graph, _renum, _) = build_repo("log", 100);
+        let mut snode = SNode::open(&dir, 8 << 20).unwrap();
+        snode.enable_cache_log();
+        // One page's adjacency touches its intranode graph and its
+        // supernode's out-superedge graphs, nothing else.
+        snode.out_neighbors(0).unwrap();
+        let log = snode.take_cache_log();
+        let s = snode.supernode_of(0);
+        let expected_loads = 1 + snode.meta().supergraph.adj[s as usize].len();
+        assert_eq!(log.len(), expected_loads, "only relevant graphs load");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,501 @@
+//! Intranode and superedge graph codecs (§2, §3.3).
+//!
+//! * An **intranode graph** holds the links among the pages of one
+//!   supernode, in local page indices (0..|Ni|), reference-encoded.
+//! * A **superedge graph** for superedge `i → j` holds the bipartite links
+//!   from `Ni` into `Nj`. It is stored either **positive** (the links that
+//!   exist: a gap-coded list of source pages that have any target, plus one
+//!   reference-encoded target list per such source) or **negative** (the
+//!   complement: one target list per *every* source of `Ni`, listing the
+//!   `Nj` pages it does **not** link to). The representation with the
+//!   smaller encoding wins; the paper's simpler edge-count heuristic is
+//!   available behind [`SuperedgePolicy::EdgeCount`] for the ablation.
+
+use crate::refenc::{encode_lists, EncodedLists, ListsReader, RefMode, Universe};
+use crate::{Result, SNodeError};
+use wg_bitio::{BitReader, BitWriter};
+
+/// How to choose between positive and negative superedge graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SuperedgePolicy {
+    /// Compare actual encoded sizes (both candidates are encoded; the
+    /// smaller is kept). Default.
+    #[default]
+    EncodedSize,
+    /// The paper's stated heuristic: fewer edges wins (footnote 4 notes
+    /// this is approximate).
+    EdgeCount,
+}
+
+/// Flag stored with each encoded superedge graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuperedgeKind {
+    /// Links that exist.
+    Positive,
+    /// Links that do not exist (complement within `Ni × Nj`).
+    Negative,
+}
+
+// --- Intranode graphs ---------------------------------------------------
+
+/// Encodes an intranode graph: `lists[p]` is the sorted local adjacency of
+/// local page `p` (entries `< lists.len()`).
+pub fn encode_intranode(lists: &[Vec<u32>], mode: RefMode) -> EncodedLists {
+    encode_lists(lists, lists.len() as u64, mode)
+}
+
+/// Decodes a full intranode graph.
+pub fn decode_intranode(bytes: &[u8], bit_len: u64) -> Result<Vec<Vec<u32>>> {
+    ListsReader::parse(bytes, bit_len, Universe::SameAsCount)?.decode_all()
+}
+
+// --- Superedge graphs -----------------------------------------------------
+
+/// An encoded superedge graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedSuperedge {
+    /// Positive or negative representation.
+    pub kind: SuperedgeKind,
+    /// The bit stream (self-contained: kind, |Ni|, payload).
+    pub bytes: Vec<u8>,
+    /// Exact bit length.
+    pub bit_len: u64,
+}
+
+impl EncodedSuperedge {
+    /// Size in bits.
+    pub fn bit_len(&self) -> u64 {
+        self.bit_len
+    }
+}
+
+/// Encodes the superedge graph for `i → j`.
+///
+/// `pos_lists[s]` is the sorted list of local `Nj` targets of the `s`-th
+/// page of `Ni` (possibly empty); `nj = |Nj|`.
+pub fn encode_superedge(
+    pos_lists: &[Vec<u32>],
+    nj: u64,
+    mode: RefMode,
+    policy: SuperedgePolicy,
+) -> EncodedSuperedge {
+    let ni = pos_lists.len() as u64;
+    let pos_edges: u64 = pos_lists.iter().map(|l| l.len() as u64).sum();
+    let total = ni * nj;
+    let neg_edges = total - pos_edges;
+
+    let positive = encode_superedge_positive(pos_lists, nj, mode);
+    // Only consider the complement when it has fewer edges — otherwise
+    // materialising it could cost Θ(|Ni|·|Nj|) for nothing.
+    if neg_edges >= pos_edges {
+        return positive;
+    }
+    let neg_lists: Vec<Vec<u32>> = pos_lists.iter().map(|l| complement(l, nj as u32)).collect();
+    let negative = encode_superedge_negative(&neg_lists, nj, mode);
+    match policy {
+        SuperedgePolicy::EncodedSize => {
+            if negative.bit_len < positive.bit_len {
+                negative
+            } else {
+                positive
+            }
+        }
+        SuperedgePolicy::EdgeCount => negative, // neg_edges < pos_edges here
+    }
+}
+
+fn encode_superedge_positive(pos_lists: &[Vec<u32>], nj: u64, mode: RefMode) -> EncodedSuperedge {
+    let sources: Vec<u32> = pos_lists
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(s, _)| s as u32)
+        .collect();
+    let lists: Vec<Vec<u32>> = sources
+        .iter()
+        .map(|&s| pos_lists[s as usize].clone())
+        .collect();
+    let mut w = BitWriter::new();
+    w.write_bit(false); // kind = positive
+                        // |Ni| is NOT stored: the resident supernode metadata knows every
+                        // supernode's size, and the decoder receives it as a parameter.
+    crate::refenc::write_bounded_gap_list(&mut w, &sources, pos_lists.len() as u64);
+    let enc = encode_lists(&lists, nj, mode);
+    w.append(&enc.bytes, enc.bit_len);
+    let (bytes, bit_len) = w.finish();
+    EncodedSuperedge {
+        kind: SuperedgeKind::Positive,
+        bytes,
+        bit_len,
+    }
+}
+
+fn encode_superedge_negative(neg_lists: &[Vec<u32>], nj: u64, mode: RefMode) -> EncodedSuperedge {
+    let mut w = BitWriter::new();
+    w.write_bit(true); // kind = negative
+    let enc = encode_lists(neg_lists, nj, mode);
+    w.append(&enc.bytes, enc.bit_len);
+    let (bytes, bit_len) = w.finish();
+    EncodedSuperedge {
+        kind: SuperedgeKind::Negative,
+        bytes,
+        bit_len,
+    }
+}
+
+/// Decodes a superedge graph back to **positive** lists, one per page of
+/// `Ni` (empty where no links exist). `ni`/`nj` must match the encoding
+/// call (the resident metadata records both).
+pub fn decode_superedge(bytes: &[u8], bit_len: u64, ni: u64, nj: u64) -> Result<Vec<Vec<u32>>> {
+    let view = SuperedgeView::parse(bytes, bit_len, ni, nj)?;
+    let mut out = Vec::with_capacity(ni as usize);
+    for s in 0..ni {
+        out.push(view.targets_of(s, nj)?);
+    }
+    Ok(out)
+}
+
+/// Decodes a superedge graph into **sparse** positive form: the sorted
+/// source ids that have at least one target, with one target list per such
+/// source. The dense form ([`decode_superedge`]) allocates a vector per
+/// page of `Ni` even though most pages have no cross-links into `Nj`; the
+/// sparse form is what the query-time cache keeps.
+pub fn decode_superedge_sparse(
+    bytes: &[u8],
+    bit_len: u64,
+    ni: u64,
+    nj: u64,
+) -> Result<(Vec<u32>, Vec<Vec<u32>>)> {
+    let view = SuperedgeView::parse(bytes, bit_len, ni, nj)?;
+    match view.index.kind {
+        SuperedgeKind::Positive => {
+            let sources: Vec<u32> = view.index.sources.clone();
+            let mut lists = Vec::with_capacity(sources.len());
+            for (idx, _) in sources.iter().enumerate() {
+                lists.push(view.index.lists.decode_list(bytes, bit_len, idx as u32)?);
+            }
+            Ok((sources, lists))
+        }
+        SuperedgeKind::Negative => {
+            let mut sources = Vec::new();
+            let mut lists = Vec::new();
+            for s in 0..ni {
+                let list = view.targets_of(s, nj)?;
+                if !list.is_empty() {
+                    sources.push(s as u32);
+                    lists.push(list);
+                }
+            }
+            Ok((sources, lists))
+        }
+    }
+}
+
+/// Owned directory of an encoded superedge graph (no byte references) —
+/// pair it with the bytes to decode, as with
+/// [`crate::refenc::ListsIndex`].
+#[derive(Debug, Clone)]
+pub struct SuperedgeIndex {
+    /// Representation stored.
+    pub kind: SuperedgeKind,
+    /// Number of source pages `|Ni|`.
+    pub ni: u64,
+    /// Positive only: sorted source ids with non-empty lists.
+    pub(crate) sources: Vec<u32>,
+    pub(crate) lists: crate::refenc::ListsIndex,
+}
+
+impl SuperedgeIndex {
+    /// Parses the header and directory of an encoded superedge graph.
+    /// `ni` = |Ni| and `nj` = |Nj| come from the supernode metadata.
+    pub fn parse(bytes: &[u8], bit_len: u64, ni: u64, nj: u64) -> Result<Self> {
+        let mut r = BitReader::with_bit_len(bytes, bit_len);
+        let negative = r.read_bit()?;
+        let sources = if negative {
+            Vec::new()
+        } else {
+            crate::refenc::read_bounded_gap_list(&mut r, ni)?
+        };
+        let offset = r.position();
+        let lists = crate::refenc::ListsIndex::parse_at(
+            bytes,
+            bit_len,
+            offset,
+            crate::refenc::Universe::Explicit(nj),
+        )?;
+        Ok(Self {
+            kind: if negative {
+                SuperedgeKind::Negative
+            } else {
+                SuperedgeKind::Positive
+            },
+            ni,
+            sources,
+            lists,
+        })
+    }
+
+    /// The positive target list of local source `s` (`nj` = |Nj|).
+    pub fn targets_of(&self, bytes: &[u8], bit_len: u64, s: u64, nj: u64) -> Result<Vec<u32>> {
+        if s >= self.ni {
+            return Err(SNodeError::Corrupt("superedge source out of range"));
+        }
+        match self.kind {
+            SuperedgeKind::Positive => match self.sources.binary_search(&(s as u32)) {
+                Ok(idx) => self.lists.decode_list(bytes, bit_len, idx as u32),
+                Err(_) => Ok(Vec::new()),
+            },
+            SuperedgeKind::Negative => {
+                let neg = self.lists.decode_list(bytes, bit_len, s as u32)?;
+                Ok(complement(&neg, nj as u32))
+            }
+        }
+    }
+
+    /// Total number of positive edges represented.
+    pub fn count_positive_edges(&self, bytes: &[u8], bit_len: u64, nj: u64) -> Result<u64> {
+        let mut total = 0u64;
+        match self.kind {
+            SuperedgeKind::Positive => {
+                for idx in 0..self.lists.num_lists() {
+                    total += self.lists.decode_list(bytes, bit_len, idx)?.len() as u64;
+                }
+            }
+            SuperedgeKind::Negative => {
+                for s in 0..self.ni {
+                    let neg = self.lists.decode_list(bytes, bit_len, s as u32)?;
+                    total += nj - neg.len() as u64;
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Approximate heap footprint of the directory.
+    pub fn heap_bytes(&self) -> usize {
+        self.sources.len() * 4 + self.lists.heap_bytes() + std::mem::size_of::<Self>()
+    }
+}
+
+/// A parsed superedge graph bound to its bytes, supporting per-source
+/// random access.
+#[derive(Debug)]
+pub struct SuperedgeView<'a> {
+    bytes: &'a [u8],
+    bit_len: u64,
+    index: SuperedgeIndex,
+}
+
+impl SuperedgeView<'_> {
+    /// The parsed directory.
+    pub fn index(&self) -> &SuperedgeIndex {
+        &self.index
+    }
+}
+
+impl<'a> SuperedgeView<'a> {
+    /// Parses the header and directory of an encoded superedge graph.
+    pub fn parse(bytes: &'a [u8], bit_len: u64, ni: u64, nj: u64) -> Result<Self> {
+        Ok(Self {
+            bytes,
+            bit_len,
+            index: SuperedgeIndex::parse(bytes, bit_len, ni, nj)?,
+        })
+    }
+
+    /// Representation stored.
+    pub fn kind(&self) -> SuperedgeKind {
+        self.index.kind
+    }
+
+    /// Number of source pages `|Ni|`.
+    pub fn ni(&self) -> u64 {
+        self.index.ni
+    }
+
+    /// The positive target list of local source `s` (`nj` = |Nj|).
+    pub fn targets_of(&self, s: u64, nj: u64) -> Result<Vec<u32>> {
+        self.index.targets_of(self.bytes, self.bit_len, s, nj)
+    }
+
+    /// Total number of positive edges represented.
+    pub fn count_positive_edges(&self, nj: u64) -> Result<u64> {
+        self.index
+            .count_positive_edges(self.bytes, self.bit_len, nj)
+    }
+}
+
+/// Sorted complement of `list` within `0..n`.
+fn complement(list: &[u32], n: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity((n as usize).saturating_sub(list.len()));
+    let mut li = 0usize;
+    for x in 0..n {
+        if li < list.len() && list[li] == x {
+            li += 1;
+        } else {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modes() -> [RefMode; 3] {
+        [RefMode::None, RefMode::Windowed(8), RefMode::Exact]
+    }
+
+    #[test]
+    fn intranode_round_trip() {
+        let lists = vec![vec![1u32, 2], vec![0, 2], vec![], vec![0, 1, 2]];
+        for mode in modes() {
+            let enc = encode_intranode(&lists, mode);
+            assert_eq!(decode_intranode(&enc.bytes, enc.bit_len).unwrap(), lists);
+        }
+    }
+
+    #[test]
+    fn sparse_superedge_stays_positive() {
+        // 10 sources into |Nj| = 50, very few links.
+        let mut pos = vec![Vec::new(); 10];
+        pos[2] = vec![5u32, 9];
+        pos[7] = vec![5];
+        for mode in modes() {
+            let enc = encode_superedge(&pos, 50, mode, SuperedgePolicy::EncodedSize);
+            assert_eq!(enc.kind, SuperedgeKind::Positive);
+            assert_eq!(
+                decode_superedge(&enc.bytes, enc.bit_len, 10, 50).unwrap(),
+                pos
+            );
+        }
+    }
+
+    #[test]
+    fn dense_superedge_goes_negative() {
+        // Every source links to all but one target: complement is tiny.
+        let nj = 30u32;
+        let pos: Vec<Vec<u32>> = (0..8u32)
+            .map(|s| (0..nj).filter(|&t| t != s % nj).collect())
+            .collect();
+        let enc = encode_superedge(
+            &pos,
+            u64::from(nj),
+            RefMode::Windowed(4),
+            SuperedgePolicy::EncodedSize,
+        );
+        assert_eq!(enc.kind, SuperedgeKind::Negative);
+        assert_eq!(
+            decode_superedge(&enc.bytes, enc.bit_len, 8, u64::from(nj)).unwrap(),
+            pos
+        );
+    }
+
+    #[test]
+    fn fully_dense_superedge_negative_is_empty_lists() {
+        // All sources link to all targets: the paper's SEdgeNeg is an empty
+        // graph — the smallest possible representation.
+        let nj = 12u32;
+        let pos: Vec<Vec<u32>> = (0..5).map(|_| (0..nj).collect()).collect();
+        let enc = encode_superedge(
+            &pos,
+            u64::from(nj),
+            RefMode::Windowed(4),
+            SuperedgePolicy::EncodedSize,
+        );
+        assert_eq!(enc.kind, SuperedgeKind::Negative);
+        let sparse = encode_superedge_positive(&pos, u64::from(nj), RefMode::Windowed(4));
+        assert!(enc.bit_len < sparse.bit_len / 2);
+        assert_eq!(
+            decode_superedge(&enc.bytes, enc.bit_len, 5, u64::from(nj)).unwrap(),
+            pos
+        );
+    }
+
+    #[test]
+    fn edge_count_policy_matches_paper_heuristic() {
+        let nj = 10u32;
+        // 6 of 10 targets linked per source: negative has fewer edges.
+        let pos: Vec<Vec<u32>> = (0..4).map(|_| vec![0u32, 1, 2, 3, 4, 5]).collect();
+        let enc = encode_superedge(
+            &pos,
+            u64::from(nj),
+            RefMode::None,
+            SuperedgePolicy::EdgeCount,
+        );
+        assert_eq!(enc.kind, SuperedgeKind::Negative);
+        assert_eq!(
+            decode_superedge(&enc.bytes, enc.bit_len, 4, u64::from(nj)).unwrap(),
+            pos
+        );
+    }
+
+    #[test]
+    fn per_source_random_access() {
+        let mut pos = vec![Vec::new(); 20];
+        pos[3] = vec![0u32, 7, 14];
+        pos[11] = vec![7];
+        pos[19] = vec![0, 1, 2];
+        let enc = encode_superedge(&pos, 15, RefMode::Windowed(4), SuperedgePolicy::EncodedSize);
+        let view = SuperedgeView::parse(&enc.bytes, enc.bit_len, 20, 15).unwrap();
+        assert_eq!(view.ni(), 20);
+        for (s, expect) in pos.iter().enumerate() {
+            assert_eq!(&view.targets_of(s as u64, 15).unwrap(), expect);
+        }
+        assert!(view.targets_of(20, 15).is_err());
+        assert_eq!(view.count_positive_edges(15).unwrap(), 7);
+    }
+
+    #[test]
+    fn negative_view_random_access() {
+        let nj = 9u32;
+        let pos: Vec<Vec<u32>> = (0..6u32)
+            .map(|s| (0..nj).filter(|&t| t != s && t != (s + 1) % nj).collect())
+            .collect();
+        let enc = encode_superedge(
+            &pos,
+            u64::from(nj),
+            RefMode::Windowed(4),
+            SuperedgePolicy::EncodedSize,
+        );
+        assert_eq!(enc.kind, SuperedgeKind::Negative);
+        let view = SuperedgeView::parse(&enc.bytes, enc.bit_len, 6, u64::from(nj)).unwrap();
+        for (s, expect) in pos.iter().enumerate() {
+            assert_eq!(&view.targets_of(s as u64, u64::from(nj)).unwrap(), expect);
+        }
+        assert_eq!(
+            view.count_positive_edges(u64::from(nj)).unwrap(),
+            pos.iter().map(|l| l.len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_superedge_inputs() {
+        let enc = encode_superedge(&[], 5, RefMode::None, SuperedgePolicy::EncodedSize);
+        assert_eq!(
+            decode_superedge(&enc.bytes, enc.bit_len, 0, 5).unwrap(),
+            Vec::<Vec<u32>>::new()
+        );
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let list = vec![1u32, 4, 5, 8];
+        let c = complement(&list, 10);
+        assert_eq!(c, vec![0, 2, 3, 6, 7, 9]);
+        assert_eq!(complement(&c, 10), list);
+        assert_eq!(complement(&[], 3), vec![0, 1, 2]);
+        assert_eq!(complement(&[0, 1, 2], 3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn truncated_superedge_errors() {
+        let pos = vec![vec![0u32, 1], vec![1]];
+        let enc = encode_superedge(&pos, 3, RefMode::None, SuperedgePolicy::EncodedSize);
+        for cut in 1..enc.bit_len {
+            // Must not panic; may error or (for generous cuts) succeed.
+            let _ = decode_superedge(&enc.bytes, cut, 2, 3);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Link generation: the evolving copying model with host locality.
+//!
+//! Pages are processed in creation (crawl) order. Each page draws an
+//! out-degree from a shifted-geometric distribution around the configured
+//! mean, then fills its adjacency list from three sources:
+//!
+//! * **Copied links** — with probability `copy_page_probability` the page
+//!   picks a *prototype*: an already-processed page on the same host (or any
+//!   processed page when the host has none), and keeps each prototype link
+//!   with probability `copy_link_probability`. This is the Kumar et al.
+//!   copying step and yields clusters of near-identical adjacency lists —
+//!   Observation 1 of the paper.
+//! * **Host-local links** — remaining slots are filled intra-host with
+//!   probability `intra_host_fraction`, targeting pages whose URL rank is
+//!   geometrically close to the source's (Observation 2: lexicographic
+//!   locality).
+//! * **Global links** — the rest go to arbitrary pages via preferential
+//!   attachment (append-to-pool sampling), producing the heavy-tailed
+//!   in-degree distribution Huffman-by-in-degree coding relies on.
+
+use crate::names::Universe;
+use crate::CorpusConfig;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use wg_graph::{Graph, GraphBuilder, PageId};
+
+/// Generates the Web graph over `universe`'s pages.
+pub fn generate_links(config: &CorpusConfig, universe: &Universe, rng: &mut SmallRng) -> Graph {
+    let n = universe.pages.len() as u32;
+    let mut builder =
+        GraphBuilder::with_edge_capacity(n, (f64::from(n) * config.mean_out_degree) as usize + 16);
+    if n == 0 {
+        return builder.build();
+    }
+
+    // Per-page adjacency (kept so prototypes can be copied).
+    let mut adj: Vec<Vec<PageId>> = vec![Vec::new(); n as usize];
+    // Processed pages per host, for prototype choice.
+    let mut processed_in_host: Vec<Vec<PageId>> =
+        universe.hosts.iter().map(|_| Vec::new()).collect();
+    // Preferential-attachment pool: every link target is appended, so a
+    // uniform draw from the pool is proportional to in-degree (+ the seed
+    // entries giving newcomers a chance).
+    let mut pa_pool: Vec<PageId> = Vec::with_capacity(n as usize * 4);
+    // Per-host *link profiles*. Real pages do not each invent their own
+    // external links: they copy a template or an existing page (paper §3,
+    // Observation 1 — link copying — and the Kumar et al. model). Each
+    // host therefore carries a handful of profiles (shared sets of external
+    // targets: a blogroll, a template footer, a department link list), and
+    // each page adopts one. Pages sharing a profile have near-identical
+    // external adjacency — exactly the "clusters of pages with very similar
+    // adjacency lists" S-Node's clustered split and reference encoding
+    // exploit.
+    let mut host_profiles: Vec<Vec<Vec<PageId>>> =
+        universe.hosts.iter().map(|_| Vec::new()).collect();
+    const PROFILES_PER_HOST: usize = 3;
+    const PROFILE_MAX: usize = 6;
+
+    // Shifted geometric out-degree: d = 1 + Geom(p), mean = 1 + (1-p)/p.
+    let p_geom = 1.0 / config.mean_out_degree.max(1.0);
+
+    for v in 0..n {
+        let host = universe.pages[v as usize].host;
+        let host_pages = &universe.hosts[host as usize].pages_by_url;
+        let my_rank = universe.url_rank_in_host[v as usize] as i64;
+
+        let mut degree = 1u32;
+        while rng.gen::<f64>() >= p_geom && degree < 300 {
+            degree += 1;
+        }
+        // A page cannot link to more distinct pages than exist (minus itself).
+        let degree = degree.min(n - 1);
+
+        let mut targets: Vec<PageId> = Vec::with_capacity(degree as usize);
+
+        // 1. Copying step.
+        if rng.gen::<f64>() < config.copy_page_probability {
+            let proto = if !processed_in_host[host as usize].is_empty() && rng.gen::<f64>() < 0.9 {
+                let list = &processed_in_host[host as usize];
+                Some(list[rng.gen_range(0..list.len())])
+            } else if v > 0 {
+                Some(rng.gen_range(0..v))
+            } else {
+                None
+            };
+            if let Some(u) = proto {
+                for &t in &adj[u as usize] {
+                    if t != v && rng.gen::<f64>() < config.copy_link_probability {
+                        targets.push(t);
+                    }
+                }
+            }
+        }
+
+        // Adopt a link profile for this page's external links.
+        let profile_idx = {
+            let profiles = &mut host_profiles[host as usize];
+            if profiles.is_empty()
+                || (profiles.len() < PROFILES_PER_HOST && rng.gen::<f64>() < 0.15)
+            {
+                profiles.push(Vec::new());
+                profiles.len() - 1
+            } else {
+                // Zipf-ish: earlier (template) profiles dominate.
+                let r: f64 = rng.gen();
+                ((r * r) * profiles.len() as f64) as usize % profiles.len()
+            }
+        };
+
+        // 2. Fill remaining slots.
+        let mut attempts = 0u32;
+        while (targets.len() as u32) < degree && attempts < degree * 8 {
+            attempts += 1;
+            let t = if rng.gen::<f64>() < config.intra_host_fraction && host_pages.len() > 1 {
+                if rng.gen::<f64>() < 0.85 {
+                    // Site-template link: every page of a host links to the
+                    // same handful of navigation/index pages (the first few
+                    // in URL order). This shared structure is what makes
+                    // same-host adjacency lists similar on the real Web.
+                    let nav = host_pages.len().min(6);
+                    host_pages[rng.gen_range(0..nav)]
+                } else {
+                    // Host-local, lexicographically nearby: offset ~ ±Geom.
+                    let mut off = 1i64;
+                    while rng.gen::<f64>() < 0.7 && off < host_pages.len() as i64 {
+                        off += 1;
+                    }
+                    let off = if rng.gen::<bool>() { off } else { -off };
+                    let rank = (my_rank + off).rem_euclid(host_pages.len() as i64);
+                    host_pages[rank as usize]
+                }
+            } else {
+                // External link from the page's adopted profile; profiles
+                // grow lazily from preferential-attachment picks.
+                let profile = &mut host_profiles[host as usize][profile_idx];
+                if !profile.is_empty() && (profile.len() >= PROFILE_MAX || rng.gen::<f64>() < 0.9) {
+                    profile[rng.gen_range(0..profile.len())]
+                } else {
+                    let fresh = if !pa_pool.is_empty() && rng.gen::<f64>() < 0.7 {
+                        // Preferential attachment.
+                        pa_pool[rng.gen_range(0..pa_pool.len())]
+                    } else {
+                        // Uniform fallback.
+                        rng.gen_range(0..n)
+                    };
+                    profile.push(fresh);
+                    fresh
+                }
+            };
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+
+        targets.sort_unstable();
+        targets.dedup();
+        targets.truncate(degree as usize);
+        for &t in &targets {
+            builder.add_edge(v, t);
+            pa_pool.push(t);
+        }
+        adj[v as usize] = targets;
+        processed_in_host[host as usize].push(v);
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::generate_universe;
+    use rand::SeedableRng;
+
+    fn build(n: u32, seed: u64) -> (CorpusConfig, Universe, Graph) {
+        let cfg = CorpusConfig::scaled(n, seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let u = generate_universe(&cfg, &mut rng);
+        let g = generate_links(&cfg, &u, &mut rng);
+        (cfg, u, g)
+    }
+
+    #[test]
+    fn mean_out_degree_is_near_target() {
+        let (cfg, _, g) = build(8_000, 11);
+        let mean = g.mean_out_degree();
+        assert!(
+            (mean - cfg.mean_out_degree).abs() < cfg.mean_out_degree * 0.35,
+            "mean out-degree {mean} too far from target {}",
+            cfg.mean_out_degree
+        );
+    }
+
+    #[test]
+    fn no_self_loops_from_generator() {
+        let (_, _, g) = build(3_000, 12);
+        for (u, v) in g.edges() {
+            assert_ne!(u, v, "generator should not emit self-loops");
+        }
+    }
+
+    #[test]
+    fn intra_host_fraction_is_respected() {
+        let (cfg, u, g) = build(8_000, 13);
+        let mut intra = 0u64;
+        let mut total = 0u64;
+        for (a, b) in g.edges() {
+            total += 1;
+            if u.pages[a as usize].host == u.pages[b as usize].host {
+                intra += 1;
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        // Copied links inherit their prototype's mix, so allow a wide band
+        // around the configured fraction.
+        assert!(
+            frac > cfg.intra_host_fraction - 0.25 && frac < 0.97,
+            "intra-host fraction {frac} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn in_degree_distribution_is_heavy_tailed() {
+        let (_, _, g) = build(10_000, 14);
+        let t = g.transpose();
+        let mut degs: Vec<u32> = (0..t.num_nodes()).map(|v| t.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let mean = g.mean_out_degree();
+        assert!(
+            f64::from(degs[0]) > mean * 8.0,
+            "max in-degree {} should dwarf the mean {mean}",
+            degs[0]
+        );
+    }
+
+    #[test]
+    fn adjacency_similarity_clusters_exist() {
+        // The copying model must produce pairs of pages sharing most of
+        // their adjacency lists — the foundation of reference encoding.
+        let (_, u, g) = build(6_000, 15);
+        let mut best_overlap = 0f64;
+        // Compare same-host neighbours (the candidates reference encoding
+        // actually uses).
+        for h in &u.hosts {
+            let pages = &h.pages_by_url;
+            for w in pages.windows(8) {
+                let a = g.neighbors(w[0]);
+                if a.len() < 4 {
+                    continue;
+                }
+                for &b_id in &w[1..] {
+                    let b = g.neighbors(b_id);
+                    if b.is_empty() {
+                        continue;
+                    }
+                    let shared = a.iter().filter(|x| b.binary_search(x).is_ok()).count();
+                    let overlap = shared as f64 / a.len().max(b.len()) as f64;
+                    best_overlap = best_overlap.max(overlap);
+                }
+            }
+        }
+        assert!(
+            best_overlap > 0.5,
+            "copying model should create similar adjacency lists, best overlap {best_overlap}"
+        );
+    }
+
+    #[test]
+    fn graph_edges_within_bounds() {
+        let (_, _, g) = build(1_000, 16);
+        assert_eq!(g.num_nodes(), 1_000);
+        assert!(g.num_edges() > 1_000, "graph should be reasonably dense");
+        for (a, b) in g.edges() {
+            assert!(a < 1_000 && b < 1_000);
+        }
+    }
+
+    #[test]
+    fn tiny_corpora_do_not_panic() {
+        for n in [1u32, 2, 3, 5, 10] {
+            let (_, _, g) = build(n, 17);
+            assert_eq!(g.num_nodes(), n);
+        }
+    }
+}

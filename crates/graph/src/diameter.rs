@@ -1,0 +1,136 @@
+//! Effective-diameter estimation — one of the paper's canonical
+//! "global access" computations (§1.2 lists "computing the Web graph
+//! diameter" next to SCC and PageRank).
+//!
+//! Exact diameter needs all-pairs BFS; Web-graph practice (Broder et al.,
+//! whom the paper cites for Web structure) samples sources and reports the
+//! distance distribution. [`estimate_diameter`] runs BFS from a
+//! deterministic sample and returns the maximum observed finite distance
+//! plus the effective (90th-percentile) diameter.
+
+use crate::traversal::bfs_distances;
+use crate::{Graph, PageId};
+
+/// Result of a sampled diameter estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiameterEstimate {
+    /// Largest finite distance observed from any sampled source.
+    pub max_distance: u32,
+    /// 90th percentile of observed finite distances (the "effective
+    /// diameter" of the Web-measurement literature).
+    pub effective_diameter: u32,
+    /// Sources actually sampled.
+    pub sources_sampled: u32,
+    /// Finite (reachable) distances observed in total.
+    pub pairs_observed: u64,
+}
+
+/// Estimates the diameter by BFS from `samples` deterministic sources
+/// (evenly spread over the id space).
+pub fn estimate_diameter(g: &Graph, samples: u32) -> DiameterEstimate {
+    let n = g.num_nodes();
+    if n == 0 || samples == 0 {
+        return DiameterEstimate {
+            max_distance: 0,
+            effective_diameter: 0,
+            sources_sampled: 0,
+            pairs_observed: 0,
+        };
+    }
+    let samples = samples.min(n);
+    let stride = (n / samples).max(1);
+    let mut histogram: Vec<u64> = Vec::new();
+    let mut max_distance = 0u32;
+    let mut pairs = 0u64;
+    let mut sampled = 0u32;
+    let mut src: PageId = 0;
+    while src < n && sampled < samples {
+        let dist = bfs_distances(g, src);
+        for &d in &dist {
+            if d != u32::MAX && d > 0 {
+                if histogram.len() <= d as usize {
+                    histogram.resize(d as usize + 1, 0);
+                }
+                histogram[d as usize] += 1;
+                pairs += 1;
+                max_distance = max_distance.max(d);
+            }
+        }
+        sampled += 1;
+        src = src.saturating_add(stride);
+    }
+    // Effective diameter: smallest d with ≥90% of finite pairs within d.
+    let target = (pairs as f64 * 0.9).ceil() as u64;
+    let mut acc = 0u64;
+    let mut effective = 0u32;
+    for (d, &c) in histogram.iter().enumerate() {
+        acc += c;
+        if acc >= target {
+            effective = d as u32;
+            break;
+        }
+    }
+    DiameterEstimate {
+        max_distance,
+        effective_diameter: effective,
+        sources_sampled: sampled,
+        pairs_observed: pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_diameter() {
+        // 0 -> 1 -> ... -> 9: from source 0 the farthest node is 9 hops.
+        let g = Graph::from_edges(10, (0..9).map(|i| (i, i + 1)));
+        let est = estimate_diameter(&g, 10);
+        assert_eq!(est.max_distance, 9);
+        assert!(est.effective_diameter <= 9);
+        assert_eq!(est.sources_sampled, 10);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let n = 12u32;
+        let g = Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)));
+        let est = estimate_diameter(&g, n);
+        assert_eq!(est.max_distance, n - 1, "directed cycle: farthest is n-1");
+    }
+
+    #[test]
+    fn clique_has_diameter_one() {
+        let n = 8u32;
+        let edges = (0..n).flat_map(|u| (0..n).filter(move |&v| v != u).map(move |v| (u, v)));
+        let g = Graph::from_edges(n, edges);
+        let est = estimate_diameter(&g, n);
+        assert_eq!(est.max_distance, 1);
+        assert_eq!(est.effective_diameter, 1);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_ignored() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        let est = estimate_diameter(&g, 4);
+        assert_eq!(est.max_distance, 1);
+        assert_eq!(est.pairs_observed, 2);
+    }
+
+    #[test]
+    fn empty_graph_and_zero_samples() {
+        let g = Graph::from_edges(0, []);
+        assert_eq!(estimate_diameter(&g, 5).sources_sampled, 0);
+        let g = Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(estimate_diameter(&g, 0).sources_sampled, 0);
+    }
+
+    #[test]
+    fn effective_diameter_is_at_most_max() {
+        let g = Graph::from_edges(30, (0..29).map(|i| (i, i + 1)));
+        let est = estimate_diameter(&g, 7);
+        assert!(est.effective_diameter <= est.max_distance);
+        assert!(est.pairs_observed > 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Kleinberg's HITS algorithm and base-set construction.
+//!
+//! Query 3 of Table 3 computes the "Kleinberg base set" of a root set: the
+//! root pages plus their out-neighbours and in-neighbours. Given a base set,
+//! HITS assigns each page a hub score and an authority score by mutual
+//! reinforcement over the induced subgraph.
+
+use crate::traversal::induced_subgraph;
+use crate::{Graph, PageId};
+
+/// Computes the Kleinberg base set: `roots ∪ out-neighbours(roots) ∪
+/// in-neighbours(roots)`, sorted ascending.
+///
+/// `g` is the Web graph and `gt` its transpose (so in-neighbours are
+/// `gt.neighbors(v)`). The paper caps the number of in-neighbours taken per
+/// root in practice; `in_cap` reproduces that (use `usize::MAX` for no cap).
+pub fn base_set(g: &Graph, gt: &Graph, roots: &[PageId], in_cap: usize) -> Vec<PageId> {
+    let mut set: Vec<PageId> = roots.to_vec();
+    for &r in roots {
+        set.extend_from_slice(g.neighbors(r));
+        let ins = gt.neighbors(r);
+        set.extend_from_slice(&ins[..ins.len().min(in_cap)]);
+    }
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// Hub and authority scores for a page set.
+#[derive(Debug, Clone)]
+pub struct HitsResult {
+    /// The pages scored, sorted ascending (parallel to the score vectors).
+    pub pages: Vec<PageId>,
+    /// Hub score per page (L2-normalised).
+    pub hubs: Vec<f64>,
+    /// Authority score per page (L2-normalised).
+    pub authorities: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: u32,
+}
+
+/// Runs HITS on the subgraph induced by `pages` until the score vectors move
+/// by less than `tolerance` (L1) or `max_iterations` is reached.
+#[allow(clippy::needless_range_loop)] // ids index several parallel arrays
+pub fn hits(g: &Graph, pages: &[PageId], tolerance: f64, max_iterations: u32) -> HitsResult {
+    let (sub, verts) = induced_subgraph(g, pages);
+    let n = sub.num_nodes() as usize;
+    let mut hubs = vec![1.0f64; n];
+    let mut auths = vec![1.0f64; n];
+    let mut iterations = 0;
+
+    let normalize = |v: &mut [f64]| {
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            v.iter_mut().for_each(|x| *x /= norm);
+        }
+    };
+
+    while iterations < max_iterations {
+        // auth(v) = Σ hub(u) over u -> v
+        let mut new_auths = vec![0.0f64; n];
+        for u in 0..n {
+            for &v in sub.neighbors(u as PageId) {
+                new_auths[v as usize] += hubs[u];
+            }
+        }
+        normalize(&mut new_auths);
+        // hub(u) = Σ auth(v) over u -> v
+        let mut new_hubs = vec![0.0f64; n];
+        for u in 0..n {
+            for &v in sub.neighbors(u as PageId) {
+                new_hubs[u] += new_auths[v as usize];
+            }
+        }
+        normalize(&mut new_hubs);
+
+        let delta: f64 = hubs
+            .iter()
+            .zip(&new_hubs)
+            .chain(auths.iter().zip(&new_auths))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        hubs = new_hubs;
+        auths = new_auths;
+        iterations += 1;
+        if delta < tolerance {
+            break;
+        }
+    }
+
+    HitsResult {
+        pages: verts,
+        hubs,
+        authorities: auths,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_set_includes_both_directions() {
+        // 0 -> 1 -> 2; root = {1}
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let gt = g.transpose();
+        assert_eq!(base_set(&g, &gt, &[1], usize::MAX), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn base_set_in_cap_limits_backlinks() {
+        // Many pages point at 4.
+        let g = Graph::from_edges(5, [(0, 4), (1, 4), (2, 4), (3, 4)]);
+        let gt = g.transpose();
+        let full = base_set(&g, &gt, &[4], usize::MAX);
+        assert_eq!(full.len(), 5);
+        let capped = base_set(&g, &gt, &[4], 2);
+        assert_eq!(capped.len(), 3); // root + 2 backlinks
+    }
+
+    #[test]
+    fn authority_concentrates_on_commonly_cited_page() {
+        // Hubs 0,1,2 all cite 3; 3 cites nothing.
+        let g = Graph::from_edges(4, [(0, 3), (1, 3), (2, 3)]);
+        let r = hits(&g, &[0, 1, 2, 3], 1e-12, 100);
+        let idx3 = r.pages.iter().position(|&p| p == 3).unwrap();
+        assert!(r.authorities[idx3] > 0.99, "3 must be the sole authority");
+        for (i, &p) in r.pages.iter().enumerate() {
+            if p != 3 {
+                assert!(r.hubs[i] > 0.5, "citing pages are hubs");
+                assert!(r.authorities[i] < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_page_set_is_fine() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let r = hits(&g, &[], 1e-9, 10);
+        assert!(r.pages.is_empty());
+        assert!(r.hubs.is_empty());
+    }
+
+    #[test]
+    fn disconnected_pages_score_zero() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let r = hits(&g, &[0, 1, 2, 3], 1e-12, 50);
+        let idx2 = r.pages.iter().position(|&p| p == 2).unwrap();
+        assert_eq!(r.hubs[idx2], 0.0);
+        assert_eq!(r.authorities[idx2], 0.0);
+    }
+}

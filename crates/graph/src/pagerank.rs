@@ -1,0 +1,177 @@
+//! PageRank by power iteration.
+//!
+//! The paper's Analysis 1 weights pages by "normalized PageRank value", and
+//! PageRank computation is its flagship global-access workload (§1.2,
+//! citing Brin & Page).
+//! This implementation follows the standard random-surfer model with uniform
+//! teleportation and uniform redistribution of dangling-node mass; ranks sum
+//! to 1 at every iteration.
+
+use crate::Graph;
+
+/// Parameters for [`pagerank`].
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankConfig {
+    /// Damping factor (probability of following a link); 0.85 classically.
+    pub damping: f64,
+    /// Stop when the L1 change between iterations drops below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: u32,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 100,
+        }
+    }
+}
+
+/// Result of a PageRank computation.
+#[derive(Debug, Clone)]
+pub struct PageRankResult {
+    /// Rank per vertex; sums to 1 (within floating-point error).
+    pub ranks: Vec<f64>,
+    /// Iterations actually executed.
+    pub iterations: u32,
+    /// Final L1 delta.
+    pub delta: f64,
+}
+
+/// Computes PageRank over `g`.
+#[allow(clippy::needless_range_loop)] // ids index several parallel arrays
+pub fn pagerank(g: &Graph, config: &PageRankConfig) -> PageRankResult {
+    let n = g.num_nodes() as usize;
+    if n == 0 {
+        return PageRankResult {
+            ranks: Vec::new(),
+            iterations: 0,
+            delta: 0.0,
+        };
+    }
+    let uniform = 1.0 / n as f64;
+    let mut ranks = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let d = config.damping;
+
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+    while iterations < config.max_iterations && delta > config.tolerance {
+        // Dangling mass is redistributed uniformly.
+        let mut dangling = 0.0f64;
+        for v in 0..n {
+            if g.out_degree(v as u32) == 0 {
+                dangling += ranks[v];
+            }
+        }
+        let base = (1.0 - d) * uniform + d * dangling * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+        for u in 0..n {
+            let deg = g.out_degree(u as u32);
+            if deg == 0 {
+                continue;
+            }
+            let share = d * ranks[u] / f64::from(deg);
+            for &v in g.neighbors(u as u32) {
+                next[v as usize] += share;
+            }
+        }
+        delta = ranks
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>();
+        std::mem::swap(&mut ranks, &mut next);
+        iterations += 1;
+    }
+
+    PageRankResult {
+        ranks,
+        iterations,
+        delta,
+    }
+}
+
+/// Returns vertex ids sorted by descending rank (ties by ascending id).
+pub fn top_ranked(ranks: &[f64], k: usize) -> Vec<u32> {
+    let mut ids: Vec<u32> = (0..ranks.len() as u32).collect();
+    ids.sort_by(|&a, &b| {
+        ranks[b as usize]
+            .partial_cmp(&ranks[a as usize])
+            .expect("ranks are finite")
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks_sum_to_one(r: &PageRankResult) {
+        let sum: f64 = r.ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "ranks sum to {sum}");
+    }
+
+    #[test]
+    fn symmetric_cycle_gives_uniform_ranks() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        ranks_sum_to_one(&r);
+        for &x in &r.ranks {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hub_page_receives_more_rank() {
+        // Everyone points at 0; 0 points at 1.
+        let g = Graph::from_edges(4, [(1, 0), (2, 0), (3, 0), (0, 1)]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        ranks_sum_to_one(&r);
+        assert!(r.ranks[0] > r.ranks[2]);
+        assert!(r.ranks[0] > r.ranks[3]);
+        assert!(r.ranks[1] > r.ranks[2], "0's sole target inherits rank");
+    }
+
+    #[test]
+    fn dangling_nodes_do_not_lose_mass() {
+        // 1 is a dangling sink.
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let r = pagerank(&g, &PageRankConfig::default());
+        ranks_sum_to_one(&r);
+        assert!(r.ranks[1] > r.ranks[0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []);
+        let r = pagerank(&g, &PageRankConfig::default());
+        assert!(r.ranks.is_empty());
+    }
+
+    #[test]
+    fn converges_within_iteration_budget() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let cfg = PageRankConfig {
+            tolerance: 1e-12,
+            max_iterations: 500,
+            ..Default::default()
+        };
+        let r = pagerank(&g, &cfg);
+        assert!(r.iterations < 500, "should converge, not exhaust budget");
+        assert!(r.delta <= 1e-12);
+        ranks_sum_to_one(&r);
+    }
+
+    #[test]
+    fn top_ranked_orders_by_rank_then_id() {
+        let ranks = [0.1, 0.4, 0.4, 0.1];
+        assert_eq!(top_ranked(&ranks, 3), vec![1, 2, 0]);
+        assert_eq!(top_ranked(&ranks, 10).len(), 4);
+    }
+}

@@ -1,0 +1,174 @@
+//! Strongly-connected components via an iterative Tarjan algorithm.
+//!
+//! SCC computation is one of the paper's canonical "global access" tasks
+//! (§1.2): it touches the entire graph, so it only runs fast when the whole
+//! representation fits in memory — which is the point of the compression
+//! experiments. The implementation is fully iterative (explicit stack) so
+//! that Web-scale graphs do not overflow the call stack.
+
+use crate::{Graph, PageId};
+
+/// The SCC decomposition of a graph.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `component[v]` = dense component id of vertex `v`. Component ids are
+    /// assigned in reverse topological order of the condensation (Tarjan's
+    /// natural output order).
+    pub component: Vec<u32>,
+    /// Number of components.
+    pub num_components: u32,
+}
+
+impl SccResult {
+    /// Sizes of each component, indexed by component id.
+    pub fn component_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![0u32; self.num_components as usize];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn largest(&self) -> u32 {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Computes strongly-connected components with iterative Tarjan.
+pub fn tarjan_scc(g: &Graph) -> SccResult {
+    let n = g.num_nodes() as usize;
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![0u32; n];
+    let mut stack: Vec<PageId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_components = 0u32;
+
+    // Explicit DFS frame: (vertex, next child position).
+    let mut frames: Vec<(PageId, u32)> = Vec::new();
+
+    for root in 0..n as PageId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let neighbors = g.neighbors(v);
+            if (*child as usize) < neighbors.len() {
+                let w = neighbors[*child as usize];
+                *child += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of a component: pop down to v.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = num_components;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+
+    SccResult {
+        component,
+        num_components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 1);
+        assert!(r.component.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 4);
+        assert_eq!(r.largest(), 1);
+    }
+
+    #[test]
+    fn two_cycles_joined_by_a_bridge() {
+        // cycle {0,1,2}, bridge 2->3, cycle {3,4}
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 2);
+        assert_eq!(r.component[0], r.component[1]);
+        assert_eq!(r.component[1], r.component[2]);
+        assert_eq!(r.component[3], r.component[4]);
+        assert_ne!(r.component[0], r.component[3]);
+        // Reverse topological order: the sink component {3,4} is numbered first.
+        assert!(r.component[3] < r.component[0]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_components() {
+        let g = Graph::from_edges(3, []);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 3);
+        let sizes = r.component_sizes();
+        assert_eq!(sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn self_loop_forms_component_of_one() {
+        let g = Graph::from_edges(2, [(0, 0), (0, 1)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 2);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 200k-vertex path: a recursive Tarjan would blow the call stack.
+        let n = 200_000u32;
+        let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, n);
+    }
+
+    #[test]
+    fn bowtie_structure() {
+        // The classic Broder et al. "bow-tie": IN -> SCC -> OUT.
+        // IN = {0}, core = {1,2,3} cycle, OUT = {4}
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 1), (3, 4)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components, 3);
+        assert_eq!(r.largest(), 3);
+    }
+}

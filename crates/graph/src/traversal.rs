@@ -1,0 +1,173 @@
+//! Breadth-first traversal and bounded neighbourhood operations.
+//!
+//! The six complex queries of Table 3 are all built from a handful of graph
+//! navigation primitives: out-/in-neighbourhoods of a page *set*, bounded
+//! BFS, and induced subgraphs. This module provides them for the plain CSR
+//! graph; the compressed representations implement the same operations
+//! through the `GraphRep` trait in `wg-query`.
+
+use crate::{Graph, PageId};
+use std::collections::VecDeque;
+
+/// The union of the out-neighbours of every page in `sources`, excluding the
+/// sources themselves. Returned sorted and deduplicated.
+pub fn out_neighborhood(g: &Graph, sources: &[PageId]) -> Vec<PageId> {
+    let mut out: Vec<PageId> = sources
+        .iter()
+        .flat_map(|&s| g.neighbors(s).iter().copied())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    let source_set: std::collections::HashSet<PageId> = sources.iter().copied().collect();
+    out.retain(|v| !source_set.contains(v));
+    out
+}
+
+/// Breadth-first search from `start`, returning `dist[v]` (`u32::MAX` for
+/// unreachable vertices).
+pub fn bfs_distances(g: &Graph, start: PageId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_nodes() as usize];
+    let mut queue = VecDeque::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// All vertices within `radius` hops of any page in `sources` (following
+/// out-edges), including the sources. Sorted ascending.
+pub fn ball(g: &Graph, sources: &[PageId], radius: u32) -> Vec<PageId> {
+    let mut dist = vec![u32::MAX; g.num_nodes() as usize];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        out.push(u);
+        if du == radius {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The subgraph induced by `pages`: vertices are re-numbered 0..k following
+/// the (sorted) order of `pages`, and only edges with both endpoints inside
+/// the set survive. Returns the induced graph plus the sorted vertex list
+/// (mapping local index → original id).
+pub fn induced_subgraph(g: &Graph, pages: &[PageId]) -> (Graph, Vec<PageId>) {
+    let mut sorted: Vec<PageId> = pages.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let index_of = |v: PageId| sorted.binary_search(&v).ok();
+    let mut edges = Vec::new();
+    for (li, &u) in sorted.iter().enumerate() {
+        for &v in g.neighbors(u) {
+            if let Some(lj) = index_of(v) {
+                edges.push((li as PageId, lj as PageId));
+            }
+        }
+    }
+    (Graph::from_edges(sorted.len() as u32, edges), sorted)
+}
+
+/// Counts links from set `a` into set `b` (sets need not be disjoint;
+/// self-pairs count when the edge exists).
+pub fn count_links_between(g: &Graph, a: &[PageId], b: &[PageId]) -> u64 {
+    let mut bset: Vec<PageId> = b.to_vec();
+    bset.sort_unstable();
+    bset.dedup();
+    let mut count = 0u64;
+    for &u in a {
+        for &v in g.neighbors(u) {
+            if bset.binary_search(&v).is_ok() {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn out_neighborhood_excludes_sources() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert_eq!(out_neighborhood(&g, &[0, 1]), vec![2]);
+        assert_eq!(out_neighborhood(&g, &[2]), vec![3]);
+        assert_eq!(out_neighborhood(&g, &[3]), Vec::<PageId>::new());
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, 3);
+        assert_eq!(d[4], 1);
+        assert_eq!(d[0], u32::MAX);
+    }
+
+    #[test]
+    fn ball_respects_radius() {
+        let g = path_graph(6);
+        assert_eq!(ball(&g, &[0], 0), vec![0]);
+        assert_eq!(ball(&g, &[0], 2), vec![0, 1, 2]);
+        assert_eq!(ball(&g, &[0, 4], 1), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_internal_edges_only() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let (sub, verts) = induced_subgraph(&g, &[1, 3, 2]);
+        assert_eq!(verts, vec![1, 2, 3]);
+        // local ids: 1->0, 2->1, 3->2; surviving edges 1->2, 2->3, 1->3
+        assert_eq!(sub.num_edges(), 3);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(1, 2));
+        assert!(sub.has_edge(0, 2));
+        assert!(!sub.has_edge(2, 0)); // 3->4 left the set
+    }
+
+    #[test]
+    fn count_links_between_sets() {
+        let g = Graph::from_edges(6, [(0, 3), (0, 4), (1, 3), (2, 5), (3, 0)]);
+        assert_eq!(count_links_between(&g, &[0, 1, 2], &[3, 4]), 3);
+        assert_eq!(count_links_between(&g, &[3], &[0]), 1);
+        assert_eq!(count_links_between(&g, &[4, 5], &[0, 1, 2]), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_of_empty_set() {
+        let g = path_graph(3);
+        let (sub, verts) = induced_subgraph(&g, &[]);
+        assert_eq!(sub.num_nodes(), 0);
+        assert!(verts.is_empty());
+    }
+}

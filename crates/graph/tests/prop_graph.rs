@@ -1,0 +1,102 @@
+//! Property tests on the CSR graph kernel: structural invariants, transpose
+//! involution, and algorithm sanity on arbitrary random graphs.
+
+use proptest::prelude::*;
+use wg_graph::csr::Graph;
+use wg_graph::pagerank::{pagerank, PageRankConfig};
+use wg_graph::scc::tarjan_scc;
+use wg_graph::traversal::{bfs_distances, count_links_between, induced_subgraph};
+
+/// Strategy: a random directed graph with up to `max_n` vertices.
+fn arb_graph(max_n: u32, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (1..=max_n).prop_flat_map(move |n| {
+        prop::collection::vec((0..n, 0..n), 0..=max_edges)
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_lists_are_sorted_and_unique(g in arb_graph(60, 400)) {
+        for v in 0..g.num_nodes() {
+            let l = g.neighbors(v);
+            prop_assert!(l.windows(2).all(|w| w[0] < w[1]), "list of {v} not strictly sorted");
+        }
+        prop_assert_eq!(
+            g.num_edges(),
+            (0..g.num_nodes()).map(|v| g.neighbors(v).len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn transpose_is_an_involution(g in arb_graph(50, 300)) {
+        let t = g.transpose();
+        prop_assert_eq!(t.num_edges(), g.num_edges());
+        prop_assert_eq!(&t.transpose(), &g);
+        for (u, v) in g.edges() {
+            prop_assert!(t.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn scc_components_partition_vertices(g in arb_graph(40, 250)) {
+        let r = tarjan_scc(&g);
+        prop_assert_eq!(r.component.len(), g.num_nodes() as usize);
+        let sizes = r.component_sizes();
+        prop_assert_eq!(sizes.iter().map(|&s| u64::from(s)).sum::<u64>(), u64::from(g.num_nodes()));
+        prop_assert!(sizes.iter().all(|&s| s > 0), "every component id must be used");
+    }
+
+    #[test]
+    fn scc_mutual_reachability(g in arb_graph(25, 120)) {
+        // Two vertices share a component iff they reach each other.
+        let r = tarjan_scc(&g);
+        let dists: Vec<Vec<u32>> = (0..g.num_nodes()).map(|v| bfs_distances(&g, v)).collect();
+        for a in 0..g.num_nodes() {
+            for b in 0..g.num_nodes() {
+                let mutually = dists[a as usize][b as usize] != u32::MAX
+                    && dists[b as usize][a as usize] != u32::MAX;
+                prop_assert_eq!(
+                    r.component[a as usize] == r.component[b as usize],
+                    mutually,
+                    "vertices {} and {}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_is_positive(g in arb_graph(50, 300)) {
+        let r = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = r.ranks.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        prop_assert!(r.ranks.iter().all(|&x| x > 0.0), "teleportation keeps all ranks positive");
+    }
+
+    #[test]
+    fn induced_subgraph_edge_count_matches_link_count(g in arb_graph(40, 250), seed in any::<u64>()) {
+        // Pick a pseudo-random subset of vertices.
+        let picks: Vec<u32> = (0..g.num_nodes())
+            .filter(|&v| (seed.wrapping_mul(6364136223846793005).wrapping_add(u64::from(v) * 2654435761)) % 3 == 0)
+            .collect();
+        let (sub, verts) = induced_subgraph(&g, &picks);
+        prop_assert_eq!(sub.num_edges(), count_links_between(&g, &verts, &verts));
+        // Every induced edge maps back to a real edge.
+        for (lu, lv) in sub.edges() {
+            prop_assert!(g.has_edge(verts[lu as usize], verts[lv as usize]));
+        }
+    }
+
+    #[test]
+    fn bfs_distance_is_monotone_along_edges(g in arb_graph(40, 250)) {
+        if g.num_nodes() == 0 { return Ok(()); }
+        let d = bfs_distances(&g, 0);
+        for (u, v) in g.edges() {
+            if d[u as usize] != u32::MAX {
+                prop_assert!(d[v as usize] <= d[u as usize] + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Query layer: the complex-query workload of §§1.1 and 4.3.
+//!
+//! The paper's queries combine three views of a repository — text predicates
+//! (phrase containment), relational predicates (domain, PageRank), and
+//! graph navigation. This crate provides:
+//!
+//! * [`index`] — the auxiliary indexes every scheme shares: an inverted
+//!   phrase index, a PageRank index, and the domain table. (The paper
+//!   hosts these outside the graph representation and excludes their
+//!   access time from its measurements; so do we.)
+//! * [`GraphRep`] — the access trait each Web-graph representation
+//!   implements; all reported *navigation time* is time spent inside it.
+//! * [`reps`] — adapters wrapping every representation in the workspace:
+//!   S-Node, Link3 (disk), the relational store, and uncompressed files —
+//!   the four schemes of Figure 11.
+//! * [`queries`] — executable implementations of Queries 1–6 of Table 3,
+//!   with hand-crafted plans mirroring the paper's (§4.3), plus workload
+//!   discovery that picks phrase/domain parameters with non-trivial
+//!   selectivity from a generated corpus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod queries;
+pub mod reps;
+
+pub use index::{DomainTable, PageRankIndex, TextIndex};
+pub use reps::Scheme;
+
+use wg_graph::PageId;
+
+/// Errors surfaced while executing queries.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The underlying graph representation failed.
+    Rep(Box<dyn std::error::Error + Send + Sync>),
+    /// A query was mis-parameterised (e.g. unknown phrase).
+    BadQuery(&'static str),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Rep(e) => write!(f, "representation error: {e}"),
+            QueryError::BadQuery(w) => write!(f, "bad query: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, QueryError>;
+
+/// Uniform access to a Web-graph representation.
+///
+/// `out_neighbors` returns the sorted adjacency list of `p`. Navigation
+/// time — the paper's reported metric — is exactly the wall-clock time
+/// spent inside this trait's methods. Implementations for the transpose
+/// graph expose backlinks through the same method.
+pub trait GraphRep {
+    /// Human-readable scheme name (for reports).
+    fn scheme_name(&self) -> &'static str;
+
+    /// The sorted adjacency list of `p`.
+    fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>>;
+
+    /// Drops any caches so the next query runs cold.
+    fn reset(&mut self) -> Result<()>;
+}
+
+/// Boxes an arbitrary representation error.
+pub fn rep_err<E: std::error::Error + Send + Sync + 'static>(e: E) -> QueryError {
+    QueryError::Rep(Box::new(e))
+}

@@ -1,0 +1,607 @@
+//! On-disk B+tree mapping `u64` keys to `u64` values.
+//!
+//! This is the index machinery behind the relational baseline: the paper's
+//! PostgreSQL setup uses "internal B-tree indexing facilities" for its
+//! page-ID and domain indexes (§4), so the substitute store needs a real
+//! B+tree, not an in-memory map.
+//!
+//! Design: classic B+tree over [`BufferPool`] pages. Leaves hold sorted
+//! `(key, value)` pairs and are chained left-to-right for range scans;
+//! internal nodes hold separator keys. Inserts split upward; the tree only
+//! grows (the workloads are build-once/read-many — deletions are not part
+//! of any experiment and are intentionally unsupported).
+//!
+//! Page 0 of the tree's file is a meta page holding a magic number and the
+//! root page number, so a tree can be reopened from disk.
+
+use crate::buffer::BufferPool;
+use crate::pager::PageNo;
+use crate::{Result, StoreError, PAGE_SIZE};
+
+const MAGIC: u32 = 0xB7EE_0003;
+const NO_PAGE: PageNo = PageNo::MAX;
+
+const TYPE_LEAF: u8 = 1;
+const TYPE_INTERNAL: u8 = 2;
+
+/// Max entries per leaf: header is 8 bytes, entries 16 bytes each.
+const LEAF_CAP: usize = (PAGE_SIZE - 8) / 16;
+/// Max separators per internal node: header 8 bytes + first child 4, then
+/// 12 bytes per (key, child) pair.
+const INTERNAL_CAP: usize = (PAGE_SIZE - 12) / 12;
+
+/// A B+tree over its own paged file.
+#[derive(Debug)]
+pub struct BTree {
+    pool: BufferPool,
+    root: PageNo,
+    height: u32,
+    len: u64,
+}
+
+/// Decoded node, used during structural modifications.
+enum Node {
+    Leaf {
+        entries: Vec<(u64, u64)>,
+        next: PageNo,
+    },
+    Internal {
+        /// children.len() == keys.len() + 1
+        keys: Vec<u64>,
+        children: Vec<PageNo>,
+    },
+}
+
+impl BTree {
+    /// Creates a new empty tree whose pages live in `pool`'s file.
+    pub fn create(mut pool: BufferPool) -> Result<Self> {
+        let meta = pool.allocate()?;
+        debug_assert_eq!(meta, 0, "meta page must be page 0");
+        let root = pool.allocate()?;
+        let node = Node::Leaf {
+            entries: Vec::new(),
+            next: NO_PAGE,
+        };
+        write_node(&mut pool, root, &node)?;
+        let mut tree = Self {
+            pool,
+            root,
+            height: 0,
+            len: 0,
+        };
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Reopens a tree previously built in `pool`'s file.
+    pub fn open(mut pool: BufferPool) -> Result<Self> {
+        let (root, height, len) =
+            pool.with_page(0, |p| (read_u32(p, 4), read_u32(p, 8), read_u64(p, 12)))?;
+        let magic = pool.with_page(0, |p| read_u32(p, 0))?;
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt("bad btree magic"));
+        }
+        Ok(Self {
+            pool,
+            root,
+            height,
+            len,
+        })
+    }
+
+    /// Number of key/value pairs stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The buffer pool (for stats inspection).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Mutable buffer pool access (e.g. to clear the cache between runs).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Inserts `key → value`, replacing any existing value (upsert).
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<()> {
+        match self.insert_rec(self.root, key, value)? {
+            InsertResult::Done { replaced } => {
+                if !replaced {
+                    self.len += 1;
+                }
+            }
+            InsertResult::Split {
+                sep,
+                right,
+                replaced,
+            } => {
+                // Grow a new root.
+                let new_root = self.pool.allocate()?;
+                let node = Node::Internal {
+                    keys: vec![sep],
+                    children: vec![self.root, right],
+                };
+                write_node(&mut self.pool, new_root, &node)?;
+                self.root = new_root;
+                self.height += 1;
+                if !replaced {
+                    self.len += 1;
+                }
+            }
+        }
+        self.write_meta()
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: u64) -> Result<Option<u64>> {
+        let mut page = self.root;
+        loop {
+            enum Step {
+                Descend(PageNo),
+                Found(Option<u64>),
+            }
+            let step = self.pool.with_page(page, |p| match p[0] {
+                TYPE_INTERNAL => {
+                    let child = internal_lookup(p, key);
+                    Ok(Step::Descend(child))
+                }
+                TYPE_LEAF => Ok(Step::Found(leaf_lookup(p, key))),
+                _ => Err(StoreError::Corrupt("unknown btree node type")),
+            })??;
+            match step {
+                Step::Descend(child) => page = child,
+                Step::Found(v) => return Ok(v),
+            }
+        }
+    }
+
+    /// Visits all pairs with `key ∈ [lo, hi]` in ascending key order.
+    pub fn range(&mut self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) -> Result<()> {
+        // Descend to the leaf containing lo.
+        let mut page = self.root;
+        loop {
+            let (is_leaf, next) = self.pool.with_page(page, |p| {
+                if p[0] == TYPE_INTERNAL {
+                    (false, internal_lookup(p, lo))
+                } else {
+                    (true, 0)
+                }
+            })?;
+            if is_leaf {
+                break;
+            }
+            page = next;
+        }
+        // Walk the leaf chain.
+        let mut current = page;
+        loop {
+            let (entries, next) = self.pool.with_page(current, |p| {
+                let count = read_u16(p, 2) as usize;
+                let next = read_u32(p, 4);
+                let mut v = Vec::with_capacity(count);
+                for i in 0..count {
+                    let off = 8 + i * 16;
+                    v.push((read_u64(p, off), read_u64(p, off + 8)));
+                }
+                (v, next)
+            })?;
+            for (k, val) in entries {
+                if k > hi {
+                    return Ok(());
+                }
+                if k >= lo {
+                    f(k, val);
+                }
+            }
+            if next == NO_PAGE {
+                return Ok(());
+            }
+            current = next;
+        }
+    }
+
+    fn write_meta(&mut self) -> Result<()> {
+        let (root, height, len) = (self.root, self.height, self.len);
+        self.pool.with_page_mut(0, |p| {
+            write_u32(p, 0, MAGIC);
+            write_u32(p, 4, root);
+            write_u32(p, 8, height);
+            write_u64(p, 12, len);
+        })
+    }
+
+    fn insert_rec(&mut self, page: PageNo, key: u64, value: u64) -> Result<InsertResult> {
+        let node_type = self.pool.with_page(page, |p| p[0])?;
+        match node_type {
+            TYPE_LEAF => {
+                let mut node = read_node(&mut self.pool, page)?;
+                let Node::Leaf { entries, next } = &mut node else {
+                    unreachable!()
+                };
+                let replaced = match entries.binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(i) => {
+                        entries[i].1 = value;
+                        true
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key, value));
+                        false
+                    }
+                };
+                if entries.len() <= LEAF_CAP {
+                    write_node(&mut self.pool, page, &node)?;
+                    return Ok(InsertResult::Done { replaced });
+                }
+                // Split the leaf.
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0;
+                let right_page = self.pool.allocate()?;
+                let right = Node::Leaf {
+                    entries: right_entries,
+                    next: *next,
+                };
+                *next = right_page;
+                write_node(&mut self.pool, right_page, &right)?;
+                write_node(&mut self.pool, page, &node)?;
+                Ok(InsertResult::Split {
+                    sep,
+                    right: right_page,
+                    replaced,
+                })
+            }
+            TYPE_INTERNAL => {
+                let child = self.pool.with_page(page, |p| internal_lookup(p, key))?;
+                let res = self.insert_rec(child, key, value)?;
+                let InsertResult::Split {
+                    sep,
+                    right,
+                    replaced,
+                } = res
+                else {
+                    return Ok(res);
+                };
+                let mut node = read_node(&mut self.pool, page)?;
+                let Node::Internal { keys, children } = &mut node else {
+                    unreachable!()
+                };
+                let pos = keys.partition_point(|&k| k <= sep);
+                keys.insert(pos, sep);
+                children.insert(pos + 1, right);
+                if keys.len() <= INTERNAL_CAP {
+                    write_node(&mut self.pool, page, &node)?;
+                    return Ok(InsertResult::Done { replaced });
+                }
+                // Split the internal node; the middle key moves up.
+                let mid = keys.len() / 2;
+                let up = keys[mid];
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // remove `up`
+                let right_children = children.split_off(mid + 1);
+                let right_page = self.pool.allocate()?;
+                let right_node = Node::Internal {
+                    keys: right_keys,
+                    children: right_children,
+                };
+                write_node(&mut self.pool, right_page, &right_node)?;
+                write_node(&mut self.pool, page, &node)?;
+                Ok(InsertResult::Split {
+                    sep: up,
+                    right: right_page,
+                    replaced,
+                })
+            }
+            _ => Err(StoreError::Corrupt("unknown btree node type")),
+        }
+    }
+}
+
+enum InsertResult {
+    Done {
+        replaced: bool,
+    },
+    Split {
+        sep: u64,
+        right: PageNo,
+        replaced: bool,
+    },
+}
+
+// --- Page (de)serialisation --------------------------------------------------
+
+fn read_node(pool: &mut BufferPool, page: PageNo) -> Result<Node> {
+    pool.with_page(page, |p| match p[0] {
+        TYPE_LEAF => {
+            let count = read_u16(p, 2) as usize;
+            let next = read_u32(p, 4);
+            let mut entries = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = 8 + i * 16;
+                entries.push((read_u64(p, off), read_u64(p, off + 8)));
+            }
+            Ok(Node::Leaf { entries, next })
+        }
+        TYPE_INTERNAL => {
+            let count = read_u16(p, 2) as usize;
+            let mut children = Vec::with_capacity(count + 1);
+            children.push(read_u32(p, 8));
+            let mut keys = Vec::with_capacity(count);
+            for i in 0..count {
+                let off = 12 + i * 12;
+                keys.push(read_u64(p, off));
+                children.push(read_u32(p, off + 8));
+            }
+            Ok(Node::Internal { keys, children })
+        }
+        _ => Err(StoreError::Corrupt("unknown btree node type")),
+    })?
+}
+
+fn write_node(pool: &mut BufferPool, page: PageNo, node: &Node) -> Result<()> {
+    pool.with_page_mut(page, |p| {
+        p.fill(0);
+        match node {
+            Node::Leaf { entries, next } => {
+                assert!(entries.len() <= LEAF_CAP);
+                p[0] = TYPE_LEAF;
+                write_u16(p, 2, entries.len() as u16);
+                write_u32(p, 4, *next);
+                for (i, &(k, v)) in entries.iter().enumerate() {
+                    let off = 8 + i * 16;
+                    write_u64(p, off, k);
+                    write_u64(p, off + 8, v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                assert!(keys.len() <= INTERNAL_CAP);
+                assert_eq!(children.len(), keys.len() + 1);
+                p[0] = TYPE_INTERNAL;
+                write_u16(p, 2, keys.len() as u16);
+                write_u32(p, 8, children[0]);
+                for (i, &k) in keys.iter().enumerate() {
+                    let off = 12 + i * 12;
+                    write_u64(p, off, k);
+                    write_u32(p, off + 8, children[i + 1]);
+                }
+            }
+        }
+    })
+}
+
+/// Finds the child to descend into for `key` in an internal page.
+fn internal_lookup(p: &[u8; PAGE_SIZE], key: u64) -> PageNo {
+    let count = read_u16(p, 2) as usize;
+    // Binary search over separator keys.
+    let mut lo = 0usize;
+    let mut hi = count;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = read_u64(p, 12 + mid * 12);
+        if key < k {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // lo = number of separators ≤ key → child index lo.
+    if lo == 0 {
+        read_u32(p, 8)
+    } else {
+        read_u32(p, 12 + (lo - 1) * 12 + 8)
+    }
+}
+
+/// Binary-searches a leaf page for `key`.
+fn leaf_lookup(p: &[u8; PAGE_SIZE], key: u64) -> Option<u64> {
+    let count = read_u16(p, 2) as usize;
+    let mut lo = 0usize;
+    let mut hi = count;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = read_u64(p, 8 + mid * 16);
+        match k.cmp(&key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Some(read_u64(p, 8 + mid * 16 + 8)),
+        }
+    }
+    None
+}
+
+fn read_u16(p: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([p[off], p[off + 1]])
+}
+fn read_u32(p: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]])
+}
+fn read_u64(p: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&p[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+fn write_u16(p: &mut [u8], off: usize, v: u16) {
+    p[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+fn write_u32(p: &mut [u8], off: usize, v: u32) {
+    p[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+fn write_u64(p: &mut [u8], off: usize, v: u64) {
+    p[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+
+    fn fresh(name: &str, budget_pages: usize) -> (BTree, std::path::PathBuf) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("wg_store_btree_{name}_{}", std::process::id()));
+        let pager = Pager::create(&path).unwrap();
+        let pool = BufferPool::new(pager, budget_pages * PAGE_SIZE);
+        (BTree::create(pool).unwrap(), path)
+    }
+
+    #[test]
+    fn insert_and_get_small() {
+        let (mut t, path) = fresh("small", 16);
+        t.insert(5, 50).unwrap();
+        t.insert(1, 10).unwrap();
+        t.insert(9, 90).unwrap();
+        assert_eq!(t.get(5).unwrap(), Some(50));
+        assert_eq!(t.get(1).unwrap(), Some(10));
+        assert_eq!(t.get(9).unwrap(), Some(90));
+        assert_eq!(t.get(7).unwrap(), None);
+        assert_eq!(t.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let (mut t, path) = fresh("upsert", 16);
+        t.insert(3, 30).unwrap();
+        t.insert(3, 33).unwrap();
+        assert_eq!(t.get(3).unwrap(), Some(33));
+        assert_eq!(t.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn many_sequential_inserts_split_leaves() {
+        let (mut t, path) = fresh("seq", 64);
+        let n = 5_000u64;
+        for k in 0..n {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.height() >= 1, "5000 keys must split the root leaf");
+        for k in (0..n).step_by(97) {
+            assert_eq!(t.get(k).unwrap(), Some(k * 2), "key {k}");
+        }
+        assert_eq!(t.get(n).unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn many_random_inserts() {
+        let (mut t, path) = fresh("rand", 64);
+        // Deterministic pseudo-random permutation.
+        let n = 4_000u64;
+        let mut keys: Vec<u64> = (0..n).map(|i| (i * 2654435761) % 1_000_003).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut shuffled = keys.clone();
+        let mut s = 12345u64;
+        for i in (1..shuffled.len()).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            shuffled.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        for &k in &shuffled {
+            t.insert(k, k + 7).unwrap();
+        }
+        assert_eq!(t.len(), keys.len() as u64);
+        for &k in keys.iter().step_by(53) {
+            assert_eq!(t.get(k).unwrap(), Some(k + 7));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_bounded() {
+        let (mut t, path) = fresh("range", 64);
+        for k in (0..2_000u64).map(|i| i * 3) {
+            t.insert(k, k).unwrap();
+        }
+        let mut seen = Vec::new();
+        t.range(100, 400, |k, v| {
+            assert_eq!(k, v);
+            seen.push(k);
+        })
+        .unwrap();
+        let expect: Vec<u64> = (0..2_000)
+            .map(|i| i * 3)
+            .filter(|&k| (100..=400).contains(&k))
+            .collect();
+        assert_eq!(seen, expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn full_range_scan_returns_everything_in_order() {
+        let (mut t, path) = fresh("fullscan", 64);
+        for k in 0..3_000u64 {
+            t.insert(k * 7 % 10_007, k).unwrap();
+        }
+        let mut prev = None;
+        let mut count = 0u64;
+        t.range(0, u64::MAX, |k, _| {
+            if let Some(p) = prev {
+                assert!(k > p, "scan out of order");
+            }
+            prev = Some(k);
+            count += 1;
+        })
+        .unwrap();
+        assert_eq!(count, t.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_from_disk() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("wg_store_btree_reopen_{}", std::process::id()));
+        {
+            let pager = Pager::create(&path).unwrap();
+            let pool = BufferPool::new(pager, 32 * PAGE_SIZE);
+            let mut t = BTree::create(pool).unwrap();
+            for k in 0..2_000u64 {
+                t.insert(k, k + 1).unwrap();
+            }
+            t.pool_mut().flush().unwrap();
+        }
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::new(pager, 32 * PAGE_SIZE);
+        let mut t = BTree::open(pool).unwrap();
+        assert_eq!(t.len(), 2_000);
+        assert_eq!(t.get(1234).unwrap(), Some(1235));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn works_with_tiny_buffer_pool() {
+        // 2-frame pool forces constant eviction during splits.
+        let (mut t, path) = fresh("tinypool", 2);
+        for k in 0..3_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in (0..3_000).step_by(211) {
+            assert_eq!(t.get(k).unwrap(), Some(k));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("wg_store_btree_garbage_{}", std::process::id()));
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        let pager = Pager::open(&path).unwrap();
+        let pool = BufferPool::new(pager, 4 * PAGE_SIZE);
+        assert!(BTree::open(pool).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

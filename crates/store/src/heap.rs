@@ -1,0 +1,333 @@
+//! Slotted heap pages with overflow chains.
+//!
+//! Rows (serialised adjacency lists) are appended to slotted pages; rows
+//! larger than the inline threshold spill into a chain of dedicated
+//! overflow pages. This mirrors how row stores actually hold wide tuples
+//! (PostgreSQL would TOAST them) — necessary here because transpose-graph
+//! rows for popular pages can exceed a page.
+
+use crate::buffer::BufferPool;
+use crate::pager::PageNo;
+use crate::{Result, StoreError, PAGE_SIZE};
+
+const TYPE_HEAP: u8 = 3;
+const TYPE_OVERFLOW: u8 = 4;
+
+/// Heap page header: type(1) + pad(1) + n_slots(2) + free_off(2).
+const HEAP_HEADER: usize = 6;
+/// Overflow page header: type(1) + pad(1) + used(2) + next(4).
+const OVF_HEADER: usize = 8;
+/// Per-slot directory entry: offset(2) + len(2), stored from the page end.
+const SLOT_SIZE: usize = 4;
+/// Slot length marker meaning "payload is an overflow handle".
+const OVERFLOW_MARK: u16 = u16::MAX;
+/// Inline payload of an overflow row: total_len(4) + first_page(4).
+const OVF_HANDLE: usize = 8;
+/// Largest row stored inline.
+const INLINE_MAX: usize = PAGE_SIZE - HEAP_HEADER - SLOT_SIZE - 8;
+
+/// Location of a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowPtr {
+    /// Page holding the slot.
+    pub page: PageNo,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+impl RowPtr {
+    /// Packs into a `u64` for storage as a B+tree value.
+    pub fn to_u64(self) -> u64 {
+        (u64::from(self.page) << 16) | u64::from(self.slot)
+    }
+
+    /// Unpacks from [`RowPtr::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        Self {
+            page: (v >> 16) as PageNo,
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+/// Append-only heap file of variable-length rows.
+#[derive(Debug)]
+pub struct HeapFile {
+    pool: BufferPool,
+    /// Page currently accepting inline rows (`None` before first insert).
+    current: Option<PageNo>,
+}
+
+impl HeapFile {
+    /// Creates an empty heap in `pool`'s file.
+    pub fn create(pool: BufferPool) -> Self {
+        Self {
+            pool,
+            current: None,
+        }
+    }
+
+    /// Reopens a heap (appends will go to fresh pages).
+    pub fn open(pool: BufferPool) -> Self {
+        Self {
+            pool,
+            current: None,
+        }
+    }
+
+    /// The underlying buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Mutable pool access (flush/clear between experiment runs).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Appends a row, returning its location.
+    pub fn insert(&mut self, data: &[u8]) -> Result<RowPtr> {
+        if data.len() <= INLINE_MAX {
+            self.insert_inline(data)
+        } else {
+            let (total, first) = self.write_overflow(data)?;
+            let mut handle = [0u8; OVF_HANDLE];
+            handle[..4].copy_from_slice(&total.to_le_bytes());
+            handle[4..].copy_from_slice(&first.to_le_bytes());
+            self.insert_slot(&handle, OVERFLOW_MARK)
+        }
+    }
+
+    /// Reads a row back.
+    pub fn read(&mut self, ptr: RowPtr) -> Result<Vec<u8>> {
+        enum Row {
+            Inline(Vec<u8>),
+            Overflow { total: u32, first: PageNo },
+        }
+        let row = self.pool.with_page(ptr.page, |p| {
+            if p[0] != TYPE_HEAP {
+                return Err(StoreError::Corrupt("row pointer into non-heap page"));
+            }
+            let n_slots = u16::from_le_bytes([p[2], p[3]]);
+            if ptr.slot >= n_slots {
+                return Err(StoreError::Corrupt("slot out of range"));
+            }
+            let dir = PAGE_SIZE - SLOT_SIZE * (ptr.slot as usize + 1);
+            let off = u16::from_le_bytes([p[dir], p[dir + 1]]) as usize;
+            let len = u16::from_le_bytes([p[dir + 2], p[dir + 3]]);
+            if len == OVERFLOW_MARK {
+                let total = u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]);
+                let first = u32::from_le_bytes([p[off + 4], p[off + 5], p[off + 6], p[off + 7]]);
+                Ok(Row::Overflow { total, first })
+            } else {
+                Ok(Row::Inline(p[off..off + len as usize].to_vec()))
+            }
+        })??;
+        match row {
+            Row::Inline(v) => Ok(v),
+            Row::Overflow { total, first } => self.read_overflow(total, first),
+        }
+    }
+
+    fn insert_inline(&mut self, data: &[u8]) -> Result<RowPtr> {
+        self.insert_slot(data, data.len() as u16)
+    }
+
+    /// Places `payload` in a slot whose directory length field is `len_field`
+    /// (the real length, or [`OVERFLOW_MARK`]).
+    fn insert_slot(&mut self, payload: &[u8], len_field: u16) -> Result<RowPtr> {
+        let need = payload.len() + SLOT_SIZE;
+        // Find or create a page with room.
+        let current = self.current;
+        let has_room = match current {
+            Some(p) => self.free_space(p)? >= need,
+            None => false,
+        };
+        let page = match current {
+            Some(p) if has_room => p,
+            _ => {
+                let p = self.pool.allocate()?;
+                self.pool.with_page_mut(p, |buf| {
+                    buf.fill(0);
+                    buf[0] = TYPE_HEAP;
+                    buf[4..6].copy_from_slice(&(HEAP_HEADER as u16).to_le_bytes());
+                })?;
+                self.current = Some(p);
+                p
+            }
+        };
+        let slot = self.pool.with_page_mut(page, |p| {
+            let n_slots = u16::from_le_bytes([p[2], p[3]]);
+            let free_off = u16::from_le_bytes([p[4], p[5]]) as usize;
+            p[free_off..free_off + payload.len()].copy_from_slice(payload);
+            let dir = PAGE_SIZE - SLOT_SIZE * (n_slots as usize + 1);
+            p[dir..dir + 2].copy_from_slice(&(free_off as u16).to_le_bytes());
+            p[dir + 2..dir + 4].copy_from_slice(&len_field.to_le_bytes());
+            p[2..4].copy_from_slice(&(n_slots + 1).to_le_bytes());
+            p[4..6].copy_from_slice(&((free_off + payload.len()) as u16).to_le_bytes());
+            n_slots
+        })?;
+        Ok(RowPtr { page, slot })
+    }
+
+    fn free_space(&mut self, page: PageNo) -> Result<usize> {
+        self.pool.with_page(page, |p| {
+            let n_slots = u16::from_le_bytes([p[2], p[3]]) as usize;
+            let free_off = u16::from_le_bytes([p[4], p[5]]) as usize;
+            let dir_start = PAGE_SIZE - SLOT_SIZE * n_slots;
+            dir_start.saturating_sub(free_off)
+        })
+    }
+
+    /// Writes `data` across a fresh overflow chain; returns (len, first page).
+    fn write_overflow(&mut self, data: &[u8]) -> Result<(u32, PageNo)> {
+        let chunk = PAGE_SIZE - OVF_HEADER;
+        let mut pages = Vec::with_capacity(data.len() / chunk + 1);
+        for _ in 0..data.len().div_ceil(chunk) {
+            pages.push(self.pool.allocate()?);
+        }
+        for (i, part) in data.chunks(chunk).enumerate() {
+            let next = pages.get(i + 1).copied().unwrap_or(PageNo::MAX);
+            self.pool.with_page_mut(pages[i], |p| {
+                p.fill(0);
+                p[0] = TYPE_OVERFLOW;
+                p[2..4].copy_from_slice(&(part.len() as u16).to_le_bytes());
+                p[4..8].copy_from_slice(&next.to_le_bytes());
+                p[OVF_HEADER..OVF_HEADER + part.len()].copy_from_slice(part);
+            })?;
+        }
+        Ok((data.len() as u32, pages[0]))
+    }
+
+    fn read_overflow(&mut self, total: u32, first: PageNo) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(total as usize);
+        let mut page = first;
+        while out.len() < total as usize {
+            if page == PageNo::MAX {
+                return Err(StoreError::Corrupt("overflow chain ended early"));
+            }
+            let next = self.pool.with_page(page, |p| {
+                if p[0] != TYPE_OVERFLOW {
+                    return Err(StoreError::Corrupt("bad overflow page type"));
+                }
+                let used = u16::from_le_bytes([p[2], p[3]]) as usize;
+                let next = u32::from_le_bytes([p[4], p[5], p[6], p[7]]);
+                out.extend_from_slice(&p[OVF_HEADER..OVF_HEADER + used]);
+                Ok(next)
+            })??;
+            page = next;
+        }
+        if out.len() != total as usize {
+            return Err(StoreError::Corrupt("overflow length mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+
+    fn fresh(name: &str, budget_pages: usize) -> (HeapFile, std::path::PathBuf) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("wg_store_heap_{name}_{}", std::process::id()));
+        let pager = Pager::create(&path).unwrap();
+        let pool = BufferPool::new(pager, budget_pages * PAGE_SIZE);
+        (HeapFile::create(pool), path)
+    }
+
+    #[test]
+    fn small_rows_round_trip() {
+        let (mut h, path) = fresh("small", 8);
+        let a = h.insert(b"hello").unwrap();
+        let b = h.insert(b"world!").unwrap();
+        let c = h.insert(&[]).unwrap();
+        assert_eq!(h.read(a).unwrap(), b"hello");
+        assert_eq!(h.read(b).unwrap(), b"world!");
+        assert_eq!(h.read(c).unwrap(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rows_pack_multiple_per_page() {
+        let (mut h, path) = fresh("pack", 8);
+        let a = h.insert(&[1u8; 100]).unwrap();
+        let b = h.insert(&[2u8; 100]).unwrap();
+        assert_eq!(a.page, b.page, "two small rows share a page");
+        assert_ne!(a.slot, b.slot);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn page_overflow_starts_new_page() {
+        let (mut h, path) = fresh("newpage", 16);
+        let big = vec![7u8; 3000];
+        let a = h.insert(&big).unwrap();
+        let b = h.insert(&big).unwrap();
+        let c = h.insert(&big).unwrap();
+        assert_eq!(a.page, b.page);
+        assert_ne!(b.page, c.page, "third 3000-byte row cannot fit page 1");
+        assert_eq!(h.read(c).unwrap(), big);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_rows_use_overflow_chains() {
+        let (mut h, path) = fresh("ovf", 32);
+        let sizes = [INLINE_MAX + 1, PAGE_SIZE * 2 + 17, PAGE_SIZE * 5];
+        let mut ptrs = Vec::new();
+        let mut datas = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            let data: Vec<u8> = (0..s).map(|j| ((i * 31 + j) % 251) as u8).collect();
+            ptrs.push(h.insert(&data).unwrap());
+            datas.push(data);
+        }
+        // Interleave a small row.
+        let small = h.insert(b"tiny").unwrap();
+        for (p, d) in ptrs.iter().zip(&datas) {
+            assert_eq!(h.read(*p).unwrap(), *d);
+        }
+        assert_eq!(h.read(small).unwrap(), b"tiny");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rowptr_u64_round_trip() {
+        for (page, slot) in [
+            (0u32, 0u16),
+            (1, 2),
+            (123_456, 999),
+            (PageNo::MAX >> 16, 65_534),
+        ] {
+            let p = RowPtr { page, slot };
+            assert_eq!(RowPtr::from_u64(p.to_u64()), p);
+        }
+    }
+
+    #[test]
+    fn many_rows_under_small_pool() {
+        let (mut h, path) = fresh("many", 2);
+        let mut ptrs = Vec::new();
+        for i in 0..2_000u32 {
+            let row = i.to_le_bytes().repeat(1 + (i % 50) as usize);
+            ptrs.push((h.insert(&row).unwrap(), row));
+        }
+        for (p, row) in ptrs.iter().rev() {
+            assert_eq!(&h.read(*p).unwrap(), row);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_slot_is_error() {
+        let (mut h, path) = fresh("badslot", 4);
+        let p = h.insert(b"x").unwrap();
+        let bogus = RowPtr {
+            page: p.page,
+            slot: 99,
+        };
+        assert!(h.read(bogus).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,230 @@
+//! Page-granular file manager.
+//!
+//! A [`Pager`] owns one file divided into [`PAGE_SIZE`] pages, addressed by
+//! dense [`PageNo`]. It performs raw positioned reads/writes and tracks I/O
+//! counts so experiments can report physical access statistics (the paper
+//! instruments loads/unloads the same way, §4.3).
+
+use crate::{Result, StoreError, PAGE_SIZE};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Index of a page within a pager's file.
+pub type PageNo = u32;
+
+/// Counters of physical page I/O.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Physical page reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+    /// Physical page writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+    /// Resets both counters.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One paged file.
+#[derive(Debug)]
+pub struct Pager {
+    file: File,
+    num_pages: PageNo,
+    stats: IoStats,
+    /// Stream id for simulated-disk seek accounting.
+    stream: u64,
+}
+
+impl Pager {
+    /// Creates (truncating) a paged file at `path`.
+    pub fn create(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            num_pages: 0,
+            stats: IoStats::default(),
+            stream: crate::diskmodel::new_stream(),
+        })
+    }
+
+    /// Opens an existing paged file read-only-compatible (reads and writes
+    /// both allowed; the file is not truncated).
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StoreError::Corrupt("file length not page-aligned"));
+        }
+        let num_pages = (len / PAGE_SIZE as u64) as PageNo;
+        Ok(Self {
+            file,
+            num_pages,
+            stats: IoStats::default(),
+            stream: crate::diskmodel::new_stream(),
+        })
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> PageNo {
+        self.num_pages
+    }
+
+    /// I/O statistics for this pager.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Allocates a fresh zeroed page at the end of the file.
+    pub fn allocate(&mut self) -> Result<PageNo> {
+        let no = self.num_pages;
+        let zeros = [0u8; PAGE_SIZE];
+        self.write_page(no, &zeros)?;
+        Ok(no)
+    }
+
+    /// Reads page `no` into `buf`.
+    pub fn read_page(&mut self, no: PageNo, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        if no >= self.num_pages {
+            return Err(StoreError::Corrupt("read past end of paged file"));
+        }
+        self.file
+            .seek(SeekFrom::Start(u64::from(no) * PAGE_SIZE as u64))?;
+        self.file.read_exact(buf)?;
+        crate::diskmodel::charge_read(self.stream, u64::from(no) * PAGE_SIZE as u64, PAGE_SIZE);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Writes `buf` to page `no`, extending the file if `no` is the next
+    /// unallocated page.
+    pub fn write_page(&mut self, no: PageNo, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        if no > self.num_pages {
+            return Err(StoreError::Corrupt("write would leave a hole"));
+        }
+        self.file
+            .seek(SeekFrom::Start(u64::from(no) * PAGE_SIZE as u64))?;
+        self.file.write_all(buf)?;
+        if no == self.num_pages {
+            self.num_pages += 1;
+        }
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flushes file contents to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wg_store_pager_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn allocate_read_write_round_trip() {
+        let path = temp_path("rw");
+        let mut pager = Pager::create(&path).unwrap();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        assert_eq!((a, b), (0, 1));
+
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 0xAB;
+        page[PAGE_SIZE - 1] = 0xCD;
+        pager.write_page(b, &page).unwrap();
+
+        let mut back = [0u8; PAGE_SIZE];
+        pager.read_page(b, &mut back).unwrap();
+        assert_eq!(back[0], 0xAB);
+        assert_eq!(back[PAGE_SIZE - 1], 0xCD);
+        // Page a is still zeroed.
+        pager.read_page(a, &mut back).unwrap();
+        assert!(back.iter().all(|&x| x == 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_contents() {
+        let path = temp_path("reopen");
+        {
+            let mut pager = Pager::create(&path).unwrap();
+            let p = pager.allocate().unwrap();
+            let mut page = [7u8; PAGE_SIZE];
+            page[3] = 99;
+            pager.write_page(p, &page).unwrap();
+            pager.sync().unwrap();
+        }
+        let mut pager = Pager::open(&path).unwrap();
+        assert_eq!(pager.num_pages(), 1);
+        let mut back = [0u8; PAGE_SIZE];
+        pager.read_page(0, &mut back).unwrap();
+        assert_eq!(back[3], 99);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_read_is_error() {
+        let path = temp_path("oor");
+        let mut pager = Pager::create(&path).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(pager.read_page(0, &mut buf).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn holes_are_rejected() {
+        let path = temp_path("hole");
+        let mut pager = Pager::create(&path).unwrap();
+        let page = [0u8; PAGE_SIZE];
+        assert!(pager.write_page(5, &page).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stats_count_physical_io() {
+        let path = temp_path("stats");
+        let mut pager = Pager::create(&path).unwrap();
+        let p = pager.allocate().unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        pager.read_page(p, &mut buf).unwrap();
+        pager.read_page(p, &mut buf).unwrap();
+        assert_eq!(pager.stats().reads(), 2);
+        assert_eq!(pager.stats().writes(), 1); // from allocate
+        pager.stats().reset();
+        assert_eq!(pager.stats().reads(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn misaligned_file_is_rejected() {
+        let path = temp_path("misalign");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(matches!(Pager::open(&path), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

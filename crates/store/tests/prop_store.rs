@@ -1,0 +1,125 @@
+//! Property tests on the storage substrate: the B+tree must behave exactly
+//! like an ordered map and the heap file like an append-only store, under
+//! arbitrary operation sequences and pathological buffer budgets.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use wg_store::btree::BTree;
+use wg_store::buffer::BufferPool;
+use wg_store::heap::HeapFile;
+use wg_store::pager::Pager;
+use wg_store::PAGE_SIZE;
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    // Include a counter so shrinking reruns don't collide.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    p.push(format!(
+        "wg_prop_store_{tag}_{}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn btree_matches_ordered_map(
+        ops in prop::collection::vec((0u64..5_000, any::<u64>()), 1..800),
+        budget_pages in 2usize..12,
+    ) {
+        let path = temp_path("btree");
+        let pager = Pager::create(&path).unwrap();
+        let pool = BufferPool::new(pager, budget_pages * PAGE_SIZE);
+        let mut tree = BTree::create(pool).unwrap();
+        let mut model = BTreeMap::new();
+        for &(k, v) in &ops {
+            tree.insert(k, v).unwrap();
+            model.insert(k, v);
+        }
+        prop_assert_eq!(tree.len(), model.len() as u64);
+        // Point lookups agree (present and absent keys).
+        for &(k, _) in ops.iter().take(50) {
+            prop_assert_eq!(tree.get(k).unwrap(), model.get(&k).copied());
+        }
+        prop_assert_eq!(tree.get(9_999_999).unwrap(), None);
+        // Full scan agrees in order and content.
+        let mut scanned = Vec::new();
+        tree.range(0, u64::MAX, |k, v| scanned.push((k, v))).unwrap();
+        let expect: Vec<(u64, u64)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn btree_bounded_range_scans(
+        keys in prop::collection::btree_set(0u64..10_000, 1..300),
+        lo in 0u64..10_000,
+        width in 0u64..5_000,
+    ) {
+        let path = temp_path("range");
+        let pager = Pager::create(&path).unwrap();
+        let pool = BufferPool::new(pager, 8 * PAGE_SIZE);
+        let mut tree = BTree::create(pool).unwrap();
+        for &k in &keys {
+            tree.insert(k, k * 3).unwrap();
+        }
+        let hi = lo + width;
+        let mut got = Vec::new();
+        tree.range(lo, hi, |k, v| {
+            got.push(k);
+            assert_eq!(v, k * 3);
+        })
+        .unwrap();
+        let expect: Vec<u64> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+        prop_assert_eq!(got, expect);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heap_rows_round_trip_in_any_order(
+        rows in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..2_000), 1..120),
+        budget_pages in 1usize..6,
+        read_order_seed in any::<u64>(),
+    ) {
+        let path = temp_path("heap");
+        let pager = Pager::create(&path).unwrap();
+        let pool = BufferPool::new(pager, budget_pages * PAGE_SIZE);
+        let mut heap = HeapFile::create(pool);
+        let ptrs: Vec<_> = rows.iter().map(|r| heap.insert(r).unwrap()).collect();
+        // Read back in a shuffled order.
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        let mut s = read_order_seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        for &i in &order {
+            prop_assert_eq!(&heap.read(ptrs[i]).unwrap(), &rows[i]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heap_handles_oversized_rows(
+        sizes in prop::collection::vec(1usize..40_000, 1..12),
+    ) {
+        let path = temp_path("bigrows");
+        let pager = Pager::create(&path).unwrap();
+        let pool = BufferPool::new(pager, 4 * PAGE_SIZE);
+        let mut heap = HeapFile::create(pool);
+        let rows: Vec<Vec<u8>> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (0..s).map(|j| ((i * 37 + j) % 251) as u8).collect())
+            .collect();
+        let ptrs: Vec<_> = rows.iter().map(|r| heap.insert(r).unwrap()).collect();
+        for (ptr, row) in ptrs.iter().zip(&rows) {
+            prop_assert_eq!(&heap.read(*ptr).unwrap(), row);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,220 @@
+//! `wgr` — command-line front end for the webgraph-repr workspace.
+//!
+//! ```text
+//! wgr gen   --pages 50000 --seed 7 --out corpus/         generate a corpus
+//! wgr build --corpus corpus/ --out repo/                 build the S-Node repo
+//! wgr stats --repo repo/                                 representation statistics
+//! wgr links --repo repo/ --page 1234                     adjacency of a page
+//! wgr domain --repo repo/ --name stanford.edu            pages of a domain
+//! wgr top   --corpus corpus/ --repo repo/ -k 10          top pages by PageRank
+//! ```
+//!
+//! The corpus directory stores the generated repository in a simple text
+//! format (`urls.txt`, `domains.txt`, `edges.txt`) so external tooling can
+//! produce inputs too: any repository expressible as those three files can
+//! be built into an S-Node representation.
+
+use std::path::PathBuf;
+use webgraph_repr::corpus::textio::{read_corpus, write_corpus};
+use webgraph_repr::corpus::{Corpus, CorpusConfig};
+use webgraph_repr::graph::pagerank::{pagerank, top_ranked, PageRankConfig};
+use webgraph_repr::snode::{build_snode, Renumbering, RepoInput, SNode, SNodeConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let code = match args.get(1).map(String::as_str) {
+        Some("gen") => cmd_gen(&args[2..]),
+        Some("build") => cmd_build(&args[2..]),
+        Some("stats") => cmd_stats(&args[2..]),
+        Some("links") => cmd_links(&args[2..]),
+        Some("domain") => cmd_domain(&args[2..]),
+        Some("top") => cmd_top(&args[2..]),
+        Some("verify") => cmd_verify(&args[2..]),
+        _ => {
+            eprintln!(
+                "usage: wgr <gen|build|stats|links|domain|top|verify> [options]\n\
+                 \n\
+                 gen    --pages N [--seed N] --out DIR      generate a synthetic corpus\n\
+                 build  --corpus DIR --out DIR              build the S-Node representation\n\
+                 stats  --repo DIR                          show representation statistics\n\
+                 links  --repo DIR --page N                 print a page's adjacency list\n\
+                 domain --repo DIR --corpus DIR --name D    list a domain's pages\n\
+                 top    --repo DIR --corpus DIR [-k N]      top pages by PageRank\n\
+                 verify --repo DIR                          full integrity check"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Pulls `--flag value` out of an argument slice.
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn req(args: &[String], flag: &str) -> String {
+    opt(args, flag).unwrap_or_else(|| {
+        eprintln!("missing required option {flag}");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_gen(args: &[String]) -> i32 {
+    let pages: u32 = req(args, "--pages").parse().expect("--pages number");
+    let seed: u64 = opt(args, "--seed").map_or(42, |s| s.parse().expect("--seed number"));
+    let out = PathBuf::from(req(args, "--out"));
+    std::fs::create_dir_all(&out).expect("create output dir");
+
+    let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
+    write_corpus(&out, &corpus).expect("write corpus");
+    println!(
+        "wrote {} pages, {} links, {} domains to {}",
+        corpus.num_pages(),
+        corpus.graph.num_edges(),
+        corpus.domains.len(),
+        out.display()
+    );
+    0
+}
+
+fn cmd_build(args: &[String]) -> i32 {
+    let corpus_dir = PathBuf::from(req(args, "--corpus"));
+    let out = PathBuf::from(req(args, "--out"));
+    let corpus = read_corpus(&corpus_dir).expect("read corpus");
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let input = RepoInput {
+        urls: &urls,
+        domains: &domains,
+        graph: &corpus.graph,
+    };
+    let t0 = std::time::Instant::now();
+    let (stats, _renum) = build_snode(input, &SNodeConfig::default(), &out).expect("build");
+    println!(
+        "built in {:?}: {} supernodes, {} superedges, {:.2} bits/edge → {}",
+        t0.elapsed(),
+        stats.num_supernodes,
+        stats.num_superedges,
+        stats.bits_per_edge(),
+        out.display()
+    );
+    0
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let repo = PathBuf::from(req(args, "--repo"));
+    let snode = SNode::open(&repo, 1 << 20).expect("open repo");
+    let meta = snode.meta();
+    println!("pages        : {}", snode.num_pages());
+    println!("supernodes   : {}", snode.num_supernodes());
+    println!("superedges   : {}", meta.supergraph.num_superedges());
+    println!(
+        "supernode graph: {} bytes encoded (+pointers {})",
+        meta.supergraph_bits.div_ceil(8),
+        meta.supergraph.encoded_bytes_with_pointers()
+    );
+    let mut sizes: Vec<u32> = (0..snode.num_supernodes())
+        .map(|s| meta.supernode_size(s))
+        .collect();
+    sizes.sort_unstable();
+    println!(
+        "element sizes: min {} / median {} / max {}",
+        sizes.first().unwrap_or(&0),
+        sizes.get(sizes.len() / 2).unwrap_or(&0),
+        sizes.last().unwrap_or(&0)
+    );
+    println!("domains      : {}", meta.domain_supernodes.len());
+    0
+}
+
+fn cmd_links(args: &[String]) -> i32 {
+    let repo = PathBuf::from(req(args, "--repo"));
+    let page: u32 = req(args, "--page").parse().expect("--page number");
+    let mut snode = SNode::open(&repo, 1 << 20).expect("open repo");
+    if page >= snode.num_pages() {
+        eprintln!("page {page} out of range (repo has {})", snode.num_pages());
+        return 1;
+    }
+    let links = snode.out_neighbors(page).expect("navigate");
+    println!(
+        "page {page} (supernode {}) links to {} pages:",
+        snode.supernode_of(page),
+        links.len()
+    );
+    for t in links {
+        println!("  {t}");
+    }
+    0
+}
+
+fn cmd_domain(args: &[String]) -> i32 {
+    let repo = PathBuf::from(req(args, "--repo"));
+    let corpus_dir = PathBuf::from(req(args, "--corpus"));
+    let name = req(args, "--name");
+    let corpus = read_corpus(&corpus_dir).expect("read corpus");
+    let Some(d) = corpus.domain_by_name(&name) else {
+        eprintln!("unknown domain {name}");
+        return 1;
+    };
+    let snode = SNode::open(&repo, 1 << 20).expect("open repo");
+    let renum = Renumbering::read(&repo).expect("pagemap");
+    let pages = snode.pages_in_domain(d);
+    println!(
+        "{name}: {} pages in supernodes {:?}",
+        pages.len(),
+        snode.supernodes_of_domain(d)
+    );
+    for &p in pages.iter().take(20) {
+        println!(
+            "  {p}  {}",
+            corpus.pages[renum.old_of_new[p as usize] as usize].url
+        );
+    }
+    if pages.len() > 20 {
+        println!("  … and {} more", pages.len() - 20);
+    }
+    0
+}
+
+fn cmd_verify(args: &[String]) -> i32 {
+    let repo = PathBuf::from(req(args, "--repo"));
+    match webgraph_repr::snode::verify(&repo) {
+        Ok(report) => {
+            println!(
+                "OK: {} pages, {} supernodes, {} superedges, {} edges ({} intra + {} cross)",
+                report.num_pages,
+                report.num_supernodes,
+                report.num_superedges,
+                report.total_edges(),
+                report.intranode_edges,
+                report.superedge_edges
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("FAILED: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_top(args: &[String]) -> i32 {
+    let repo = PathBuf::from(req(args, "--repo"));
+    let corpus_dir = PathBuf::from(req(args, "--corpus"));
+    let k: usize = opt(args, "-k").map_or(10, |s| s.parse().expect("-k number"));
+    let corpus = read_corpus(&corpus_dir).expect("read corpus");
+    let renum = Renumbering::read(&repo).expect("pagemap");
+    let pr = pagerank(&corpus.graph, &PageRankConfig::default());
+    println!("top {k} pages by PageRank:");
+    for &old in top_ranked(&pr.ranks, k).iter() {
+        println!(
+            "  {:.6}  (id {})  {}",
+            pr.ranks[old as usize], renum.new_of_old[old as usize], corpus.pages[old as usize].url
+        );
+    }
+    0
+}

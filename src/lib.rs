@@ -1,0 +1,16 @@
+//! Umbrella crate re-exporting the full `webgraph-repr` API surface.
+//!
+//! This workspace reproduces *Representing Web Graphs* (Raghavan &
+//! Garcia-Molina, ICDE 2003): the S-Node two-level Web-graph representation,
+//! the baselines it is evaluated against, and the complete evaluation harness.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use wg_baselines as baselines;
+pub use wg_bitio as bitio;
+pub use wg_corpus as corpus;
+pub use wg_graph as graph;
+pub use wg_query as query;
+pub use wg_snode as snode;
+pub use wg_store as store;

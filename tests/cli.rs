@@ -1,0 +1,95 @@
+//! End-to-end test of the `wgr` command-line tool: generate → build →
+//! inspect, through real process invocations.
+
+use std::process::Command;
+
+fn wgr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wgr"))
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wg_cli_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+#[test]
+fn gen_build_inspect_round_trip() {
+    let root = temp_dir("roundtrip");
+    let corpus = root.join("corpus");
+    let repo = root.join("repo");
+
+    let out = wgr()
+        .args(["gen", "--pages", "2000", "--seed", "5", "--out"])
+        .arg(&corpus)
+        .output()
+        .expect("run wgr gen");
+    assert!(out.status.success(), "gen failed: {out:?}");
+    assert!(corpus.join("urls.txt").exists());
+    assert!(corpus.join("edges.txt").exists());
+
+    let out = wgr()
+        .args(["build", "--corpus"])
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&repo)
+        .output()
+        .expect("run wgr build");
+    assert!(out.status.success(), "build failed: {out:?}");
+    assert!(repo.join("meta.bin").exists());
+    assert!(repo.join("index_000.bin").exists());
+
+    let out = wgr().args(["stats", "--repo"]).arg(&repo).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pages        : 2000"), "stats output: {text}");
+    assert!(text.contains("supernodes"));
+
+    let out = wgr()
+        .args(["links", "--repo"])
+        .arg(&repo)
+        .args(["--page", "0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("links to"));
+
+    // Out-of-range page exits non-zero, cleanly.
+    let out = wgr()
+        .args(["links", "--repo"])
+        .arg(&repo)
+        .args(["--page", "999999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = wgr()
+        .args(["verify", "--repo"])
+        .arg(&repo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "verify failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("OK:"));
+
+    let out = wgr()
+        .args(["top", "--repo"])
+        .arg(&repo)
+        .arg("--corpus")
+        .arg(&corpus)
+        .args(["-k", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PageRank"));
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn usage_on_bad_subcommand() {
+    let out = wgr().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,148 @@
+//! Workspace-level integration tests: the full pipeline from synthetic
+//! corpus through every graph representation to query execution, exercised
+//! through the umbrella crate's public API exactly as a downstream user
+//! would.
+
+use webgraph_repr::corpus::{Corpus, CorpusConfig};
+use webgraph_repr::query::queries::{
+    query1, query2, query3, query4, query5, query6, QueryEnv, QueryOutput, Workload,
+};
+use webgraph_repr::query::reps::{Scheme, SchemeSet};
+use webgraph_repr::query::{DomainTable, PageRankIndex, TextIndex};
+use webgraph_repr::snode::SNodeConfig;
+
+struct Pipeline {
+    root: std::path::PathBuf,
+    corpus: Corpus,
+    set: SchemeSet,
+    text: TextIndex,
+    pagerank: PageRankIndex,
+    domains: DomainTable,
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
+}
+
+fn pipeline(name: &str, pages: u32, seed: u64) -> Pipeline {
+    let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let doms: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let mut root = std::env::temp_dir();
+    root.push(format!("wg_e2e_{name}_{}", std::process::id()));
+    let set = SchemeSet::build(
+        &root,
+        &urls,
+        &doms,
+        &corpus.graph,
+        &SNodeConfig::default(),
+        1 << 20,
+    )
+    .expect("scheme set builds");
+    let text = TextIndex::build(&corpus, &set.renumbering);
+    let pagerank = PageRankIndex::build(&corpus.graph, &set.renumbering);
+    let domains = DomainTable::build(&corpus, &set.renumbering);
+    Pipeline {
+        root,
+        corpus,
+        set,
+        text,
+        pagerank,
+        domains,
+    }
+}
+
+fn run_workload(p: &Pipeline, scheme: Scheme) -> Vec<QueryOutput> {
+    let workload = Workload::discover(&p.text, &p.domains);
+    let env = QueryEnv {
+        text: &p.text,
+        pagerank: &p.pagerank,
+        domains: &p.domains,
+    };
+    let mut fwd = p.set.open(scheme).expect("open");
+    let mut back = p.set.open_transpose(scheme).expect("open transpose");
+    vec![
+        query1(env, fwd.as_mut(), &workload.q1).expect("q1"),
+        query2(env, fwd.as_mut(), &workload.q2).expect("q2"),
+        query3(env, fwd.as_mut(), back.as_mut(), &workload.q3).expect("q3"),
+        query4(env, back.as_mut(), &workload.q4).expect("q4"),
+        query5(env, fwd.as_mut(), &workload.q5).expect("q5"),
+        query6(env, fwd.as_mut(), &workload.q6).expect("q6"),
+    ]
+}
+
+#[test]
+fn full_pipeline_schemes_agree_on_all_six_queries() {
+    let p = pipeline("agree", 2_000, 99);
+    let reference = run_workload(&p, Scheme::SNode);
+    assert!(
+        reference.iter().map(|o| o.rows.len()).sum::<usize>() > 0,
+        "discovered workload must have non-trivial answers"
+    );
+    for scheme in [Scheme::Files, Scheme::Relational, Scheme::Link3] {
+        let got = run_workload(&p, scheme);
+        for (qi, (a, b)) in reference.iter().zip(&got).enumerate() {
+            assert_eq!(
+                a.rows,
+                b.rows,
+                "scheme {} disagrees with s-node on Q{}",
+                scheme.name(),
+                qi + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scheme_reconstructs_the_renumbered_graph() {
+    let p = pipeline("recon", 1_200, 5);
+    for scheme in Scheme::ALL {
+        let mut fwd = p.set.open(scheme).expect("open");
+        for page in (0..p.set.graph.num_nodes()).step_by(37) {
+            assert_eq!(
+                fwd.out_neighbors(page).expect("navigate"),
+                p.set.graph.neighbors(page),
+                "{} page {page}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn transpose_representations_agree_with_backlinks() {
+    let p = pipeline("backlinks", 1_000, 17);
+    for scheme in Scheme::ALL {
+        let mut back = p.set.open_transpose(scheme).expect("open transpose");
+        for page in (0..p.set.graph.num_nodes()).step_by(53) {
+            assert_eq!(
+                back.out_neighbors(page).expect("navigate"),
+                p.set.transpose.neighbors(page),
+                "{} transpose page {page}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn text_index_and_corpus_agree_through_renumbering() {
+    let p = pipeline("text", 1_500, 33);
+    for ph in (0..p.text.num_phrases()).step_by(11) {
+        for &new in p.text.pages_with_phrase(ph) {
+            let old = p.set.renumbering.old_of_new[new as usize];
+            assert!(p.corpus.page_has_phrase(old, ph));
+        }
+    }
+}
+
+#[test]
+fn navigation_is_timed_for_every_query() {
+    let p = pipeline("timing", 1_000, 8);
+    for out in run_workload(&p, Scheme::SNode) {
+        assert!(out.nav.nav_calls > 0);
+        assert!(out.nav.nav_time.as_nanos() > 0);
+    }
+}
