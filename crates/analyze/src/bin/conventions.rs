@@ -1,0 +1,272 @@
+//! `conventions` — a dependency-free source lint for workspace rules that
+//! clippy cannot express.
+//!
+//! Rules:
+//!
+//! 1. Every crate root (`src/lib.rs` of each workspace member, plus the
+//!    umbrella `src/lib.rs`) carries `#![forbid(unsafe_code)]`.
+//! 2. Decode-path library files contain no `.unwrap(`, `.expect(`, or
+//!    `panic!(` outside `#[cfg(test)]` modules: corrupt input must come
+//!    back as `SNodeError::Corrupt`, never a panic. (`assert!` on encoder
+//!    preconditions and `unreachable!` on proven-impossible branches stay
+//!    allowed.)
+//! 3. Every `SNodeError::Corrupt("...")` message is unique across the
+//!    workspace, so a reported corruption pins down its origin.
+//!
+//! Exit 0 when clean; exit 1 with one line per violation otherwise.
+//! Usage: `conventions [--root DIR]` (defaults to the workspace root,
+//! found relative to this crate's manifest).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Library files on the decode path: everything that parses untrusted
+/// bytes. Kept explicit so a new panic cannot sneak in via a new helper.
+const DECODE_PATH_FILES: &[&str] = &[
+    "crates/core/src/disk.rs",
+    "crates/core/src/refenc.rs",
+    "crates/core/src/subgraphs.rs",
+    "crates/core/src/supergraph.rs",
+    "crates/core/src/repr.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/verify.rs",
+    "crates/bitio/src/bitstream.rs",
+    "crates/bitio/src/codes.rs",
+    "crates/bitio/src/zeta.rs",
+    "crates/bitio/src/gaps.rs",
+    "crates/bitio/src/rle.rs",
+    "crates/bitio/src/huffman.rs",
+    "crates/store/src/pager.rs",
+    "crates/store/src/buffer.rs",
+    "crates/store/src/btree.rs",
+    "crates/store/src/heap.rs",
+    "crates/store/src/files.rs",
+    "crates/store/src/relational.rs",
+    "crates/analyze/src/check.rs",
+    "crates/analyze/src/lib.rs",
+];
+
+const BANNED_TOKENS: &[&str] = &[".unwrap(", ".expect(", "panic!("];
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let root = args
+        .iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(default_root, PathBuf::from);
+    let mut violations = Vec::new();
+
+    check_forbid_unsafe(&root, &mut violations);
+    check_no_panics(&root, &mut violations);
+    check_unique_corrupt_messages(&root, &mut violations);
+
+    if violations.is_empty() {
+        println!("conventions: ok");
+        std::process::exit(0);
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!("conventions: {} violation(s)", violations.len());
+    std::process::exit(1);
+}
+
+/// The workspace root is two levels above this crate's manifest dir.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+// --- Rule 1: #![forbid(unsafe_code)] in every crate root --------------------
+
+fn check_forbid_unsafe(root: &Path, violations: &mut Vec<String>) {
+    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
+    for parent in ["crates", "vendor"] {
+        let Ok(entries) = std::fs::read_dir(root.join(parent)) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let lib = e.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.sort();
+    for lib in roots {
+        let Ok(src) = std::fs::read_to_string(&lib) else {
+            violations.push(format!("{}: unreadable crate root", rel(root, &lib)));
+            continue;
+        };
+        if !src.contains("#![forbid(unsafe_code)]") {
+            violations.push(format!(
+                "{}: missing #![forbid(unsafe_code)]",
+                rel(root, &lib)
+            ));
+        }
+    }
+}
+
+// --- Rule 2: no panics on the decode path -----------------------------------
+
+fn check_no_panics(root: &Path, violations: &mut Vec<String>) {
+    for file in DECODE_PATH_FILES {
+        let path = root.join(file);
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            violations.push(format!("{file}: decode-path file missing"));
+            continue;
+        };
+        for (lineno, line) in non_test_lines(&src) {
+            let code = strip_line_comment(line);
+            for tok in BANNED_TOKENS {
+                if code.contains(tok) {
+                    violations.push(format!(
+                        "{file}:{lineno}: `{}` in non-test decode-path code",
+                        tok.trim_start_matches('.')
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Yields `(1-based line, text)` for lines outside `#[cfg(test)]` blocks.
+///
+/// A textual brace-tracker, not a parser: when a line contains
+/// `#[cfg(test)]`, everything until the matching close brace of the block
+/// that starts next is skipped. Good enough for rustfmt-formatted code,
+/// which is what the workspace contains (CI runs `cargo fmt --check`).
+fn non_test_lines(src: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut depth: i64 = 0; // brace depth inside a cfg(test) region; 0 = outside
+    let mut in_test = false;
+    let mut armed = false; // saw #[cfg(test)], waiting for its opening brace
+    for (i, line) in src.lines().enumerate() {
+        if !in_test && !armed && line.contains("#[cfg(test)]") {
+            armed = true;
+            continue;
+        }
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if armed {
+            if opens > 0 {
+                in_test = true;
+                armed = false;
+                depth = opens - closes;
+                if depth <= 0 {
+                    in_test = false;
+                }
+            }
+            continue;
+        }
+        if in_test {
+            depth += opens - closes;
+            if depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        out.push((i + 1, line));
+    }
+    out
+}
+
+/// Drops a trailing `// ...` comment (string literals containing `//` are
+/// rare enough in this codebase that the approximation is acceptable —
+/// a false *negative* only, never a false positive, for the banned
+/// tokens, which never appear inside the workspace's string literals).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+// --- Rule 3: unique Corrupt messages ----------------------------------------
+
+fn check_unique_corrupt_messages(root: &Path, violations: &mut Vec<String>) {
+    let mut seen: HashMap<String, String> = HashMap::new();
+    let mut files: Vec<PathBuf> = Vec::new();
+    let Ok(crates) = std::fs::read_dir(root.join("crates")) else {
+        violations.push("crates/ directory missing".to_string());
+        return;
+    };
+    for e in crates.flatten() {
+        collect_rs_files(&e.path().join("src"), &mut files);
+    }
+    files.sort();
+    for path in files {
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let name = rel(root, &path);
+        // Flatten the non-test, comment-stripped lines so literals that
+        // rustfmt wrapped onto the line after `Corrupt(` still match,
+        // keeping a line map for reporting.
+        let mut flat = String::new();
+        let mut line_starts: Vec<(usize, usize)> = Vec::new(); // (offset, lineno)
+        for (lineno, line) in non_test_lines(&src) {
+            line_starts.push((flat.len(), lineno));
+            flat.push_str(strip_line_comment(line));
+            flat.push('\n');
+        }
+        let mut pos = 0usize;
+        while let Some(found) = flat[pos..].find("Corrupt(") {
+            let after = pos + found + "Corrupt(".len();
+            pos = after;
+            let Some(msg) = leading_string_literal(&flat[after..]) else {
+                continue;
+            };
+            let lineno = line_starts
+                .iter()
+                .take_while(|&&(off, _)| off <= after)
+                .last()
+                .map_or(0, |&(_, l)| l);
+            let here = format!("{name}:{lineno}");
+            if let Some(prev) = seen.get(&msg) {
+                violations.push(format!(
+                    "{here}: duplicate Corrupt message {msg:?} (first at {prev})"
+                ));
+            } else {
+                seen.insert(msg, here);
+            }
+        }
+    }
+}
+
+/// Parses a leading `"..."` literal (no escapes needed for these messages).
+fn leading_string_literal(s: &str) -> Option<String> {
+    let s = s.trim_start();
+    let rest = s.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs_files(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .display()
+        .to_string()
+        .replace('\\', "/")
+}

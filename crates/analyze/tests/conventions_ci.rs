@@ -1,0 +1,14 @@
+//! Runs the `conventions` source lint as part of the test suite, so
+//! `cargo test` enforces the workspace rules without extra CI plumbing.
+
+#[test]
+fn conventions_lint_passes() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_conventions"))
+        .output()
+        .expect("run conventions binary");
+    assert!(
+        out.status.success(),
+        "conventions lint failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -248,7 +248,9 @@ impl Link3DiskStore {
         let offsets = std::mem::take(&mut self.offsets);
         let result = (|| {
             if p >= num_pages {
-                return Err(BaselineError::Corrupt("page id out of range"));
+                return Err(BaselineError::Corrupt(
+                    "link3 buffered page id out of range",
+                ));
             }
             let stream_bytes = self.bit_len.div_ceil(8) as usize;
             let first_page = p.saturating_sub(WINDOW * MAX_CHAIN);
@@ -292,7 +294,9 @@ impl Link3DiskStore {
 
     #[cfg(not(unix))]
     fn read_at(&self, _buf: &mut [u8], _offset: u64) -> Result<()> {
-        Err(BaselineError::Corrupt("positioned reads require unix"))
+        Err(BaselineError::Corrupt(
+            "link3 positioned reads require unix",
+        ))
     }
 }
 
@@ -310,7 +314,7 @@ where
     F: FnMut(u64, &mut dyn FnMut(&mut BitReader<'_>) -> Result<Vec<PageId>>) -> Result<Vec<PageId>>,
 {
     if p >= num_pages {
-        return Err(BaselineError::Corrupt("page id out of range"));
+        return Err(BaselineError::Corrupt("link3 page id out of range"));
     }
     // Collect the reference chain (bounded by MAX_CHAIN).
     let mut chain = vec![p];
@@ -422,7 +426,7 @@ fn read_source_relative(r: &mut BitReader<'_>, p: PageId) -> Result<Vec<PageId>>
             Some(q) => q
                 .checked_add(g as u32)
                 .and_then(|v| v.checked_add(1))
-                .ok_or(BaselineError::Corrupt("gap overflow"))?,
+                .ok_or(BaselineError::Corrupt("link3 gap overflow"))?,
         };
         out.push(t);
         prev = Some(t);

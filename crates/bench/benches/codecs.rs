@@ -2,6 +2,9 @@
 //! representation is built on: Elias codes, canonical Huffman, and the
 //! reference-encoding list codec.
 
+// Test/bench code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use wg_bitio::{codes, BitReader, BitWriter, HuffmanCode};
 use wg_snode::refenc::{encode_lists, ListsReader, RefMode, Universe};
@@ -25,7 +28,7 @@ fn bench_elias(c: &mut Criterion) {
                 codes::write_gamma(&mut w, v);
             }
             w.bit_len()
-        })
+        });
     });
     let mut w = BitWriter::new();
     for &v in &values {
@@ -40,7 +43,7 @@ fn bench_elias(c: &mut Criterion) {
                 acc = acc.wrapping_add(codes::read_gamma(&mut r).expect("decode"));
             }
             acc
-        })
+        });
     });
     let mut w = BitWriter::new();
     for &v in &values {
@@ -55,7 +58,7 @@ fn bench_elias(c: &mut Criterion) {
                 acc = acc.wrapping_add(codes::read_delta(&mut r).expect("decode"));
             }
             acc
-        })
+        });
     });
     group.finish();
 }
@@ -86,7 +89,7 @@ fn bench_huffman(c: &mut Criterion) {
                 code.encode(&mut w, m);
             }
             w.bit_len()
-        })
+        });
     });
     let mut w = BitWriter::new();
     for &m in &msg {
@@ -102,7 +105,7 @@ fn bench_huffman(c: &mut Criterion) {
                 acc += u64::from(dec.decode(&mut r).expect("decode"));
             }
             acc
-        })
+        });
     });
     group.finish();
 }
@@ -131,7 +134,7 @@ fn bench_refenc(c: &mut Criterion) {
     let mut group = c.benchmark_group("refenc");
     group.throughput(Throughput::Elements(edges));
     group.bench_function("encode_windowed32", |b| {
-        b.iter(|| encode_lists(&lists, 512, RefMode::Windowed(32)).bit_len)
+        b.iter(|| encode_lists(&lists, 512, RefMode::Windowed(32)).bit_len);
     });
     let enc = encode_lists(&lists, 512, RefMode::Windowed(32));
     group.bench_function("decode_all", |b| {
@@ -141,7 +144,7 @@ fn bench_refenc(c: &mut Criterion) {
                 .decode_all()
                 .expect("decode")
                 .len()
-        })
+        });
     });
     let reader = ListsReader::parse(&enc.bytes, enc.bit_len, Universe::Explicit(512)).unwrap();
     group.bench_function("decode_single_random", |b| {
@@ -149,7 +152,7 @@ fn bench_refenc(c: &mut Criterion) {
         b.iter(|| {
             let i = (pseudo(&mut s) % 512) as u32;
             reader.decode_list(i).expect("decode").len()
-        })
+        });
     });
     group.finish();
 }

@@ -5,6 +5,9 @@
 //! `table2_access` *binary* prints the paper-style ns/edge table; this
 //! bench gives statistically robust per-call numbers for the same paths.
 
+// Test/bench code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use wg_baselines::{HuffmanGraph, Link3Graph};
 use wg_corpus::{Corpus, CorpusConfig};
@@ -80,7 +83,7 @@ fn bench_random_access(c: &mut Criterion) {
                 acc += f.huffman.out_neighbors(p).expect("decode").len();
             }
             acc
-        })
+        });
     });
     group.bench_with_input(BenchmarkId::new("link3", "25k"), &pages, |b, pages| {
         b.iter(|| {
@@ -89,7 +92,7 @@ fn bench_random_access(c: &mut Criterion) {
                 acc += f.link3.out_neighbors(p).expect("decode").len();
             }
             acc
-        })
+        });
     });
     group.bench_with_input(BenchmarkId::new("snode", "25k"), &pages, |b, pages| {
         b.iter(|| {
@@ -98,7 +101,7 @@ fn bench_random_access(c: &mut Criterion) {
                 acc += f.snode.out_neighbors(p).expect("decode").len();
             }
             acc
-        })
+        });
     });
     group.finish();
 }
@@ -117,7 +120,7 @@ fn bench_sequential_access(c: &mut Criterion) {
                 acc += f.huffman.out_neighbors(p).expect("decode").len();
             }
             acc
-        })
+        });
     });
     group.bench_function("link3", |b| {
         b.iter(|| {
@@ -126,7 +129,7 @@ fn bench_sequential_access(c: &mut Criterion) {
                 acc += f.link3.out_neighbors(p).expect("decode").len();
             }
             acc
-        })
+        });
     });
     group.bench_function("snode", |b| {
         b.iter(|| {
@@ -135,7 +138,7 @@ fn bench_sequential_access(c: &mut Criterion) {
                 acc += f.snode.out_neighbors(p).expect("decode").len();
             }
             acc
-        })
+        });
     });
     group.finish();
 }

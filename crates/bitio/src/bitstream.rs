@@ -63,8 +63,9 @@ impl BitWriter {
             self.buf.push(0);
         }
         if bit {
-            let last = self.buf.last_mut().expect("buffer non-empty");
-            *last |= 1 << (7 - self.partial_bits);
+            if let Some(last) = self.buf.last_mut() {
+                *last |= 1 << (7 - self.partial_bits);
+            }
         }
         self.partial_bits = (self.partial_bits + 1) % 8;
     }
@@ -90,8 +91,9 @@ impl BitWriter {
             let take = space.min(remaining);
             let shift = remaining - take;
             let chunk = ((value >> shift) & ((1u64 << take) - 1)) as u8;
-            let last = self.buf.last_mut().expect("buffer non-empty");
-            *last |= chunk << (space - take);
+            if let Some(last) = self.buf.last_mut() {
+                *last |= chunk << (space - take);
+            }
             self.partial_bits = (self.partial_bits + take) % 8;
             remaining -= take;
         }

@@ -42,9 +42,8 @@ pub fn gamma_len(x: u64) -> u64 {
 /// (which starts with a 1 bit).
 #[inline]
 pub fn write_gamma(w: &mut BitWriter, x: u64) {
-    let v = x
-        .checked_add(1)
-        .expect("gamma code domain is 0..=u64::MAX-1");
+    let v = x.wrapping_add(1);
+    assert!(v != 0, "gamma code domain is 0..=u64::MAX-1");
     let b = 63 - v.leading_zeros(); // floor(log2 v)
     w.write_zeros(u64::from(b));
     w.write_bits(v, b + 1);
@@ -77,9 +76,8 @@ pub fn delta_len(x: u64) -> u64 {
 /// δ(v) codes ⌊log₂ v⌋ + 1 in γ, then the b low-order bits of v.
 #[inline]
 pub fn write_delta(w: &mut BitWriter, x: u64) {
-    let v = x
-        .checked_add(1)
-        .expect("delta code domain is 0..=u64::MAX-1");
+    let v = x.wrapping_add(1);
+    assert!(v != 0, "delta code domain is 0..=u64::MAX-1");
     let b = 63 - u64::from(v.leading_zeros());
     write_gamma(w, b);
     if b > 0 {

@@ -59,6 +59,11 @@ impl HuffmanCode {
         self.lengths.len()
     }
 
+    /// The per-symbol code length table (0 = symbol has no code).
+    pub fn lengths(&self) -> &[u32] {
+        &self.lengths
+    }
+
     /// Code length of `sym` in bits, or 0 if the symbol has no code.
     #[inline]
     pub fn len_of(&self, sym: Symbol) -> u32 {
@@ -96,7 +101,9 @@ impl HuffmanCode {
                 what: "alphabet too large",
             });
         }
-        let mut lengths = Vec::with_capacity(n as usize);
+        // `n` is untrusted; clamp the reservation so a corrupt count cannot
+        // force a giant allocation before the per-symbol reads fail.
+        let mut lengths = Vec::with_capacity((n as usize).min(1 << 20));
         for _ in 0..n {
             let l = codes::read_gamma(r)?;
             if l > u64::from(MAX_CODE_LEN) {
@@ -369,7 +376,11 @@ fn limit_lengths(lengths: &mut [u32], limit: u32) {
                 }
             }
         }
-        let i = best.expect("kraft repair impossible: alphabet larger than 2^limit");
+        let Some(i) = best else {
+            // Unreachable: an alphabet larger than 2^MAX_CODE_LEN would be
+            // needed, and callers never build one.
+            break;
+        };
         used -= unit(lengths[i]) / 2;
         lengths[i] += 1;
     }

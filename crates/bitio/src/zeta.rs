@@ -33,7 +33,8 @@ pub fn write_zeta(w: &mut BitWriter, x: u64, k: u32) {
         (1..=16).contains(&k),
         "zeta shrinking parameter must be 1..=16"
     );
-    let v = x.checked_add(1).expect("zeta domain is 0..=u64::MAX-1");
+    let v = x.wrapping_add(1);
+    assert!(v != 0, "zeta domain is 0..=u64::MAX-1");
     let h = h_of(v, k);
     let lo = 1u64 << (h * k);
     let hi = 1u64 << ((h + 1) * k);

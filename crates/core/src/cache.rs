@@ -287,14 +287,18 @@ impl GraphCache {
             log.push(CacheEvent::Load(key));
         }
         // Evict until it fits (or nothing is left to evict).
-        while self.used + bytes > self.budget && !self.map.is_empty() {
-            let victim = self
+        while self.used + bytes > self.budget {
+            let Some(victim) = self
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(&k, _)| k)
-                .expect("non-empty map");
-            let removed = self.map.remove(&victim).expect("victim exists");
+            else {
+                break;
+            };
+            let Some(removed) = self.map.remove(&victim) else {
+                break;
+            };
             self.used -= removed.graph.bytes();
             self.stats.evictions += 1;
             if let Some(log) = &mut self.log {

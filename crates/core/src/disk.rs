@@ -141,6 +141,35 @@ impl SNodeMeta {
         Ok(out.len() as u64)
     }
 
+    /// Reads only the serialised supernode-graph section of `dir/meta.bin`:
+    /// the stored bytes and declared bit length. [`SNodeMeta::read`]
+    /// re-derives the graph and discards the raw stream; audits need the
+    /// stream itself to inspect the stored Huffman table and padding.
+    pub fn read_supergraph_section(dir: &Path) -> Result<(Vec<u8>, u64)> {
+        let mut buf = Vec::new();
+        File::open(dir.join("meta.bin"))?.read_to_end(&mut buf)?;
+        let mut c = Cursor::new(&buf);
+        if c.u32()? != META_MAGIC {
+            return Err(SNodeError::Corrupt(
+                "bad meta magic before supergraph section",
+            ));
+        }
+        if c.u32()? != META_VERSION {
+            return Err(SNodeError::Corrupt(
+                "bad meta version before supergraph section",
+            ));
+        }
+        let _num_pages = c.u32()?;
+        let n = c.u32()? as usize;
+        for _ in 0..=n {
+            c.u32()?;
+        }
+        let sg_bits = c.u64()?;
+        let sg_len = c.u64()? as usize;
+        let sg_bytes = c.bytes(sg_len)?;
+        Ok((sg_bytes.to_vec(), sg_bits))
+    }
+
     /// Deserialises from `dir/meta.bin`.
     pub fn read(dir: &Path) -> Result<Self> {
         let mut buf = Vec::new();
@@ -154,7 +183,9 @@ impl SNodeMeta {
         }
         let num_pages = c.u32()?;
         let n = c.u32()? as usize;
-        let mut range_start = Vec::with_capacity(n + 1);
+        // Counts are untrusted until the reads below confirm them; clamp the
+        // eager reservations (the vectors still grow on demand).
+        let mut range_start = Vec::with_capacity((n + 1).min(1 << 20));
         for _ in 0..=n {
             range_start.push(c.u32()?);
         }
@@ -196,10 +227,10 @@ impl SNodeMeta {
             superedge_loc.push(locs);
         }
         let nd = c.u32()? as usize;
-        let mut domain_supernodes = Vec::with_capacity(nd);
+        let mut domain_supernodes = Vec::with_capacity(nd.min(1 << 20));
         for _ in 0..nd {
             let k = c.u32()? as usize;
-            let mut list = Vec::with_capacity(k);
+            let mut list = Vec::with_capacity(k.min(1 << 20));
             for _ in 0..k {
                 list.push(c.u32()?);
             }
@@ -312,7 +343,7 @@ impl Renumbering {
             return Err(SNodeError::Corrupt("bad pagemap magic"));
         }
         let n = c.u32()? as usize;
-        let mut old_of_new = Vec::with_capacity(n);
+        let mut old_of_new = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
             let v = c.u32()?;
             if v as usize >= n {
@@ -367,7 +398,10 @@ impl IndexFileWriter {
             self.current = Some(File::create(path)?);
             self.current_used = 0;
         }
-        let f = self.current.as_mut().expect("file open");
+        let Some(f) = self.current.as_mut() else {
+            // Rotation above guarantees an open file; fail cleanly if not.
+            return Err(SNodeError::Corrupt("index file writer has no open file"));
+        };
         f.write_all(bytes)?;
         let loc = GraphLocator {
             file: self.current_no,
@@ -453,7 +487,8 @@ impl IndexFileReader {
     }
 }
 
-fn index_file_path(dir: &Path, no: u32) -> PathBuf {
+/// Path of index file `no` under `dir` (`index_000.bin`, `index_001.bin`, …).
+pub fn index_file_path(dir: &Path, no: u32) -> PathBuf {
     dir.join(format!("index_{no:03}.bin"))
 }
 
@@ -619,7 +654,7 @@ mod tests {
         let mut w = IndexFileWriter::create(&dir, 1000).unwrap();
         let mut locs = Vec::new();
         for i in 0..10u8 {
-            locs.push(w.append(&vec![i; 50], 400).unwrap());
+            locs.push(w.append(&[i; 50], 400).unwrap());
         }
         assert!(locs.iter().all(|l| l.file == 0), "500 bytes fit one file");
         // Offsets are consecutive — the linear ordering is physical.

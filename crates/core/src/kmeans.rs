@@ -208,8 +208,8 @@ mod tests {
             match out {
                 KMeansOutcome::Converged {
                     assignment,
-                    non_empty,
-                } if non_empty == 2 => {
+                    non_empty: 2,
+                } => {
                     let first = assignment[0];
                     assignment[..10].iter().all(|&a| a == first)
                         && assignment[10..].iter().all(|&a| a != first)

@@ -276,10 +276,10 @@ pub fn refine(
 
     match config.pick {
         PickPolicy::LargestFirst => {
-            refine_largest_first(&mut partition, urls, graph, config, &mut rng, &mut stats)
+            refine_largest_first(&mut partition, urls, graph, config, &mut rng, &mut stats);
         }
         PickPolicy::Random => {
-            refine_random(&mut partition, urls, graph, config, &mut rng, &mut stats)
+            refine_random(&mut partition, urls, graph, config, &mut rng, &mut stats);
         }
     }
 

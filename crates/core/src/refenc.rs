@@ -31,6 +31,15 @@
 use crate::{Result, SNodeError};
 use wg_bitio::{codes, rle, BitReader, BitWriter};
 
+/// Depth cap on reference chains in [`RefMode::Windowed`] encoding.
+///
+/// An uncapped chain makes a single random-access decode O(chain) lists,
+/// which is what Table 2 measures; the Link DB bounds its chains the same
+/// way. [`RefMode::Exact`] (Chu–Liu/Edmonds) carries no cap, so
+/// representations built with it may legitimately exceed this depth — the
+/// analyzer reports deeper chains as a warning, not corruption.
+pub const MAX_REF_CHAIN: u32 = 4;
+
 /// Reference-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RefMode {
@@ -212,11 +221,15 @@ impl ListsIndex {
             return Err(SNodeError::Corrupt("encoded graph exceeds 512 MiB"));
         }
         let has_dir = r.read_bit()?;
-        let mut offsets: Vec<u32> = Vec::with_capacity(n as usize + 1);
+        // `n` is untrusted until the per-list decodes below confirm it;
+        // clamp the eager reservations so a corrupt γ cannot turn into a
+        // giant allocation (the vectors still grow on demand).
+        let cap = (n as usize).saturating_add(1).min(1 << 20);
+        let mut offsets: Vec<u32> = Vec::with_capacity(cap);
 
         if has_dir {
             // Explicit directory (Exact-mode encodings with forward refs).
-            let mut lens = Vec::with_capacity(n as usize);
+            let mut lens = Vec::with_capacity((n as usize).min(1 << 20));
             for _ in 0..n {
                 lens.push(codes::read_gamma(&mut r)?);
             }
@@ -240,7 +253,7 @@ impl ListsIndex {
 
         // No directory: decode sequentially (references always point
         // backward in this layout), recording where each payload starts.
-        let mut lists: Vec<Vec<u32>> = Vec::with_capacity(n as usize);
+        let mut lists: Vec<Vec<u32>> = Vec::with_capacity((n as usize).min(1 << 20));
         for i in 0..n {
             offsets.push(r.position() as u32);
             let is_ref = r.read_bit()?;
@@ -287,6 +300,22 @@ impl ListsIndex {
     /// Approximate heap footprint of the directory itself.
     pub fn heap_bytes(&self) -> usize {
         self.offsets.len() * 4 + std::mem::size_of::<Self>()
+    }
+
+    /// Bit position one past the final payload, in the same absolute
+    /// coordinates as the stream this directory was parsed from. Anything
+    /// between this and the declared bit length is trailing garbage.
+    pub fn end_bit(&self) -> u64 {
+        self.offsets.last().map_or(0, |&o| u64::from(o))
+    }
+
+    /// The reference parent of every list (`None` = plain), read from the
+    /// payload headers without decoding any list. This is the raw on-disk
+    /// reference forest; audits use it to check acyclicity and depth.
+    pub fn reference_parents(&self, data: &[u8], bit_len: u64) -> Result<Vec<Option<u32>>> {
+        (0..self.num_lists)
+            .map(|i| self.payload_parent(data, bit_len, i))
+            .collect()
     }
 
     /// Decodes list `i`, following its reference chain.
@@ -336,8 +365,8 @@ impl ListsIndex {
         }
         // Walk the reference chain up to a plain list (or memo hit).
         let mut chain = vec![i];
+        let mut cur = i;
         let mut top: Vec<u32> = loop {
-            let cur = *chain.last().expect("chain non-empty");
             match self.payload_parent(data, bit_len, cur)? {
                 Some(p) => {
                     if let Some(v) = memo.get(p) {
@@ -347,6 +376,7 @@ impl ListsIndex {
                         return Err(SNodeError::Corrupt("reference cycle detected"));
                     }
                     chain.push(p);
+                    cur = p;
                 }
                 None => {
                     // cur is plain; decode it directly and pop it.
@@ -581,10 +611,6 @@ fn choose_references(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> Vec<Op
     match mode {
         RefMode::None => vec![None; n],
         RefMode::Windowed(w) => {
-            // Reference chains are depth-capped: an uncapped chain makes a
-            // single random access decode O(chain) lists, which is what
-            // Table 2 measures. The Link DB bounds its chains the same way.
-            const MAX_CHAIN: u32 = 4;
             let w = w.max(1) as usize;
             let mut parents = vec![None; n];
             let mut depth = vec![0u32; n];
@@ -594,7 +620,7 @@ fn choose_references(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> Vec<Op
                 }
                 let mut best = plain_cost(&lists[y], universe);
                 for x in y.saturating_sub(w)..y {
-                    if lists[x].is_empty() || depth[x] >= MAX_CHAIN {
+                    if lists[x].is_empty() || depth[x] >= MAX_REF_CHAIN {
                         continue;
                     }
                     let c = ref_cost(&lists[x], &lists[y], n as u64, universe);
@@ -722,12 +748,14 @@ pub fn min_arborescence(n: usize, root: u32, edges: &[(u32, u32, u64)]) -> Vec<u
                 v = cur_edges[in_edge[v]].0 as usize;
             }
             if color[v] == 1 {
-                // Found a new cycle: v .. back to v along path.
-                let pos = path.iter().position(|&x| x == v).expect("v on path");
-                for &c in &path[pos..] {
-                    cycle_id[c] = num_cycles;
+                // Found a new cycle: v .. back to v along path (color 1 is
+                // only ever assigned to nodes pushed onto this path).
+                if let Some(pos) = path.iter().position(|&x| x == v) {
+                    for &c in &path[pos..] {
+                        cycle_id[c] = num_cycles;
+                    }
+                    num_cycles += 1;
                 }
-                num_cycles += 1;
             }
             for &p in &path {
                 color[p] = 2;
@@ -800,7 +828,10 @@ pub fn min_arborescence(n: usize, root: u32, edges: &[(u32, u32, u64)]) -> Vec<u
     fn unwind(levels: &mut Vec<Level>) -> Vec<usize> {
         // At the deepest (acyclic) level the solution is its in_edge set,
         // expressed as original edge indices.
-        let last = levels.pop().expect("at least one level");
+        let Some(last) = levels.pop() else {
+            // Contraction always records at least one level before unwinding.
+            return Vec::new();
+        };
         let mut chosen: Vec<usize> = last
             .in_edge
             .iter()

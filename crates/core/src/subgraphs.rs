@@ -275,6 +275,19 @@ impl SuperedgeIndex {
     pub fn heap_bytes(&self) -> usize {
         self.sources.len() * 4 + self.lists.heap_bytes() + std::mem::size_of::<Self>()
     }
+
+    /// Directory over the stored lists: one per non-empty source for
+    /// [`SuperedgeKind::Positive`], one per source page for
+    /// [`SuperedgeKind::Negative`].
+    pub fn lists(&self) -> &crate::refenc::ListsIndex {
+        &self.lists
+    }
+
+    /// Positive encodings only: the sorted source ids with non-empty
+    /// target lists (empty for negative encodings).
+    pub fn sources(&self) -> &[u32] {
+        &self.sources
+    }
 }
 
 /// A parsed superedge graph bound to its bytes, supporting per-source

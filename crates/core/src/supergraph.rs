@@ -67,9 +67,11 @@ impl SupernodeGraph {
         deg
     }
 
-    /// Serialises the graph: header, Huffman length table, then per node a
-    /// γ-coded degree and Huffman-coded targets.
-    pub fn encode(&self) -> (Vec<u8>, u64) {
+    /// The canonical Huffman code [`SupernodeGraph::encode`] writes: code
+    /// lengths derived from in-degree frequencies, with a dummy count for
+    /// symbol 0 when the graph has no superedges at all (so a valid, unused
+    /// table still exists on disk).
+    pub fn canonical_code(&self) -> HuffmanCode {
         let mut freqs = self.in_degrees();
         // Symbols that never occur still need no code; Huffman handles it.
         // Guard the all-zero case (no superedges at all).
@@ -77,7 +79,13 @@ impl SupernodeGraph {
         if !any && !freqs.is_empty() {
             freqs[0] = 1; // dummy so a valid (unused) table exists
         }
-        let code = HuffmanCode::from_frequencies(&freqs);
+        HuffmanCode::from_frequencies(&freqs)
+    }
+
+    /// Serialises the graph: header, Huffman length table, then per node a
+    /// γ-coded degree and Huffman-coded targets.
+    pub fn encode(&self) -> (Vec<u8>, u64) {
+        let code = self.canonical_code();
         let mut w = BitWriter::new();
         codes::write_gamma(&mut w, self.adj.len() as u64);
         code.write_lengths(&mut w);
@@ -92,6 +100,13 @@ impl SupernodeGraph {
 
     /// Deserialises a graph written by [`SupernodeGraph::encode`].
     pub fn decode(bytes: &[u8], bit_len: u64) -> Result<Self> {
+        Ok(Self::decode_full(bytes, bit_len)?.0)
+    }
+
+    /// Like [`SupernodeGraph::decode`], additionally returning the stored
+    /// Huffman length table and the bit position where decoding ended, so
+    /// audits can check table canonicality and trailing garbage.
+    pub fn decode_full(bytes: &[u8], bit_len: u64) -> Result<(Self, Vec<u32>, u64)> {
         let mut r = BitReader::with_bit_len(bytes, bit_len);
         let n = codes::read_gamma(&mut r)?;
         if n > u64::from(u32::MAX) {
@@ -102,7 +117,7 @@ impl SupernodeGraph {
             return Err(SNodeError::Corrupt("huffman table size mismatch"));
         }
         let dec = code.decoder();
-        let mut adj = Vec::with_capacity(n as usize);
+        let mut adj = Vec::with_capacity((n as usize).min(1 << 20));
         for _ in 0..n {
             let deg = codes::read_gamma(&mut r)?;
             let mut list = Vec::with_capacity(deg.min(1 << 20) as usize);
@@ -115,7 +130,8 @@ impl SupernodeGraph {
             }
             adj.push(list);
         }
-        Ok(Self { adj })
+        let stored_lengths = code.lengths().to_vec();
+        Ok((Self { adj }, stored_lengths, r.position()))
     }
 
     /// Size in bits of the Huffman-coded adjacency structure alone.

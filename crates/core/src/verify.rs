@@ -12,6 +12,11 @@
 //!   a link exists — §2's superedge rule);
 //! * the domain index covers every supernode exactly once;
 //! * edge totals add up.
+//!
+//! [`verify`] is fail-fast: it stops at the first violation. The
+//! `wg-analyze` crate supersedes it for diagnostics — its `check` walks
+//! the same structures but collects *every* finding with a stable code;
+//! this function remains for callers that only need a pass/fail answer.
 
 use crate::disk::{IndexFileReader, SNodeMeta};
 use crate::refenc::{ListsIndex, Universe};
@@ -103,7 +108,7 @@ pub fn verify(dir: &Path) -> Result<VerifyReport> {
                 let list = index.targets_of(&bytes, loc.bit_len, src, nj)?;
                 edges_here += list.len() as u64;
                 if list.iter().any(|&t| u64::from(t) >= nj) {
-                    return Err(SNodeError::Corrupt("superedge target out of range"));
+                    return Err(SNodeError::Corrupt("superedge target outside |Nj|"));
                 }
             }
             if edges_here == 0 {

@@ -2,6 +2,9 @@
 //! *exact* lossless representation of realistic corpus graphs, under every
 //! configuration knob.
 
+// Test/bench code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use wg_corpus::{Corpus, CorpusConfig};
 use wg_graph::Graph;

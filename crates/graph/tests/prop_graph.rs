@@ -1,6 +1,9 @@
 //! Property tests on the CSR graph kernel: structural invariants, transpose
 //! involution, and algorithm sanity on arbitrary random graphs.
 
+// Test/bench code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use wg_graph::csr::Graph;
 use wg_graph::pagerank::{pagerank, PageRankConfig};
@@ -79,7 +82,7 @@ proptest! {
     fn induced_subgraph_edge_count_matches_link_count(g in arb_graph(40, 250), seed in any::<u64>()) {
         // Pick a pseudo-random subset of vertices.
         let picks: Vec<u32> = (0..g.num_nodes())
-            .filter(|&v| (seed.wrapping_mul(6364136223846793005).wrapping_add(u64::from(v) * 2654435761)) % 3 == 0)
+            .filter(|&v| (seed.wrapping_mul(6364136223846793005).wrapping_add(u64::from(v) * 2654435761)).is_multiple_of(3))
             .collect();
         let (sub, verts) = induced_subgraph(&g, &picks);
         prop_assert_eq!(sub.num_edges(), count_links_between(&g, &verts, &verts));

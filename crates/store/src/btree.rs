@@ -158,7 +158,7 @@ impl BTree {
                     Ok(Step::Descend(child))
                 }
                 TYPE_LEAF => Ok(Step::Found(leaf_lookup(p, key))),
-                _ => Err(StoreError::Corrupt("unknown btree node type")),
+                _ => Err(StoreError::Corrupt("unknown btree node type in lookup")),
             })??;
             match step {
                 Step::Descend(child) => page = child,
@@ -303,7 +303,7 @@ impl BTree {
                     replaced,
                 })
             }
-            _ => Err(StoreError::Corrupt("unknown btree node type")),
+            _ => Err(StoreError::Corrupt("unknown btree node type in insert")),
         }
     }
 }
@@ -345,7 +345,7 @@ fn read_node(pool: &mut BufferPool, page: PageNo) -> Result<Node> {
             }
             Ok(Node::Internal { keys, children })
         }
-        _ => Err(StoreError::Corrupt("unknown btree node type")),
+        _ => Err(StoreError::Corrupt("unknown btree node type in node parse")),
     })?
 }
 

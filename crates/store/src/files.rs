@@ -111,7 +111,7 @@ impl UncompressedFileStore {
     pub fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         let idx = p as usize;
         if idx + 1 >= self.offsets.len() {
-            return Err(StoreError::Corrupt("page id out of range"));
+            return Err(StoreError::Corrupt("store page id out of range"));
         }
         let start = self.offsets[idx];
         let len = self.lengths[idx] as usize;
@@ -171,7 +171,7 @@ impl UncompressedFileStore {
 
     #[cfg(not(unix))]
     fn read_at(&self, _buf: &mut [u8], _offset: u64) -> Result<()> {
-        Err(StoreError::Corrupt("positioned reads require unix"))
+        Err(StoreError::Corrupt("store positioned reads require unix"))
     }
 }
 

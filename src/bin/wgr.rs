@@ -14,6 +14,7 @@
 //! produce inputs too: any repository expressible as those three files can
 //! be built into an S-Node representation.
 
+use std::io::Write;
 use std::path::PathBuf;
 use webgraph_repr::corpus::textio::{read_corpus, write_corpus};
 use webgraph_repr::corpus::{Corpus, CorpusConfig};
@@ -30,9 +31,10 @@ fn main() {
         Some("domain") => cmd_domain(&args[2..]),
         Some("top") => cmd_top(&args[2..]),
         Some("verify") => cmd_verify(&args[2..]),
+        Some("check") => cmd_check(&args[2..]),
         _ => {
             eprintln!(
-                "usage: wgr <gen|build|stats|links|domain|top|verify> [options]\n\
+                "usage: wgr <gen|build|stats|links|domain|top|verify|check> [options]\n\
                  \n\
                  gen    --pages N [--seed N] --out DIR      generate a synthetic corpus\n\
                  build  --corpus DIR --out DIR              build the S-Node representation\n\
@@ -40,7 +42,9 @@ fn main() {
                  links  --repo DIR --page N                 print a page's adjacency list\n\
                  domain --repo DIR --corpus DIR --name D    list a domain's pages\n\
                  top    --repo DIR --corpus DIR [-k N]      top pages by PageRank\n\
-                 verify --repo DIR                          full integrity check"
+                 verify --repo DIR                          integrity check (ok/failed)\n\
+                 check  DIR [--json] [--deny warn]          full static analysis;\n\
+                 \x20                                          exit 0 clean, 1 denied warnings, 2 corrupt"
             );
             2
         }
@@ -180,24 +184,102 @@ fn cmd_domain(args: &[String]) -> i32 {
     0
 }
 
+/// Thin wrapper over the `wg-analyze` analyzer keeping the historical
+/// pass/fail interface: errors fail, warnings are reported but tolerated.
 fn cmd_verify(args: &[String]) -> i32 {
     let repo = PathBuf::from(req(args, "--repo"));
-    match webgraph_repr::snode::verify(&repo) {
+    match webgraph_repr::analyze::check(&repo) {
         Ok(report) => {
+            for d in report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == webgraph_repr::analyze::Severity::Warning)
+            {
+                eprintln!("{d}");
+            }
+            if report.num_errors() > 0 {
+                for d in report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == webgraph_repr::analyze::Severity::Error)
+                {
+                    eprintln!("{d}");
+                }
+                eprintln!("FAILED: {} error(s)", report.num_errors());
+                return 1;
+            }
+            let s = &report.summary;
             println!(
                 "OK: {} pages, {} supernodes, {} superedges, {} edges ({} intra + {} cross)",
-                report.num_pages,
-                report.num_supernodes,
-                report.num_superedges,
-                report.total_edges(),
-                report.intranode_edges,
-                report.superedge_edges
+                s.num_pages,
+                s.num_supernodes,
+                s.num_superedges,
+                s.intranode_edges + s.superedge_edges,
+                s.intranode_edges,
+                s.superedge_edges
             );
             0
         }
         Err(e) => {
             eprintln!("FAILED: {e}");
             1
+        }
+    }
+}
+
+/// `wgr check DIR [--json] [--deny warn]` — the full multi-pass analyzer.
+/// Exit 0 when clean (or only tolerated warnings), 1 when warnings exist
+/// and `--deny warn` was given, 2 when the representation has errors.
+fn cmd_check(args: &[String]) -> i32 {
+    let mut dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny" | "--repo" => i += 2,
+            a if !a.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(a));
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let dir = dir.or_else(|| opt(args, "--repo").map(PathBuf::from));
+    let Some(dir) = dir else {
+        eprintln!("usage: wgr check DIR [--json] [--deny warn]");
+        return 2;
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warn = opt(args, "--deny").is_some_and(|v| v == "warn" || v == "warnings");
+    match webgraph_repr::analyze::check(&dir) {
+        Ok(report) => {
+            // A report can run to thousands of lines and is routinely piped
+            // into `head`/`less`; a closed pipe must not abort the exit code.
+            let rendered = if json {
+                report.to_json()
+            } else {
+                report.to_string()
+            };
+            let mut out = std::io::stdout().lock();
+            let _ = writeln!(out, "{rendered}");
+            let _ = out.flush();
+            if report.num_errors() > 0 {
+                2
+            } else if deny_warn && report.num_warnings() > 0 {
+                1
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            if json {
+                println!(
+                    "{{\"fatal\":\"{}\"}}",
+                    e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            } else {
+                eprintln!("fatal: {e}");
+            }
+            2
         }
     }
 }

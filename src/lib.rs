@@ -7,6 +7,9 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
+pub use wg_analyze as analyze;
 pub use wg_baselines as baselines;
 pub use wg_bitio as bitio;
 pub use wg_corpus as corpus;

@@ -1,6 +1,9 @@
 //! End-to-end test of the `wgr` command-line tool: generate → build →
 //! inspect, through real process invocations.
 
+// Test/bench code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
 use std::process::Command;
 
 fn wgr() -> Command {

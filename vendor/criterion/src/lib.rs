@@ -1,0 +1,154 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements just enough of the criterion 0.5 API for the `wg-bench`
+//! benches to compile and produce useful wall-clock numbers offline: no
+//! statistics engine, no plotting, no CLI — a calibrated mean over a fixed
+//! measurement window, printed one line per benchmark.
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(100);
+const MEASURE: Duration = Duration::from_millis(400);
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        let label = format!("{}/{}", id.function, id.parameter);
+        b.report(&self.name, &label, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up, then size the batch so the measurement window holds
+        // enough iterations for a stable mean.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let target = ((MEASURE.as_nanos() as f64 / per_iter) as u64).max(10);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / target as f64;
+    }
+
+    fn report(&self, group: &str, label: &str, throughput: Option<Throughput>) {
+        let mut line = format!("{group}/{label:<28} {:>12.1} ns/iter", self.mean_ns);
+        if self.mean_ns > 0.0 {
+            match throughput {
+                Some(Throughput::Elements(n)) => {
+                    let per_sec = n as f64 / (self.mean_ns * 1e-9);
+                    line.push_str(&format!("  {:>10.2} Melem/s", per_sec / 1e6));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    let per_sec = n as f64 / (self.mean_ns * 1e-9);
+                    line.push_str(&format!("  {:>10.2} MiB/s", per_sec / (1024.0 * 1024.0)));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Mirrors `criterion_group!`: defines a function that runs every target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
