@@ -3,12 +3,15 @@
 
 use crate::disk::{GraphLocator, IndexFileWriter, Renumbering, SNodeMeta};
 use crate::partition::{refine, Partition, RefineConfig, RefineStats};
-use crate::refenc::RefMode;
-use crate::subgraphs::{encode_intranode, encode_superedge, SuperedgeKind, SuperedgePolicy};
+use crate::refenc::{EncodedLists, RefMode};
+use crate::subgraphs::{
+    encode_intranode_t, encode_superedge_t, EncodedSuperedge, SuperedgeKind, SuperedgePolicy,
+};
 use crate::supergraph::SupernodeGraph;
 use crate::Result;
 use std::collections::HashMap;
 use std::path::Path;
+use std::time::Instant;
 use wg_graph::Graph;
 
 /// The repository slice the builder consumes.
@@ -33,6 +36,13 @@ pub struct SNodeConfig {
     pub superedge_policy: SuperedgePolicy,
     /// Index-file size cap (paper: 500 MB).
     pub max_file_bytes: u64,
+    /// Worker threads for the encode pipeline and k-means loops.
+    ///
+    /// `0` (the default) resolves at build time via
+    /// [`crate::par::resolve_threads`]: the `WGR_THREADS` environment
+    /// variable if set, otherwise the machine's available parallelism.
+    /// The representation produced is byte-identical for every value.
+    pub threads: u32,
 }
 
 impl Default for SNodeConfig {
@@ -42,8 +52,31 @@ impl Default for SNodeConfig {
             ref_mode: RefMode::default(),
             superedge_policy: SuperedgePolicy::default(),
             max_file_bytes: 500 << 20,
+            threads: 0,
         }
     }
+}
+
+/// Wall-clock breakdown of one build, by pipeline stage.
+///
+/// Timings are measurements, not outputs: they vary run to run and carry
+/// no information about the representation, which is byte-identical
+/// across thread counts. Determinism tests must compare the rest of
+/// [`BuildStats`], never this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Worker threads the build resolved to (after `WGR_THREADS` / auto).
+    pub threads: u32,
+    /// Partition refinement (§3.2), including k-means.
+    pub refine_secs: f64,
+    /// Page renumbering, graph remap, and supernode-graph derivation.
+    pub remap_secs: f64,
+    /// Intranode/superedge graph encoding (the parallel stage).
+    pub encode_secs: f64,
+    /// Serial index-file writing plus metadata output.
+    pub write_secs: f64,
+    /// Whole build, end to end.
+    pub total_secs: f64,
 }
 
 /// Everything the builder measured, for the scalability and compression
@@ -75,6 +108,9 @@ pub struct BuildStats {
     pub negative_superedges: u64,
     /// Edges in the input graph.
     pub num_edges: u64,
+    /// Per-stage wall-clock breakdown (not part of the representation;
+    /// varies run to run).
+    pub timings: StageTimings,
 }
 
 impl BuildStats {
@@ -110,12 +146,23 @@ pub fn build_snode(
     let n_pages = input.graph.num_nodes();
     assert_eq!(input.urls.len(), n_pages as usize);
     assert_eq!(input.domains.len(), n_pages as usize);
+    let threads = crate::par::resolve_threads(config.threads);
+    let t_build = Instant::now();
 
-    // 1. Iterative partition refinement (§3.2).
-    let (partition, refine_stats) = refine(input.urls, input.domains, input.graph, &config.refine);
+    // 1. Iterative partition refinement (§3.2). The thread count flows
+    //    into the k-means distance loops; refinement decisions are
+    //    unaffected (see `RefineConfig::threads`).
+    let refine_config = RefineConfig {
+        threads,
+        ..config.refine
+    };
+    let t = Instant::now();
+    let (partition, refine_stats) = refine(input.urls, input.domains, input.graph, &refine_config);
+    let refine_secs = t.elapsed().as_secs_f64();
 
     // 2. Page numbering (§3.3): supernodes numbered 1..n in element order;
     //    pages ordered by (supernode, lexicographic URL).
+    let t = Instant::now();
     let renumbering = number_pages(&partition, input.urls);
     let range_start = compute_ranges(&partition);
 
@@ -124,30 +171,61 @@ pub fn build_snode(
 
     // 4. Supernode graph.
     let supergraph = supergraph_from_buckets(&remapped);
+    let remap_secs = t.elapsed().as_secs_f64();
 
-    // 5. Encode every graph and write the index files in linear order:
-    //    IntraNode_i, then SEdge_{i, j} for each j in superedge order.
-    let mut writer = IndexFileWriter::create(dir, config.max_file_bytes)?;
+    // 5a. Encode every graph, in parallel across supernodes. Results come
+    //     back in supernode order, so the write phase below lays them out
+    //     exactly as the serial pipeline did. With fewer supernodes than
+    //     the pool can use, parallelism is pushed down into the per-graph
+    //     encoders instead (never both: nested pools would oversubscribe).
+    let t = Instant::now();
     let n_super = partition.len();
+    let inner_threads = if n_super >= threads as usize * 2 {
+        1
+    } else {
+        threads
+    };
+    let outer_threads = if inner_threads > 1 { 1 } else { threads };
+    let encoded: Vec<(EncodedLists, Vec<EncodedSuperedge>)> =
+        crate::par::par_map(outer_threads, n_super, |s| {
+            let intra = encode_intranode_t(&remapped.intra[s], config.ref_mode, inner_threads);
+            let edges: Vec<EncodedSuperedge> = supergraph.adj[s]
+                .iter()
+                .map(|&j| {
+                    let lists = remapped
+                        .superedges
+                        .get(&(s as u32, j))
+                        .expect("superedge bucket exists");
+                    let nj = u64::from(range_start[j as usize + 1] - range_start[j as usize]);
+                    encode_superedge_t(
+                        lists,
+                        nj,
+                        config.ref_mode,
+                        config.superedge_policy,
+                        inner_threads,
+                    )
+                })
+                .collect();
+            (intra, edges)
+        });
+    let encode_secs = t.elapsed().as_secs_f64();
+
+    // 5b. Write the index files serially in linear order: IntraNode_i,
+    //     then SEdge_{i, j} for each j in superedge order.
+    let t = Instant::now();
+    let mut writer = IndexFileWriter::create(dir, config.max_file_bytes)?;
     let mut intranode_loc = Vec::with_capacity(n_super);
     let mut superedge_loc: Vec<Vec<GraphLocator>> = Vec::with_capacity(n_super);
     let mut intranode_bits = 0u64;
     let mut superedge_bits = 0u64;
     let mut positive_superedges = 0u64;
     let mut negative_superedges = 0u64;
-    for s in 0..n_super {
-        let enc = encode_intranode(&remapped.intra[s], config.ref_mode);
-        intranode_bits += enc.bit_len;
-        intranode_loc.push(writer.append(&enc.bytes, enc.bit_len)?);
+    for (intra, edges) in &encoded {
+        intranode_bits += intra.bit_len;
+        intranode_loc.push(writer.append(&intra.bytes, intra.bit_len)?);
 
-        let mut locs = Vec::with_capacity(supergraph.adj[s].len());
-        for &j in &supergraph.adj[s] {
-            let lists = remapped
-                .superedges
-                .get(&(s as u32, j))
-                .expect("superedge bucket exists");
-            let nj = u64::from(range_start[j as usize + 1] - range_start[j as usize]);
-            let enc = encode_superedge(lists, nj, config.ref_mode, config.superedge_policy);
+        let mut locs = Vec::with_capacity(edges.len());
+        for enc in edges {
             superedge_bits += enc.bit_len;
             match enc.kind {
                 SuperedgeKind::Positive => positive_superedges += 1,
@@ -157,6 +235,7 @@ pub fn build_snode(
         }
         superedge_loc.push(locs);
     }
+    drop(encoded);
     let (index_bytes, _files) = writer.finish()?;
 
     // 6. Meta: supernode graph + pointers + PageID index + domain index.
@@ -178,7 +257,16 @@ pub fn build_snode(
     };
     let meta_bytes = meta.write(dir)?;
     renumbering.write(dir)?;
+    let write_secs = t.elapsed().as_secs_f64();
 
+    let timings = StageTimings {
+        threads,
+        refine_secs,
+        remap_secs,
+        encode_secs,
+        write_secs,
+        total_secs: t_build.elapsed().as_secs_f64(),
+    };
     let stats = BuildStats {
         refine: refine_stats,
         num_supernodes: meta.num_supernodes(),
@@ -192,6 +280,7 @@ pub fn build_snode(
         positive_superedges,
         negative_superedges,
         num_edges: input.graph.num_edges(),
+        timings,
     };
     Ok((stats, renumbering))
 }

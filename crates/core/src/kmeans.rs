@@ -48,7 +48,18 @@ pub struct KMeansParams {
     /// the budget aborts, exactly like an over-time run in the paper. This
     /// is what makes clustered split abort on large elements with large
     /// supernode out-degrees, keeping the partition from shattering.
+    ///
+    /// The budget is charged per Lloyd iteration from the input *shape*
+    /// (vector count, set bits, k, dims), so it is independent of thread
+    /// count: a run aborts at the same iteration whether it executes on
+    /// one worker or eight.
     pub max_ops: u64,
+    /// Worker threads for the distance/assignment loop (1 = serial). The
+    /// parallel loop partitions vectors into fixed chunks and computes each
+    /// vector's nearest centroid independently, so assignments — and
+    /// therefore every refinement decision downstream — are identical to
+    /// the serial run.
+    pub threads: u32,
 }
 
 /// Runs bounded Lloyd k-means over sparse binary vectors.
@@ -116,23 +127,37 @@ pub fn kmeans_binary(
             .iter()
             .map(|c| c.iter().map(|x| x * x).sum())
             .collect();
-        // Assign.
+        // Assign. Each vector's nearest centroid is an independent
+        // computation (the per-vector dot products run serially inside one
+        // task), so chunking over vectors changes nothing about the result.
         let mut changed = 0usize;
-        for (i, vec) in vectors.iter().enumerate() {
-            let mut best = 0u32;
-            let mut best_dist = f32::INFINITY;
-            for (ci, c) in centroids.iter().enumerate() {
-                let dot: f32 = vec.iter().map(|&dim| c[dim as usize]).sum();
-                let dist = norms[ci] - 2.0 * dot + vec.len() as f32;
-                if dist < best_dist {
-                    best_dist = dist;
-                    best = ci as u32;
+        let chunk_results = crate::par::par_chunks(params.threads, n, 256, |range| {
+            let mut local = Vec::with_capacity(range.len());
+            let mut local_changed = 0usize;
+            for i in range {
+                let vec = &vectors[i];
+                let mut best = 0u32;
+                let mut best_dist = f32::INFINITY;
+                for (ci, c) in centroids.iter().enumerate() {
+                    let dot: f32 = vec.iter().map(|&dim| c[dim as usize]).sum();
+                    let dist = norms[ci] - 2.0 * dot + vec.len() as f32;
+                    if dist < best_dist {
+                        best_dist = dist;
+                        best = ci as u32;
+                    }
                 }
+                if assignment[i] != best {
+                    local_changed += 1;
+                }
+                local.push(best);
             }
-            if assignment[i] != best {
-                assignment[i] = best;
-                changed += 1;
-            }
+            (local, local_changed)
+        });
+        let mut write = 0usize;
+        for (local, local_changed) in chunk_results {
+            changed += local_changed;
+            assignment[write..write + local.len()].copy_from_slice(&local);
+            write += local.len();
         }
         if changed == 0 {
             converged = true;
@@ -202,6 +227,7 @@ mod tests {
                     k: 2,
                     max_iterations: 50,
                     max_ops: u64::MAX,
+                    threads: 1,
                 },
                 &mut SmallRng::seed_from_u64(seed),
             );
@@ -230,6 +256,7 @@ mod tests {
                 k: 3,
                 max_iterations: 20,
                 max_ops: u64::MAX,
+                threads: 1,
             },
             &mut rng(),
         );
@@ -254,6 +281,7 @@ mod tests {
                 k: 10,
                 max_iterations: 20,
                 max_ops: u64::MAX,
+                threads: 1,
             },
             &mut rng(),
         );
@@ -269,6 +297,7 @@ mod tests {
                 k: 2,
                 max_iterations: 5,
                 max_ops: u64::MAX,
+                threads: 1,
             },
             &mut rng(),
         );
@@ -291,6 +320,7 @@ mod tests {
                 k: 2,
                 max_iterations: 0,
                 max_ops: u64::MAX,
+                threads: 1,
             },
             &mut rng(),
         );
@@ -308,6 +338,7 @@ mod tests {
                 k: 2,
                 max_iterations: 30,
                 max_ops: u64::MAX,
+                threads: 1,
             },
             &mut rng(),
         );
@@ -329,6 +360,7 @@ mod tests {
                 k: 50,
                 max_iterations: 100,
                 max_ops: 10, // absurdly small: first iteration already over
+                threads: 1,
             },
             &mut rng(),
         );
@@ -342,6 +374,7 @@ mod tests {
             k: 4,
             max_iterations: 40,
             max_ops: u64::MAX,
+            threads: 1,
         };
         let a = kmeans_binary(&vectors, 7, p, &mut SmallRng::seed_from_u64(9));
         let b = kmeans_binary(&vectors, 7, p, &mut SmallRng::seed_from_u64(9));

@@ -25,6 +25,7 @@
 //! | module | paper section | contents |
 //! |---|---|---|
 //! | [`refenc`] | §3.1 | affinity graph, Chu–Liu/Edmonds arborescence, windowed reference selection, list codec |
+//! | [`par`] | — | deterministic work-pool layer the build pipeline parallelizes on |
 //! | [`kmeans`] | §3.2 | k-means over supernode-adjacency bit vectors |
 //! | [`partition`] | §3.2 | URL split, clustered split, iterative refinement loop |
 //! | [`supergraph`] | §3.3 | supernode graph + Huffman encoding + pointer accounting |
@@ -41,6 +42,7 @@ pub mod build;
 pub mod cache;
 pub mod disk;
 pub mod kmeans;
+pub mod par;
 pub mod partition;
 pub mod refenc;
 pub mod repr;
@@ -48,7 +50,7 @@ pub mod subgraphs;
 pub mod supergraph;
 pub mod verify;
 
-pub use build::{build_snode, BuildStats, RepoInput, SNodeConfig};
+pub use build::{build_snode, BuildStats, RepoInput, SNodeConfig, StageTimings};
 pub use disk::Renumbering;
 pub use repr::{SNode, SNodeInMemory};
 pub use verify::{verify, VerifyReport};

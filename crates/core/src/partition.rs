@@ -222,6 +222,12 @@ pub struct RefineConfig {
     /// Hard cap on refinement iterations (safety valve; effectively
     /// unreachable for sane inputs).
     pub max_iterations: u64,
+    /// Worker threads for the k-means distance/assignment loops (1 =
+    /// serial; [`crate::build::build_snode`] overrides this with the
+    /// build-level thread count). Refinement *decisions* are unaffected:
+    /// the parallel loops are deterministic and the RNG is consumed only
+    /// on the serial path (element picks, Forgy initialisation).
+    pub threads: u32,
 }
 
 impl Default for RefineConfig {
@@ -237,6 +243,7 @@ impl Default for RefineConfig {
             min_url_split_mean: 128,
             min_mean_cluster_size: 16,
             max_iterations: 10_000_000,
+            threads: 1,
         }
     }
 }
@@ -506,6 +513,7 @@ fn try_clustered_split(
                 k,
                 max_iterations: config.kmeans_max_iterations,
                 max_ops: config.kmeans_ops_budget / u64::from(config.kmeans_attempts.max(1)),
+                threads: config.threads,
             },
             rng,
         );

@@ -84,18 +84,112 @@ impl EncodedLists {
 }
 
 /// Encodes `lists` (each strictly ascending, entries `< universe`) with the
-/// given reference mode.
+/// given reference mode, single-threaded.
 ///
 /// # Panics
 /// Panics if a list entry is `>= universe` or a list is not strictly
 /// ascending (caller bug — these are internal graph invariants).
 pub fn encode_lists(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> EncodedLists {
+    encode_lists_t(lists, universe, mode, 1)
+}
+
+/// [`encode_lists`] with up to `threads` workers for reference selection
+/// and payload encoding. The output is byte-identical for every thread
+/// count: parallelism only redistributes pure per-list computations whose
+/// results are concatenated in list order.
+pub fn encode_lists_t(
+    lists: &[Vec<u32>],
+    universe: u64,
+    mode: RefMode,
+    threads: u32,
+) -> EncodedLists {
+    let plan = plan_lists(lists, universe, mode, threads);
+    encode_lists_planned(lists, universe, &plan, threads)
+}
+
+/// A reference-selection plan: every list's chosen parent plus the exact
+/// bit sizes the resulting encoding will have.
+///
+/// Planning pays for reference selection (the expensive part) but writes
+/// no bit stream; [`encode_lists_planned`] materialises the stream from a
+/// plan. Splitting the two lets the superedge polarity decision size both
+/// orientations and encode only the winner, instead of fully encoding the
+/// loser just to measure it.
+#[derive(Debug, Clone)]
+pub(crate) struct ListsPlan {
+    /// Chosen reference parent per list (`None` = plain).
+    parents: Vec<Option<u32>>,
+    /// Exact payload size in bits per list (mode bit included).
+    payload_bits: Vec<u64>,
+    /// Whether the stream needs an explicit directory (forward refs).
+    has_dir: bool,
+    /// Exact size in bits of the full encoded stream.
+    pub(crate) total_bits: u64,
+}
+
+/// Selects references and computes the exact encoded size, without
+/// producing the bit stream.
+pub(crate) fn plan_lists(
+    lists: &[Vec<u32>],
+    universe: u64,
+    mode: RefMode,
+    threads: u32,
+) -> ListsPlan {
     for list in lists {
         debug_assert!(list.windows(2).all(|w| w[0] < w[1]));
         debug_assert!(list.iter().all(|&x| u64::from(x) < universe.max(1)));
     }
-    let parents = choose_references(lists, universe, mode);
+    let parents = choose_references(lists, universe, mode, threads);
     let n = lists.len();
+    // Exact per-payload sizes: every component codec exposes an exact
+    // length function, so the size of a payload is known without writing
+    // it. Pure per-list computation → parallel chunks, results in order.
+    let payload_bits: Vec<u64> = crate::par::par_chunks(threads, n, 64, |range| {
+        range
+            .map(|i| match parents[i] {
+                None => 1 + bounded_gap_list_len(&lists[i], universe),
+                Some(p) => {
+                    let (bits, extras) = diff_against(&lists[p as usize], &lists[i]);
+                    1 + codes::minimal_binary_len(u64::from(p), n as u64)
+                        + rle::encoded_len(&bits)
+                        + bounded_gap_list_len(&extras, universe)
+                }
+            })
+            .collect::<Vec<u64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let has_dir = parents
+        .iter()
+        .enumerate()
+        .any(|(i, p)| p.is_some_and(|p| p as usize > i));
+    let mut total_bits = codes::gamma_len(n as u64) + 1;
+    if has_dir {
+        total_bits += payload_bits
+            .iter()
+            .map(|&b| codes::gamma_len(b))
+            .sum::<u64>();
+    }
+    total_bits += payload_bits.iter().sum::<u64>();
+    ListsPlan {
+        parents,
+        payload_bits,
+        has_dir,
+        total_bits,
+    }
+}
+
+/// Materialises the bit stream a plan describes. The stream is identical
+/// to what the one-shot encoder would produce for the plan's mode.
+pub(crate) fn encode_lists_planned(
+    lists: &[Vec<u32>],
+    universe: u64,
+    plan: &ListsPlan,
+    threads: u32,
+) -> EncodedLists {
+    let n = lists.len();
+    debug_assert_eq!(plan.parents.len(), n);
 
     // Encode payloads first so their lengths can go in the directory. The
     // universe size is NOT stored: every caller knows it (an intranode
@@ -103,26 +197,36 @@ pub fn encode_lists(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> Encoded
     // which the resident supernode metadata records), and at a few dozen
     // bits per graph it would be the single largest fixed overhead on the
     // many small superedge graphs a Web-scale partition produces.
-    let mut payloads: Vec<(Vec<u8>, u64)> = Vec::with_capacity(n);
-    for (i, list) in lists.iter().enumerate() {
-        let mut w = BitWriter::new();
-        match parents[i] {
-            None => {
-                w.write_bit(false);
-                write_bounded_gap_list(&mut w, list, universe);
-            }
-            Some(p) => {
-                w.write_bit(true);
-                codes::write_minimal_binary(&mut w, u64::from(p), n as u64);
-                let reference = &lists[p as usize];
-                let (bits, extras) = diff_against(reference, list);
-                rle::write_bitvec(&mut w, &bits);
-                write_bounded_gap_list(&mut w, &extras, universe);
-            }
-        }
-        let (bytes, bits) = w.finish();
-        payloads.push((bytes, bits));
-    }
+    let payloads: Vec<(Vec<u8>, u64)> = crate::par::par_chunks(threads, n, 64, |range| {
+        range
+            .map(|i| {
+                let list = &lists[i];
+                let mut w = BitWriter::new();
+                match plan.parents[i] {
+                    None => {
+                        w.write_bit(false);
+                        write_bounded_gap_list(&mut w, list, universe);
+                    }
+                    Some(p) => {
+                        w.write_bit(true);
+                        codes::write_minimal_binary(&mut w, u64::from(p), n as u64);
+                        let reference = &lists[p as usize];
+                        let (bits, extras) = diff_against(reference, list);
+                        rle::write_bitvec(&mut w, &bits);
+                        write_bounded_gap_list(&mut w, &extras, universe);
+                    }
+                }
+                w.finish()
+            })
+            .collect::<Vec<(Vec<u8>, u64)>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    debug_assert!(payloads
+        .iter()
+        .zip(&plan.payload_bits)
+        .all(|((_, got), &want)| *got == want));
 
     let mut w = BitWriter::new();
     codes::write_gamma(&mut w, n as u64);
@@ -132,12 +236,8 @@ pub fn encode_lists(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> Encoded
     // way the paper's scheme can afford fast in-memory access without
     // paying index bits on disk. Only Exact-mode encodings with forward
     // references carry an explicit directory (flagged by one bit).
-    let has_dir = parents
-        .iter()
-        .enumerate()
-        .any(|(i, p)| p.is_some_and(|p| p as usize > i));
-    w.write_bit(has_dir);
-    if has_dir {
+    w.write_bit(plan.has_dir);
+    if plan.has_dir {
         for &(_, bits) in &payloads {
             codes::write_gamma(&mut w, bits);
         }
@@ -146,14 +246,15 @@ pub fn encode_lists(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> Encoded
         w.append(bytes, *bits);
     }
     let (bytes, bit_len) = w.finish();
+    debug_assert_eq!(bit_len, plan.total_bits, "plan mis-sized the encoding");
     EncodedLists { bytes, bit_len }
 }
 
-/// Exact encoded size in bits without keeping the encoding (for the
-/// positive-vs-negative superedge decision).
+/// Exact encoded size in bits without producing the encoding (for the
+/// positive-vs-negative superedge decision). Pays for reference selection
+/// only; no bit stream is written.
 pub fn encoded_size_bits(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> u64 {
-    // Encoding is cheap relative to reference selection; just do it.
-    encode_lists(lists, universe, mode).bit_len
+    plan_lists(lists, universe, mode, 1).total_bits
 }
 
 /// Owned directory of an [`EncodedLists`] stream: everything needed for
@@ -254,6 +355,7 @@ impl ListsIndex {
         // No directory: decode sequentially (references always point
         // backward in this layout), recording where each payload starts.
         let mut lists: Vec<Vec<u32>> = Vec::with_capacity((n as usize).min(1 << 20));
+        let mut copied: Vec<u32> = Vec::new(); // scratch reused across lists
         for i in 0..n {
             offsets.push(r.position() as u32);
             let is_ref = r.read_bit()?;
@@ -265,12 +367,15 @@ impl ListsIndex {
                     ));
                 }
                 let reference = &lists[parent];
-                let mut copied = Vec::with_capacity(reference.len());
+                copied.clear();
+                copied.reserve(reference.len());
                 rle::read_bitvec_set_positions(&mut r, reference.len(), |pos| {
                     copied.push(reference[pos]);
                 })?;
                 let extras = read_bounded_gap_list(&mut r, universe)?;
-                merge_sorted_u32(copied, extras)
+                let mut merged = Vec::new();
+                merge_sorted_u32(&copied, &extras, &mut merged);
+                merged
             } else {
                 read_bounded_gap_list(&mut r, universe)?
             };
@@ -387,9 +492,11 @@ impl ListsIndex {
                 }
             }
         };
-        // Decode down the chain.
+        // Decode down the chain, reusing one scratch buffer for the
+        // copied-entries half of every step's merge.
+        let mut copied: Vec<u32> = Vec::new();
         for &idx in chain.iter().rev() {
-            top = self.decode_ref(data, bit_len, idx, &top)?;
+            top = self.decode_ref(data, bit_len, idx, &top, &mut copied)?;
             memo.put(idx, &top);
         }
         Ok(top)
@@ -404,26 +511,41 @@ impl ListsIndex {
     }
 
     /// Decodes payload `i`, known to be reference-encoded against
-    /// `reference` (its parent's decoded list).
-    fn decode_ref(&self, data: &[u8], bit_len: u64, i: u32, reference: &[u32]) -> Result<Vec<u32>> {
+    /// `reference` (its parent's decoded list). `copied` is caller-owned
+    /// scratch, reused across the steps of a reference chain.
+    fn decode_ref(
+        &self,
+        data: &[u8],
+        bit_len: u64,
+        i: u32,
+        reference: &[u32],
+        copied: &mut Vec<u32>,
+    ) -> Result<Vec<u32>> {
         let mut r = self.reader_at(data, bit_len, i)?;
         let is_ref = r.read_bit()?;
         if !is_ref {
             return self.decode_plain(data, bit_len, i);
         }
         let _parent = codes::read_minimal_binary(&mut r, u64::from(self.num_lists))?;
-        let mut copied = Vec::with_capacity(reference.len());
+        copied.clear();
+        copied.reserve(reference.len());
         rle::read_bitvec_set_positions(&mut r, reference.len(), |pos| {
             copied.push(reference[pos]);
         })?;
         let extras = read_bounded_gap_list(&mut r, self.universe)?;
-        Ok(merge_sorted_u32(copied, extras))
+        let mut merged = Vec::new();
+        merge_sorted_u32(copied, &extras, &mut merged);
+        Ok(merged)
     }
 }
 
-/// Merges two sorted `u32` lists.
-fn merge_sorted_u32(a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+/// Merges two sorted `u32` slices into `out` (cleared first). Taking
+/// slices and an output buffer keeps the hot decode path — one merge per
+/// reference-chain step — from consuming and reallocating vectors: callers
+/// reuse their scratch buffers across steps.
+fn merge_sorted_u32(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         if a[i] < b[j] {
@@ -436,7 +558,6 @@ fn merge_sorted_u32(a: Vec<u32>, b: Vec<u32>) -> Vec<u32> {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
-    out
 }
 
 /// Borrowing convenience wrapper: a [`ListsIndex`] bound to its bytes.
@@ -605,10 +726,25 @@ pub(crate) fn read_bounded_gap_list(r: &mut BitReader<'_>, universe: u64) -> Res
 
 // --- Reference selection --------------------------------------------------
 
+/// Work threshold below which parallel candidate-cost evaluation is not
+/// worth the scheduling overhead: the number of (candidate, target) cost
+/// probes a windowed selection performs.
+const PAR_COST_PROBES_MIN: usize = 2048;
+
 /// Chooses a parent (reference list) for each list, or `None` for plain.
-fn choose_references(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> Vec<Option<u32>> {
+fn choose_references(
+    lists: &[Vec<u32>],
+    universe: u64,
+    mode: RefMode,
+    threads: u32,
+) -> Vec<Option<u32>> {
     let n = lists.len();
     match mode {
+        RefMode::Windowed(w)
+            if threads > 1 && n.saturating_mul(w.max(1) as usize) >= PAR_COST_PROBES_MIN =>
+        {
+            choose_references_windowed_par(lists, universe, w.max(1) as usize, threads)
+        }
         RefMode::None => vec![None; n],
         RefMode::Windowed(w) => {
             let w = w.max(1) as usize;
@@ -643,27 +779,37 @@ fn choose_references(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> Vec<Op
             // applies the scheme to "much smaller" graphs).
             const EXACT_MAX_LISTS: usize = 512;
             if n > EXACT_MAX_LISTS {
-                return choose_references(lists, universe, RefMode::Windowed(256));
+                return choose_references(lists, universe, RefMode::Windowed(256), threads);
             }
-            // Affinity graph: node n is the virtual root.
+            // Affinity graph: node n is the virtual root. Building it is
+            // the quadratic part (one ref_cost per ordered list pair);
+            // each target's incoming-edge batch is independent, and
+            // concatenating the batches in target order reproduces the
+            // serial edge order exactly, so Edmonds sees the same input.
             let root = n;
-            let mut edges: Vec<(u32, u32, u64)> = Vec::with_capacity(n * (n + 1) / 2);
-            for y in 0..n {
-                edges.push((root as u32, y as u32, plain_cost(&lists[y], universe)));
-                if lists[y].is_empty() {
-                    continue;
-                }
-                for x in 0..n {
-                    if x == y || lists[x].is_empty() {
+            let edges: Vec<(u32, u32, u64)> = crate::par::par_chunks(threads, n, 8, |range| {
+                let mut batch: Vec<(u32, u32, u64)> = Vec::new();
+                for y in range {
+                    batch.push((root as u32, y as u32, plain_cost(&lists[y], universe)));
+                    if lists[y].is_empty() {
                         continue;
                     }
-                    edges.push((
-                        x as u32,
-                        y as u32,
-                        ref_cost(&lists[x], &lists[y], n as u64, universe),
-                    ));
+                    for x in 0..n {
+                        if x == y || lists[x].is_empty() {
+                            continue;
+                        }
+                        batch.push((
+                            x as u32,
+                            y as u32,
+                            ref_cost(&lists[x], &lists[y], n as u64, universe),
+                        ));
+                    }
                 }
-            }
+                batch
+            })
+            .into_iter()
+            .flatten()
+            .collect();
             let parent = min_arborescence(n + 1, root as u32, &edges);
             (0..n)
                 .map(|y| {
@@ -677,6 +823,71 @@ fn choose_references(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> Vec<Op
                 .collect()
         }
     }
+}
+
+/// Windowed selection with parallel candidate-cost evaluation.
+///
+/// All `(candidate, target)` costs are computed up front in parallel —
+/// [`ref_cost`] is a pure function of the two lists, independent of the
+/// chain-depth bookkeeping — then a serial pass applies the depth gate and
+/// picks each target's cheapest candidate with the same iteration order
+/// and tie-breaks as the serial loop, so the selection is identical. The
+/// only extra work is costing candidates the serial loop would have
+/// skipped on the depth gate, a small minority under [`MAX_REF_CHAIN`].
+fn choose_references_windowed_par(
+    lists: &[Vec<u32>],
+    universe: u64,
+    w: usize,
+    threads: u32,
+) -> Vec<Option<u32>> {
+    let n = lists.len();
+    // (plain cost, candidate costs for x in window order) per target.
+    let costs: Vec<(u64, Vec<u64>)> = crate::par::par_chunks(threads, n, 16, |range| {
+        range
+            .map(|y| {
+                if lists[y].is_empty() {
+                    return (0, Vec::new());
+                }
+                let plain = plain_cost(&lists[y], universe);
+                let cand: Vec<u64> = (y.saturating_sub(w)..y)
+                    .map(|x| {
+                        if lists[x].is_empty() {
+                            u64::MAX
+                        } else {
+                            ref_cost(&lists[x], &lists[y], n as u64, universe)
+                        }
+                    })
+                    .collect();
+                (plain, cand)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    let mut parents: Vec<Option<u32>> = vec![None; n];
+    let mut depth = vec![0u32; n];
+    for y in 0..n {
+        if lists[y].is_empty() {
+            continue;
+        }
+        let (plain, cand) = &costs[y];
+        let mut best = *plain;
+        for (ci, x) in (y.saturating_sub(w)..y).enumerate() {
+            if lists[x].is_empty() || depth[x] >= MAX_REF_CHAIN {
+                continue;
+            }
+            if cand[ci] < best {
+                best = cand[ci];
+                parents[y] = Some(x as u32);
+            }
+        }
+        if let Some(p) = parents[y] {
+            depth[y] = depth[p as usize] + 1;
+        }
+    }
+    parents
 }
 
 /// Chu–Liu/Edmonds minimum-weight spanning arborescence.

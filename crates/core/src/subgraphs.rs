@@ -11,7 +11,10 @@
 //!   smaller encoding wins; the paper's simpler edge-count heuristic is
 //!   available behind [`SuperedgePolicy::EdgeCount`] for the ablation.
 
-use crate::refenc::{encode_lists, EncodedLists, ListsReader, RefMode, Universe};
+use crate::refenc::{
+    bounded_gap_list_len, encode_lists_planned, encode_lists_t, plan_lists, EncodedLists,
+    ListsPlan, ListsReader, RefMode, Universe,
+};
 use crate::{Result, SNodeError};
 use wg_bitio::{BitReader, BitWriter};
 
@@ -41,7 +44,13 @@ pub enum SuperedgeKind {
 /// Encodes an intranode graph: `lists[p]` is the sorted local adjacency of
 /// local page `p` (entries `< lists.len()`).
 pub fn encode_intranode(lists: &[Vec<u32>], mode: RefMode) -> EncodedLists {
-    encode_lists(lists, lists.len() as u64, mode)
+    encode_intranode_t(lists, mode, 1)
+}
+
+/// [`encode_intranode`] with up to `threads` workers. Byte-identical for
+/// every thread count.
+pub fn encode_intranode_t(lists: &[Vec<u32>], mode: RefMode, threads: u32) -> EncodedLists {
+    encode_lists_t(lists, lists.len() as u64, mode, threads)
 }
 
 /// Decodes a full intranode graph.
@@ -79,32 +88,56 @@ pub fn encode_superedge(
     mode: RefMode,
     policy: SuperedgePolicy,
 ) -> EncodedSuperedge {
+    encode_superedge_t(pos_lists, nj, mode, policy, 1)
+}
+
+/// [`encode_superedge`] with up to `threads` workers. Byte-identical for
+/// every thread count.
+///
+/// The polarity decision works on [`ListsPlan`]s — exact sizes computed
+/// without writing a bit stream — so only the winning orientation is ever
+/// encoded. (The plan's `total_bits` equals the encoded size exactly, so
+/// the winner is the same one full encoding of both sides would pick.)
+pub fn encode_superedge_t(
+    pos_lists: &[Vec<u32>],
+    nj: u64,
+    mode: RefMode,
+    policy: SuperedgePolicy,
+    threads: u32,
+) -> EncodedSuperedge {
     let ni = pos_lists.len() as u64;
     let pos_edges: u64 = pos_lists.iter().map(|l| l.len() as u64).sum();
     let total = ni * nj;
     let neg_edges = total - pos_edges;
 
-    let positive = encode_superedge_positive(pos_lists, nj, mode);
+    let (sources, pos_dense) = positive_sources(pos_lists);
     // Only consider the complement when it has fewer edges — otherwise
     // materialising it could cost Θ(|Ni|·|Nj|) for nothing.
     if neg_edges >= pos_edges {
-        return positive;
+        let pos_plan = plan_lists(&pos_dense, nj, mode, threads);
+        return write_superedge_positive(&sources, &pos_dense, ni, nj, &pos_plan, threads);
     }
     let neg_lists: Vec<Vec<u32>> = pos_lists.iter().map(|l| complement(l, nj as u32)).collect();
-    let negative = encode_superedge_negative(&neg_lists, nj, mode);
-    match policy {
+    let neg_plan = plan_lists(&neg_lists, nj, mode, threads);
+    let negative_wins = match policy {
         SuperedgePolicy::EncodedSize => {
-            if negative.bit_len < positive.bit_len {
-                negative
-            } else {
-                positive
+            let pos_plan = plan_lists(&pos_dense, nj, mode, threads);
+            let pos_bits = 1 + bounded_gap_list_len(&sources, ni) + pos_plan.total_bits;
+            let neg_bits = 1 + neg_plan.total_bits;
+            if neg_bits >= pos_bits {
+                return write_superedge_positive(&sources, &pos_dense, ni, nj, &pos_plan, threads);
             }
+            true
         }
-        SuperedgePolicy::EdgeCount => negative, // neg_edges < pos_edges here
-    }
+        SuperedgePolicy::EdgeCount => true, // neg_edges < pos_edges here
+    };
+    debug_assert!(negative_wins);
+    write_superedge_negative(&neg_lists, nj, &neg_plan, threads)
 }
 
-fn encode_superedge_positive(pos_lists: &[Vec<u32>], nj: u64, mode: RefMode) -> EncodedSuperedge {
+/// Splits a dense per-source list array into (non-empty source ids, their
+/// lists) — the positive representation's layout.
+fn positive_sources(pos_lists: &[Vec<u32>]) -> (Vec<u32>, Vec<Vec<u32>>) {
     let sources: Vec<u32> = pos_lists
         .iter()
         .enumerate()
@@ -115,12 +148,30 @@ fn encode_superedge_positive(pos_lists: &[Vec<u32>], nj: u64, mode: RefMode) -> 
         .iter()
         .map(|&s| pos_lists[s as usize].clone())
         .collect();
+    (sources, lists)
+}
+
+#[cfg(test)]
+fn encode_superedge_positive(pos_lists: &[Vec<u32>], nj: u64, mode: RefMode) -> EncodedSuperedge {
+    let (sources, lists) = positive_sources(pos_lists);
+    let plan = plan_lists(&lists, nj, mode, 1);
+    write_superedge_positive(&sources, &lists, pos_lists.len() as u64, nj, &plan, 1)
+}
+
+fn write_superedge_positive(
+    sources: &[u32],
+    lists: &[Vec<u32>],
+    ni: u64,
+    nj: u64,
+    plan: &ListsPlan,
+    threads: u32,
+) -> EncodedSuperedge {
     let mut w = BitWriter::new();
     w.write_bit(false); // kind = positive
                         // |Ni| is NOT stored: the resident supernode metadata knows every
                         // supernode's size, and the decoder receives it as a parameter.
-    crate::refenc::write_bounded_gap_list(&mut w, &sources, pos_lists.len() as u64);
-    let enc = encode_lists(&lists, nj, mode);
+    crate::refenc::write_bounded_gap_list(&mut w, sources, ni);
+    let enc = encode_lists_planned(lists, nj, plan, threads);
     w.append(&enc.bytes, enc.bit_len);
     let (bytes, bit_len) = w.finish();
     EncodedSuperedge {
@@ -130,10 +181,15 @@ fn encode_superedge_positive(pos_lists: &[Vec<u32>], nj: u64, mode: RefMode) -> 
     }
 }
 
-fn encode_superedge_negative(neg_lists: &[Vec<u32>], nj: u64, mode: RefMode) -> EncodedSuperedge {
+fn write_superedge_negative(
+    neg_lists: &[Vec<u32>],
+    nj: u64,
+    plan: &ListsPlan,
+    threads: u32,
+) -> EncodedSuperedge {
     let mut w = BitWriter::new();
     w.write_bit(true); // kind = negative
-    let enc = encode_lists(neg_lists, nj, mode);
+    let enc = encode_lists_planned(neg_lists, nj, plan, threads);
     w.append(&enc.bytes, enc.bit_len);
     let (bytes, bit_len) = w.finish();
     EncodedSuperedge {

@@ -32,19 +32,22 @@ fn main() {
         Some("top") => cmd_top(&args[2..]),
         Some("verify") => cmd_verify(&args[2..]),
         Some("check") => cmd_check(&args[2..]),
+        Some("bench") => cmd_bench(&args[2..]),
         _ => {
             eprintln!(
-                "usage: wgr <gen|build|stats|links|domain|top|verify|check> [options]\n\
+                "usage: wgr <gen|build|stats|links|domain|top|verify|check|bench> [options]\n\
                  \n\
                  gen    --pages N [--seed N] --out DIR      generate a synthetic corpus\n\
-                 build  --corpus DIR --out DIR              build the S-Node representation\n\
+                 build  --corpus DIR --out DIR [--threads N] build the S-Node representation\n\
                  stats  --repo DIR                          show representation statistics\n\
                  links  --repo DIR --page N                 print a page's adjacency list\n\
                  domain --repo DIR --corpus DIR --name D    list a domain's pages\n\
                  top    --repo DIR --corpus DIR [-k N]      top pages by PageRank\n\
                  verify --repo DIR                          integrity check (ok/failed)\n\
                  check  DIR [--json] [--deny warn]          full static analysis;\n\
-                 \x20                                          exit 0 clean, 1 denied warnings, 2 corrupt"
+                 \x20                                          exit 0 clean, 1 denied warnings, 2 corrupt\n\
+                 bench  [--pages N] [--seed N] [--threads 1,2,4] [--iters N] [--quick]\n\
+                 \x20      [--out FILE]                       build benchmark → BENCH_build.json"
             );
             2
         }
@@ -88,6 +91,9 @@ fn cmd_gen(args: &[String]) -> i32 {
 fn cmd_build(args: &[String]) -> i32 {
     let corpus_dir = PathBuf::from(req(args, "--corpus"));
     let out = PathBuf::from(req(args, "--out"));
+    // 0 = auto: WGR_THREADS env var, else available parallelism. The
+    // representation is byte-identical for every thread count.
+    let threads: u32 = opt(args, "--threads").map_or(0, |s| s.parse().expect("--threads number"));
     let corpus = read_corpus(&corpus_dir).expect("read corpus");
     let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
@@ -96,11 +102,16 @@ fn cmd_build(args: &[String]) -> i32 {
         domains: &domains,
         graph: &corpus.graph,
     };
+    let config = SNodeConfig {
+        threads,
+        ..SNodeConfig::default()
+    };
     let t0 = std::time::Instant::now();
-    let (stats, _renum) = build_snode(input, &SNodeConfig::default(), &out).expect("build");
+    let (stats, _renum) = build_snode(input, &config, &out).expect("build");
     println!(
-        "built in {:?}: {} supernodes, {} superedges, {:.2} bits/edge → {}",
+        "built in {:?} ({} threads): {} supernodes, {} superedges, {:.2} bits/edge → {}",
         t0.elapsed(),
+        stats.timings.threads,
         stats.num_supernodes,
         stats.num_superedges,
         stats.bits_per_edge(),
@@ -282,6 +293,162 @@ fn cmd_check(args: &[String]) -> i32 {
             2
         }
     }
+}
+
+/// `wgr bench` — builds a synthetic corpus at several thread counts and
+/// records wall time, the per-stage breakdown, and bits/edge to a JSON
+/// baseline file (default `BENCH_build.json`). Every run's output is
+/// fingerprinted and compared against the serial run, so the benchmark
+/// doubles as a determinism check. Fully offline: the corpus is generated
+/// in memory and repos are built under a scratch directory.
+fn cmd_bench(args: &[String]) -> i32 {
+    let quick = args.iter().any(|a| a == "--quick");
+    let pages: u32 = opt(args, "--pages").map_or(if quick { 2_000 } else { 20_000 }, |s| {
+        s.parse().expect("--pages number")
+    });
+    let seed: u64 = opt(args, "--seed").map_or(42, |s| s.parse().expect("--seed number"));
+    let iters: usize = opt(args, "--iters").map_or(if quick { 1 } else { 3 }, |s| {
+        s.parse().expect("--iters number")
+    });
+    let mut thread_counts: Vec<u32> = opt(args, "--threads").map_or(vec![1, 2, 4], |s| {
+        s.split(',')
+            .map(|t| t.trim().parse().expect("--threads comma list"))
+            .collect()
+    });
+    if !thread_counts.contains(&1) {
+        thread_counts.insert(0, 1); // serial baseline anchors the speedups
+    }
+    let out = PathBuf::from(opt(args, "--out").unwrap_or_else(|| "BENCH_build.json".into()));
+
+    let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let input = RepoInput {
+        urls: &urls,
+        domains: &domains,
+        graph: &corpus.graph,
+    };
+    let scratch = std::env::temp_dir().join(format!("wgr_bench_{}", std::process::id()));
+
+    // One run per thread count: best-of-`iters` wall time (per stage, the
+    // breakdown of the best total), plus an output fingerprint.
+    let mut runs = Vec::new();
+    let mut serial_fp: Option<u64> = None;
+    let mut bits_per_edge = 0.0f64;
+    let mut identical = true;
+    for &threads in &thread_counts {
+        let config = SNodeConfig {
+            threads,
+            ..SNodeConfig::default()
+        };
+        let mut best: Option<webgraph_repr::snode::BuildStats> = None;
+        let mut fp = 0u64;
+        for iter in 0..iters.max(1) {
+            let dir = scratch.join(format!("t{threads}_i{iter}"));
+            let (stats, _renum) = build_snode(input, &config, &dir).expect("bench build");
+            fp = fingerprint_dir(&dir);
+            std::fs::remove_dir_all(&dir).ok();
+            bits_per_edge = stats.bits_per_edge();
+            if best
+                .as_ref()
+                .is_none_or(|b| stats.timings.total_secs < b.timings.total_secs)
+            {
+                best = Some(stats);
+            }
+        }
+        let stats = best.expect("at least one iteration");
+        match serial_fp {
+            None => serial_fp = Some(fp),
+            Some(s) => identical &= s == fp,
+        }
+        eprintln!(
+            "threads {threads}: total {:.3}s (refine {:.3}s, remap {:.3}s, encode {:.3}s, write {:.3}s)",
+            stats.timings.total_secs,
+            stats.timings.refine_secs,
+            stats.timings.remap_secs,
+            stats.timings.encode_secs,
+            stats.timings.write_secs,
+        );
+        runs.push((threads, stats.timings, fp));
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let serial_encode = runs
+        .iter()
+        .find(|(t, ..)| *t == 1)
+        .map_or(0.0, |(_, tm, _)| tm.encode_secs);
+    let serial_total = runs
+        .iter()
+        .find(|(t, ..)| *t == 1)
+        .map_or(0.0, |(_, tm, _)| tm.total_secs);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"wgr build\",\n");
+    json.push_str(&format!("  \"pages\": {pages},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"edges\": {},\n", corpus.graph.num_edges()));
+    json.push_str(&format!("  \"iters\": {iters},\n"));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(&format!("  \"bits_per_edge\": {bits_per_edge:.4},\n"));
+    json.push_str(&format!("  \"identical_output\": {identical},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (k, (threads, tm, fp)) in runs.iter().enumerate() {
+        let sep = if k + 1 == runs.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"total_secs\": {:.6}, \"refine_secs\": {:.6}, \
+             \"remap_secs\": {:.6}, \"encode_secs\": {:.6}, \"write_secs\": {:.6}, \
+             \"encode_speedup_vs_serial\": {:.3}, \"total_speedup_vs_serial\": {:.3}, \
+             \"output_fingerprint\": \"{fp:016x}\"}}{sep}\n",
+            tm.total_secs,
+            tm.refine_secs,
+            tm.remap_secs,
+            tm.encode_secs,
+            tm.write_secs,
+            if tm.encode_secs > 0.0 {
+                serial_encode / tm.encode_secs
+            } else {
+                1.0
+            },
+            if tm.total_secs > 0.0 {
+                serial_total / tm.total_secs
+            } else {
+                1.0
+            },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("wrote {}", out.display());
+    if !identical {
+        eprintln!("FAILED: outputs differ across thread counts");
+        return 1;
+    }
+    0
+}
+
+/// FNV-1a over (file name, file bytes) of every file in `dir`, in sorted
+/// name order — enough to witness byte-identical builds.
+fn fingerprint_dir(dir: &std::path::Path) -> u64 {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read bench dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    names.sort();
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+    };
+    for p in names {
+        eat(p.file_name().expect("file name").as_encoded_bytes());
+        eat(&std::fs::read(&p).expect("read bench file"));
+    }
+    h
 }
 
 fn cmd_top(args: &[String]) -> i32 {

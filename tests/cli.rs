@@ -91,6 +91,101 @@ fn gen_build_inspect_round_trip() {
 }
 
 #[test]
+fn build_threads_flag_and_env_produce_identical_repos() {
+    let root = temp_dir("threads");
+    let corpus = root.join("corpus");
+    let out = wgr()
+        .args(["gen", "--pages", "600", "--seed", "3", "--out"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    // Three builds: explicit --threads 1, explicit --threads 4, and
+    // WGR_THREADS=2 with threads left on auto. All must write the same
+    // bytes — parallelism must be invisible in the representation.
+    let repo_serial = root.join("repo_serial");
+    let out = wgr()
+        .args(["build", "--corpus"])
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&repo_serial)
+        .args(["--threads", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "serial build failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(1 threads)"));
+
+    let repo_par = root.join("repo_par");
+    let out = wgr()
+        .args(["build", "--corpus"])
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&repo_par)
+        .args(["--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "parallel build failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(4 threads)"));
+
+    let repo_env = root.join("repo_env");
+    let out = wgr()
+        .args(["build", "--corpus"])
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&repo_env)
+        .env("WGR_THREADS", "2")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "env build failed: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(2 threads)"));
+
+    for other in [&repo_par, &repo_env] {
+        let mut names: Vec<String> = std::fs::read_dir(&repo_serial)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert!(!names.is_empty());
+        for n in &names {
+            assert_eq!(
+                std::fs::read(repo_serial.join(n)).unwrap(),
+                std::fs::read(other.join(n)).unwrap(),
+                "file {n} differs in {}",
+                other.display()
+            );
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn bench_quick_writes_baseline_json() {
+    let root = temp_dir("bench");
+    let out_file = root.join("BENCH_build.json");
+    let out = wgr()
+        .args([
+            "bench",
+            "--quick",
+            "--pages",
+            "400",
+            "--threads",
+            "1,2",
+            "--out",
+        ])
+        .arg(&out_file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "bench failed: {out:?}");
+    let json = std::fs::read_to_string(&out_file).unwrap();
+    assert!(json.contains("\"bench\": \"wgr build\""), "json: {json}");
+    assert!(json.contains("\"identical_output\": true"), "json: {json}");
+    assert!(json.contains("\"encode_secs\""), "json: {json}");
+    assert!(json.contains("\"bits_per_edge\""), "json: {json}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn usage_on_bad_subcommand() {
     let out = wgr().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,159 @@
+//! The parallel encode pipeline must be invisible in the output: for any
+//! thread count, `build_snode` writes byte-identical files and reports
+//! identical statistics. These tests pin that contract on a realistic
+//! corpus, on arbitrary proptest-generated repositories, and through the
+//! `wgr check` analyzer.
+
+// Test/bench code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use std::path::Path;
+use webgraph_repr::corpus::{Corpus, CorpusConfig};
+use webgraph_repr::graph::Graph;
+use webgraph_repr::snode::{build_snode, BuildStats, RepoInput, SNodeConfig, StageTimings};
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wg_par_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// Every file in `a` must exist in `b` with identical bytes, and vice
+/// versa — the strongest form of "the representation is the same".
+fn assert_dirs_byte_identical(a: &Path, b: &Path) {
+    let list = |d: &Path| {
+        let mut names: Vec<String> = std::fs::read_dir(d)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = list(a);
+    assert_eq!(names, list(b), "file sets differ");
+    for n in names {
+        let bytes_a = std::fs::read(a.join(&n)).unwrap();
+        let bytes_b = std::fs::read(b.join(&n)).unwrap();
+        assert_eq!(bytes_a, bytes_b, "file {n} differs");
+    }
+}
+
+/// `BuildStats` minus the wall-clock timings, which are measurements and
+/// legitimately differ run to run.
+fn deterministic_stats(stats: &BuildStats) -> String {
+    let mut s = stats.clone();
+    s.timings = StageTimings::default();
+    format!("{s:?}")
+}
+
+fn build_with_threads(
+    name: &str,
+    urls: &[String],
+    domains: &[u32],
+    graph: &Graph,
+    threads: u32,
+) -> (std::path::PathBuf, BuildStats) {
+    let dir = temp_dir(name);
+    let input = RepoInput {
+        urls,
+        domains,
+        graph,
+    };
+    let config = SNodeConfig {
+        threads,
+        ..SNodeConfig::default()
+    };
+    let (stats, _renum) = build_snode(input, &config, &dir).unwrap();
+    (dir, stats)
+}
+
+#[test]
+fn parallel_build_matches_serial() {
+    let corpus = Corpus::generate(CorpusConfig::scaled(2_500, 11));
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+
+    let (dir_serial, stats_serial) =
+        build_with_threads("serial", &urls, &domains, &corpus.graph, 1);
+    for threads in [2u32, 4, 8] {
+        let (dir_par, stats_par) = build_with_threads(
+            &format!("par{threads}"),
+            &urls,
+            &domains,
+            &corpus.graph,
+            threads,
+        );
+        assert_dirs_byte_identical(&dir_serial, &dir_par);
+        assert_eq!(
+            deterministic_stats(&stats_serial),
+            deterministic_stats(&stats_par),
+            "stats differ at {threads} threads"
+        );
+        assert_eq!(stats_par.timings.threads, threads);
+        std::fs::remove_dir_all(&dir_par).ok();
+    }
+
+    // The parallel-built representation (identical to the serial one, as
+    // just proven) must satisfy the full static analyzer.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_wgr"))
+        .arg("check")
+        .arg(&dir_serial)
+        .output()
+        .expect("run wgr check");
+    assert!(
+        out.status.success(),
+        "wgr check failed: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir_serial).ok();
+}
+
+#[test]
+fn auto_thread_resolution_is_still_deterministic() {
+    // threads = 0 resolves to the machine's parallelism — whatever that
+    // is, the output must match an explicit single-threaded build.
+    let corpus = Corpus::generate(CorpusConfig::scaled(800, 23));
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let (dir_serial, _) = build_with_threads("auto_ref", &urls, &domains, &corpus.graph, 1);
+    let (dir_auto, stats) = build_with_threads("auto", &urls, &domains, &corpus.graph, 0);
+    assert!(stats.timings.threads >= 1, "auto must resolve to >= 1");
+    assert_dirs_byte_identical(&dir_serial, &dir_auto);
+    std::fs::remove_dir_all(&dir_serial).ok();
+    std::fs::remove_dir_all(&dir_auto).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary small repositories: serial and 3-thread builds write the
+    /// same bytes, whatever the partition refinement decides to do.
+    #[test]
+    fn arbitrary_repositories_build_identically(
+        n in 2u32..50,
+        edges in prop::collection::vec((0u32..50, 0u32..50), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let urls: Vec<String> = (0..n)
+            .map(|i| format!("http://h{}.dom{}.org/d{}/p{:03}.html", i % 4, i % 3, i % 5, i))
+            .collect();
+        let domains: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(s, t)| (s % n, t % n))
+            .collect();
+        let graph = Graph::from_edges(n, edges);
+        let name_a = format!("prop_s_{seed}");
+        let name_b = format!("prop_p_{seed}");
+        let (dir_a, stats_a) = build_with_threads(&name_a, &urls, &domains, &graph, 1);
+        let (dir_b, stats_b) = build_with_threads(&name_b, &urls, &domains, &graph, 3);
+        assert_dirs_byte_identical(&dir_a, &dir_b);
+        assert_eq!(deterministic_stats(&stats_a), deterministic_stats(&stats_b));
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}
