@@ -12,6 +12,9 @@
 //!    allowed.)
 //! 3. Every `SNodeError::Corrupt("...")` message is unique across the
 //!    workspace, so a reported corruption pins down its origin.
+//! 4. No raw `std::time::Instant` outside `crates/obs`, vendored code,
+//!    and test code: every duration must flow through `wg_obs::Stopwatch`
+//!    so it can land in the metrics registry and the trace ring.
 //!
 //! Exit 0 when clean; exit 1 with one line per violation otherwise.
 //! Usage: `conventions [--root DIR]` (defaults to the workspace root,
@@ -62,6 +65,7 @@ fn main() {
     check_forbid_unsafe(&root, &mut violations);
     check_no_panics(&root, &mut violations);
     check_unique_corrupt_messages(&root, &mut violations);
+    check_no_raw_instant(&root, &mut violations);
 
     if violations.is_empty() {
         println!("conventions: ok");
@@ -187,6 +191,64 @@ fn strip_line_comment(line: &str) -> &str {
         Some(i) => &line[..i],
         None => line,
     }
+}
+
+// --- Rule 4: no raw Instant outside crates/obs ------------------------------
+
+/// Only `crates/obs` (home of the sanctioned `Stopwatch` wrapper),
+/// vendored third-party code, and test code may use `std::time::Instant`
+/// directly; everything else must time through `wg_obs` so durations can
+/// land in the metrics registry and the trace ring.
+fn check_no_raw_instant(root: &Path, violations: &mut Vec<String>) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    collect_rs_files(&root.join("examples"), &mut files);
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for e in crates.flatten() {
+            if e.file_name() == "obs" {
+                continue;
+            }
+            collect_rs_files(&e.path(), &mut files);
+        }
+    }
+    files.sort();
+    for path in files {
+        let name = rel(root, &path);
+        // Integration-test trees time freely; `#[cfg(test)]` modules are
+        // excluded by non_test_lines below. This file names the token in
+        // order to ban it.
+        if name.contains("/tests/") || name.ends_with("bin/conventions.rs") {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for (lineno, line) in non_test_lines(&src) {
+            if has_word(strip_line_comment(line), "Instant") {
+                violations.push(format!(
+                    "{name}:{lineno}: raw `Instant` outside crates/obs — use wg_obs::Stopwatch"
+                ));
+            }
+        }
+    }
+}
+
+/// True when `word` occurs in `s` with no identifier character on either
+/// side (so `Instantaneous` does not count as `Instant`).
+fn has_word(s: &str, word: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(i) = s[start..].find(word) {
+        let at = start + i;
+        let before_ok = !s[..at].chars().next_back().is_some_and(ident);
+        let after = at + word.len();
+        let after_ok = !s[after..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
 }
 
 // --- Rule 3: unique Corrupt messages ----------------------------------------

@@ -6,10 +6,10 @@
 //! Usage: `cargo run -p wg-bench --release --bin table2_access
 //! [--scale pages-per-million] [--trials N]`
 
-use std::time::Instant;
 use wg_baselines::{HuffmanGraph, Link3Graph};
 use wg_bench::{corpus_for, ns_per_edge, repo_columns, row, BenchArgs};
 use wg_graph::Graph;
+use wg_obs::Stopwatch;
 use wg_snode::{build_snode, RepoInput, SNodeConfig, SNodeInMemory};
 
 fn main() {
@@ -52,14 +52,14 @@ fn main() {
 
     let run = |name: &str, f: &mut dyn FnMut(u32) -> usize| -> (f64, f64) {
         // Sequential: pages in id order.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut edges = 0usize;
         for p in 0..n.min(trials) {
             edges += f(p);
         }
         let seq_ns = ns_per_edge(t0.elapsed(), edges as u64);
         // Random: the shared random sequence.
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let mut edges = 0usize;
         for &p in &seq {
             edges += f(p);

@@ -11,9 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use wg_corpus::{Corpus, CorpusConfig};
 use wg_graph::Graph;
+use wg_obs::Stopwatch;
 
 /// The paper's repository sizes in millions of pages.
 pub const PAPER_SIZES_M: [u32; 5] = [25, 50, 75, 100, 115];
@@ -130,7 +131,7 @@ pub fn repo_columns(corpus: &Corpus) -> (Vec<String>, Vec<u32>) {
 
 /// Times a closure.
 pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let r = f();
     (r, t0.elapsed())
 }

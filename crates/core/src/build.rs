@@ -11,8 +11,8 @@ use crate::supergraph::SupernodeGraph;
 use crate::Result;
 use std::collections::HashMap;
 use std::path::Path;
-use std::time::Instant;
 use wg_graph::Graph;
+use wg_obs::{record_span, Stopwatch};
 
 /// The repository slice the builder consumes.
 #[derive(Debug, Clone, Copy)]
@@ -147,7 +147,7 @@ pub fn build_snode(
     assert_eq!(input.urls.len(), n_pages as usize);
     assert_eq!(input.domains.len(), n_pages as usize);
     let threads = crate::par::resolve_threads(config.threads);
-    let t_build = Instant::now();
+    let t_build = Stopwatch::start();
 
     // 1. Iterative partition refinement (§3.2). The thread count flows
     //    into the k-means distance loops; refinement decisions are
@@ -156,13 +156,14 @@ pub fn build_snode(
         threads,
         ..config.refine
     };
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let (partition, refine_stats) = refine(input.urls, input.domains, input.graph, &refine_config);
+    record_span("core.build.refine", "build", &t);
     let refine_secs = t.elapsed().as_secs_f64();
 
     // 2. Page numbering (§3.3): supernodes numbered 1..n in element order;
     //    pages ordered by (supernode, lexicographic URL).
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let renumbering = number_pages(&partition, input.urls);
     let range_start = compute_ranges(&partition);
 
@@ -171,6 +172,7 @@ pub fn build_snode(
 
     // 4. Supernode graph.
     let supergraph = supergraph_from_buckets(&remapped);
+    record_span("core.build.remap", "build", &t);
     let remap_secs = t.elapsed().as_secs_f64();
 
     // 5a. Encode every graph, in parallel across supernodes. Results come
@@ -178,7 +180,7 @@ pub fn build_snode(
     //     exactly as the serial pipeline did. With fewer supernodes than
     //     the pool can use, parallelism is pushed down into the per-graph
     //     encoders instead (never both: nested pools would oversubscribe).
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let n_super = partition.len();
     let inner_threads = if n_super >= threads as usize * 2 {
         1
@@ -208,11 +210,12 @@ pub fn build_snode(
                 .collect();
             (intra, edges)
         });
+    record_span("core.build.encode", "build", &t);
     let encode_secs = t.elapsed().as_secs_f64();
 
     // 5b. Write the index files serially in linear order: IntraNode_i,
     //     then SEdge_{i, j} for each j in superedge order.
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let mut writer = IndexFileWriter::create(dir, config.max_file_bytes)?;
     let mut intranode_loc = Vec::with_capacity(n_super);
     let mut superedge_loc: Vec<Vec<GraphLocator>> = Vec::with_capacity(n_super);
@@ -257,8 +260,12 @@ pub fn build_snode(
     };
     let meta_bytes = meta.write(dir)?;
     renumbering.write(dir)?;
+    record_span("core.build.write", "build", &t);
     let write_secs = t.elapsed().as_secs_f64();
 
+    record_span("core.build.total", "build", &t_build);
+    // `StageTimings` is a *view* of the same stopwatches the spans above
+    // record — one measurement, two renderings, never parallel bookkeeping.
     let timings = StageTimings {
         threads,
         refine_secs,

@@ -172,7 +172,10 @@ pub enum CacheEvent {
     Unload(GraphKey),
 }
 
-/// Aggregate cache statistics.
+/// Aggregate cache statistics: a point-in-time view over the cache's
+/// [`wg_obs::CacheMetrics`] counters (the counters are the source of
+/// truth; under `--metrics` they are shared with the global registry as
+/// `core.cache.*`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GraphCacheStats {
     /// Lookups satisfied from the cache.
@@ -192,7 +195,7 @@ pub struct GraphCache {
     used: usize,
     tick: u64,
     map: HashMap<GraphKey, Entry>,
-    stats: GraphCacheStats,
+    metrics: wg_obs::CacheMetrics,
     /// When `Some`, every load/unload is appended here (the paper's log).
     log: Option<Vec<CacheEvent>>,
 }
@@ -211,7 +214,7 @@ impl GraphCache {
             used: 0,
             tick: 0,
             map: HashMap::new(),
-            stats: GraphCacheStats::default(),
+            metrics: wg_obs::CacheMetrics::auto("core.cache"),
             log: None,
         }
     }
@@ -250,14 +253,19 @@ impl GraphCache {
         self.map.is_empty()
     }
 
-    /// Statistics so far.
+    /// Statistics so far (a view over the obs counters).
     pub fn stats(&self) -> GraphCacheStats {
-        self.stats
+        GraphCacheStats {
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            evictions: self.metrics.evictions.get(),
+            bytes_loaded: self.metrics.bytes_loaded.get(),
+        }
     }
 
     /// Resets statistics (not contents).
     pub fn reset_stats(&mut self) {
-        self.stats = GraphCacheStats::default();
+        self.metrics.reset();
     }
 
     /// Looks up a graph, bumping its recency.
@@ -266,11 +274,11 @@ impl GraphCache {
         match self.map.get_mut(&key) {
             Some(e) => {
                 e.last_used = self.tick;
-                self.stats.hits += 1;
+                self.metrics.hits.inc();
                 Some(Arc::clone(&e.graph))
             }
             None => {
-                self.stats.misses += 1;
+                self.metrics.misses.inc();
                 None
             }
         }
@@ -282,7 +290,7 @@ impl GraphCache {
     pub fn insert(&mut self, key: GraphKey, graph: CachedGraph) -> Arc<CachedGraph> {
         self.tick += 1;
         let bytes = graph.bytes();
-        self.stats.bytes_loaded += bytes as u64;
+        self.metrics.bytes_loaded.add(bytes as u64);
         if let Some(log) = &mut self.log {
             log.push(CacheEvent::Load(key));
         }
@@ -300,7 +308,7 @@ impl GraphCache {
                 break;
             };
             self.used -= removed.graph.bytes();
-            self.stats.evictions += 1;
+            self.metrics.evictions.inc();
             if let Some(log) = &mut self.log {
                 log.push(CacheEvent::Unload(victim));
             }

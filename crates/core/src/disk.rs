@@ -433,6 +433,39 @@ impl IndexFileWriter {
     }
 }
 
+/// Registry counters for index-file I/O, created only when metrics were
+/// enabled at open time (`core.disk.*`). `pages_fetched` counts 8 KiB
+/// pages spanned by each positioned read — the paper's disk-cost unit.
+#[derive(Debug)]
+struct DiskCounters {
+    graph_reads: wg_obs::Counter,
+    bytes_read: wg_obs::Counter,
+    pages_fetched: wg_obs::Counter,
+}
+
+impl DiskCounters {
+    fn auto() -> Option<Self> {
+        if !wg_obs::metrics_enabled() {
+            return None;
+        }
+        let reg = wg_obs::global();
+        Some(Self {
+            graph_reads: reg.counter("core.disk.graph_reads"),
+            bytes_read: reg.counter("core.disk.bytes_read"),
+            pages_fetched: reg.counter("core.disk.pages_fetched"),
+        })
+    }
+}
+
+/// 8 KiB pages spanned by the byte range `offset .. offset + len`.
+fn pages_spanned(offset: u64, len: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let page = wg_store::PAGE_SIZE as u64;
+    (offset + len - 1) / page - offset / page + 1
+}
+
 /// Read-side of the index files.
 #[derive(Debug)]
 pub struct IndexFileReader {
@@ -441,6 +474,7 @@ pub struct IndexFileReader {
     streams: Vec<u64>,
     /// Positioned reads performed (physical I/O instrumentation).
     reads: std::cell::Cell<u64>,
+    counters: Option<DiskCounters>,
 }
 
 impl IndexFileReader {
@@ -466,6 +500,7 @@ impl IndexFileReader {
             files,
             streams,
             reads: std::cell::Cell::new(0),
+            counters: DiskCounters::auto(),
         })
     }
 
@@ -478,6 +513,11 @@ impl IndexFileReader {
         read_exact_at(f, &mut buf, loc.offset)?;
         wg_store::diskmodel::charge_read(self.streams[loc.file as usize], loc.offset, buf.len());
         self.reads.set(self.reads.get() + 1);
+        if let Some(c) = &self.counters {
+            c.graph_reads.inc();
+            c.bytes_read.add(loc.byte_len);
+            c.pages_fetched.add(pages_spanned(loc.offset, loc.byte_len));
+        }
         Ok(buf)
     }
 
@@ -674,6 +714,18 @@ mod tests {
         let back = Renumbering::read(&dir).unwrap();
         assert_eq!(back, r);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pages_spanned_counts_crossings() {
+        let p = wg_store::PAGE_SIZE as u64;
+        assert_eq!(pages_spanned(0, 0), 0);
+        assert_eq!(pages_spanned(0, 1), 1);
+        assert_eq!(pages_spanned(0, p), 1);
+        assert_eq!(pages_spanned(0, p + 1), 2);
+        assert_eq!(pages_spanned(p - 1, 2), 2);
+        assert_eq!(pages_spanned(p, p), 1);
+        assert_eq!(pages_spanned(3, 3 * p), 4);
     }
 
     #[test]

@@ -58,9 +58,21 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    // Pool instrumentation is resolved once per job, not per item; the
+    // disabled path pays a single bool load here and nothing in the loop.
+    let obs = wg_obs::metrics_enabled().then(|| {
+        let reg = wg_obs::global();
+        reg.counter("core.par.jobs").inc();
+        (
+            reg.histogram("core.par.worker_busy_ns"),
+            reg.histogram("core.par.collect_wait_ns"),
+            reg.counter("core.par.items_claimed"),
+        )
+    });
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let busy = wg_obs::Stopwatch::start();
                 // Claim one index at a time: items are coarse (a whole
                 // supernode, a whole chunk) so cursor contention is noise,
                 // and dynamic claiming is what absorbs size skew.
@@ -72,7 +84,15 @@ where
                     }
                     local.push((i, f(i)));
                 }
-                collected.lock().extend(local);
+                if let Some((worker_busy, collect_wait, items)) = &obs {
+                    worker_busy.record(busy.elapsed_ns());
+                    items.add(local.len() as u64);
+                    let wait = wg_obs::Stopwatch::start();
+                    collected.lock().extend(local);
+                    collect_wait.record(wait.elapsed_ns());
+                } else {
+                    collected.lock().extend(local);
+                }
             });
         }
     });
@@ -160,5 +180,20 @@ mod tests {
     fn resolve_threads_explicit_wins() {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_pool() {
+        // Obs counters must not lose increments under the work pool's
+        // real concurrency (relaxed atomics are sufficient for counts).
+        let c = wg_obs::Counter::new();
+        let h = wg_obs::Histogram::new();
+        par_map(8, 10_000, |i| {
+            c.inc();
+            h.record(i as u64);
+        });
+        assert_eq!(c.get(), 10_000);
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.sum(), (0..10_000u64).sum::<u64>());
     }
 }

@@ -40,6 +40,14 @@ use wg_bitio::{codes, rle, BitReader, BitWriter};
 /// analyzer reports deeper chains as a warning, not corruption.
 pub const MAX_REF_CHAIN: u32 = 4;
 
+/// Shared handle to the `core.refenc.chain_len` histogram (the number of
+/// reference-encoded steps a random-access decode had to walk — the cost
+/// driver Table 2 measures). Resolved once; only touched under `--metrics`.
+fn chain_len_histogram() -> &'static wg_obs::Histogram {
+    static H: std::sync::OnceLock<wg_obs::Histogram> = std::sync::OnceLock::new();
+    H.get_or_init(|| wg_obs::global().histogram("core.refenc.chain_len"))
+}
+
 /// Reference-selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RefMode {
@@ -492,6 +500,9 @@ impl ListsIndex {
                 }
             }
         };
+        if wg_obs::metrics_enabled() {
+            chain_len_histogram().record(chain.len() as u64);
+        }
         // Decode down the chain, reusing one scratch buffer for the
         // copied-entries half of every step's merge.
         let mut copied: Vec<u32> = Vec::new();

@@ -20,12 +20,39 @@ use std::path::Path;
 use std::sync::Arc;
 use wg_graph::PageId;
 
+/// Registry counters for the navigation path, created only when metrics
+/// were enabled at open time (the `core.nav.*` names of the paper's
+/// per-query access quantities).
+#[derive(Debug)]
+struct NavCounters {
+    calls: wg_obs::Counter,
+    supernodes_visited: wg_obs::Counter,
+    intra_lists_decoded: wg_obs::Counter,
+    super_lists_decoded: wg_obs::Counter,
+}
+
+impl NavCounters {
+    fn auto() -> Option<Self> {
+        if !wg_obs::metrics_enabled() {
+            return None;
+        }
+        let reg = wg_obs::global();
+        Some(Self {
+            calls: reg.counter("core.nav.calls"),
+            supernodes_visited: reg.counter("core.nav.supernodes_visited"),
+            intra_lists_decoded: reg.counter("core.nav.intra_lists_decoded"),
+            super_lists_decoded: reg.counter("core.nav.super_lists_decoded"),
+        })
+    }
+}
+
 /// Disk-backed S-Node representation with a memory-budgeted graph cache.
 #[derive(Debug)]
 pub struct SNode {
     meta: SNodeMeta,
     files: IndexFileReader,
     cache: GraphCache,
+    nav: Option<NavCounters>,
 }
 
 impl SNode {
@@ -38,6 +65,7 @@ impl SNode {
             meta,
             files,
             cache: GraphCache::new(cache_budget_bytes),
+            nav: NavCounters::auto(),
         })
     }
 
@@ -105,6 +133,12 @@ impl SNode {
             }
         }
         let targets = self.meta.supergraph.adj[s as usize].clone();
+        if let Some(nav) = &self.nav {
+            nav.calls.inc();
+            nav.supernodes_visited.inc();
+            nav.intra_lists_decoded.inc();
+            nav.super_lists_decoded.add(targets.len() as u64);
+        }
         for (k, j) in targets.into_iter().enumerate() {
             let j_start = self.meta.page_range(j).start;
             let se = self.superedge(s, k as u32, j)?;

@@ -1,0 +1,106 @@
+//! Span timing: the process-wide metrics flag, the [`Stopwatch`], and
+//! [`record_span`] which feeds a histogram and the trace ring at once.
+//!
+//! `Stopwatch` is the one sanctioned wrapper around `std::time::Instant`
+//! in this workspace — the conventions lint (`crates/analyze`) rejects raw
+//! `Instant` use outside `crates/obs` and test code, so every duration
+//! anyone measures can flow into the registry and trace buffer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns process-wide metrics collection on or off. The CLI raises this
+/// before opening any representation so construction-time registration
+/// (e.g. `CacheMetrics::auto`) sees it.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether process-wide metrics collection is on. A single relaxed load —
+/// cheap enough to guard every instrumentation site.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process's trace epoch (first use). Trace events
+/// share this epoch so their timestamps are mutually comparable.
+pub(crate) fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_micros() as u64
+}
+
+/// A monotonic timer. Construction also notes the trace-epoch-relative
+/// start so a finished span can be placed on the trace timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+    start_us: u64,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start_us: now_us(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall time since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds since construction (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        let n = self.elapsed().as_nanos();
+        u64::try_from(n).unwrap_or(u64::MAX)
+    }
+
+    /// Trace-epoch-relative start time in microseconds.
+    pub fn start_us(&self) -> u64 {
+        self.start_us
+    }
+}
+
+/// Finishes the span begun by `sw`: records its duration into the global
+/// histogram `{name}_ns` (when metrics are enabled) and appends a complete
+/// trace event under category `cat` (when tracing is enabled). Returns the
+/// elapsed nanoseconds either way, so callers can keep their own
+/// bookkeeping from the same measurement.
+pub fn record_span(name: &str, cat: &str, sw: &Stopwatch) -> u64 {
+    let ns = sw.elapsed_ns();
+    if metrics_enabled() {
+        crate::registry::global()
+            .histogram(&format!("{name}_ns"))
+            .record(ns);
+    }
+    if crate::trace::trace_enabled() {
+        crate::trace::push_event(name, cat, sw.start_us(), ns / 1_000);
+    }
+    ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed_ns() >= 1_000_000);
+    }
+
+    #[test]
+    fn now_us_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,172 @@
+//! Chrome trace-event output: a bounded ring buffer of complete ("ph":"X")
+//! events, serialisable to a `chrome://tracing` / Perfetto-loadable JSON
+//! file.
+//!
+//! Tracing is off unless [`enable_trace`] is called (the CLI does so for
+//! `--trace out.json`). The ring is bounded: when full, the oldest events
+//! are dropped and the drop count is reported in the emitted file's
+//! metadata so a truncated trace is never mistaken for a complete one.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// One complete span on the trace timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (histogram name without the `_ns` suffix).
+    pub name: String,
+    /// Category, e.g. `build`, `query`, `store`.
+    pub cat: String,
+    /// Start, microseconds since the process trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Small per-thread ordinal (not the OS thread id).
+    pub tid: u64,
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    next: usize,
+    dropped: u64,
+}
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            events: Vec::new(),
+            capacity: 0,
+            next: 0,
+            dropped: 0,
+        })
+    })
+}
+
+fn lock_ring() -> MutexGuard<'static, Ring> {
+    ring().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Small dense thread ordinals so traces get a handful of rows instead of
+/// one per OS thread id.
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Turns tracing on with a ring of `capacity` events (0 disables). Any
+/// previously buffered events are discarded.
+pub fn enable_trace(capacity: usize) {
+    let mut r = lock_ring();
+    r.events = Vec::with_capacity(capacity.min(1 << 20));
+    r.capacity = capacity;
+    r.next = 0;
+    r.dropped = 0;
+    TRACE_ENABLED.store(capacity > 0, Ordering::Relaxed);
+}
+
+/// Whether tracing is on. One relaxed load.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Appends a complete event (called via [`record_span`]).
+///
+/// [`record_span`]: crate::span::record_span
+pub(crate) fn push_event(name: &str, cat: &str, ts_us: u64, dur_us: u64) {
+    let ev = TraceEvent {
+        name: name.to_string(),
+        cat: cat.to_string(),
+        ts_us,
+        dur_us,
+        tid: current_tid(),
+    };
+    let mut r = lock_ring();
+    if r.capacity == 0 {
+        return;
+    }
+    if r.events.len() < r.capacity {
+        r.events.push(ev);
+    } else {
+        // Ring is full: overwrite the oldest slot.
+        let i = r.next;
+        r.events[i] = ev;
+        r.next = (r.next + 1) % r.capacity;
+        r.dropped += 1;
+    }
+}
+
+/// Drains the buffered events, sorted by start time (ties by name), plus
+/// the count of events dropped to the ring bound. Sorting restores global
+/// timestamp order that per-thread interleaving and ring wraparound can
+/// perturb.
+pub fn take_trace() -> (Vec<TraceEvent>, u64) {
+    let mut r = lock_ring();
+    let mut events = std::mem::take(&mut r.events);
+    let dropped = r.dropped;
+    r.next = 0;
+    r.dropped = 0;
+    events.sort_by(|a, b| a.ts_us.cmp(&b.ts_us).then_with(|| a.name.cmp(&b.name)));
+    (events, dropped)
+}
+
+/// Renders events as a Chrome trace-event JSON document.
+pub fn trace_to_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, ev) in events.iter().enumerate() {
+        let comma = if i + 1 < events.len() { "," } else { "" };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}{comma}\n",
+            crate::json_escape(&ev.name),
+            crate::json_escape(&ev.cat),
+            ev.ts_us,
+            ev.dur_us,
+            ev.tid,
+        ));
+    }
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{dropped}}}}}\n"
+    ));
+    out
+}
+
+/// Drains the trace ring and writes it to `path` as Chrome trace JSON.
+pub fn write_trace_file(path: &std::path::Path) -> std::io::Result<()> {
+    let (events, dropped) = take_trace();
+    std::fs::write(path, trace_to_json(&events, dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace state is process-global, so exercise everything in one test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn ring_lifecycle() {
+        assert!(!trace_enabled());
+        enable_trace(3);
+        assert!(trace_enabled());
+        for i in 0..5u64 {
+            push_event("ev", "t", i * 10, 1);
+        }
+        let (events, dropped) = take_trace();
+        assert_eq!(events.len(), 3, "bounded at capacity");
+        assert_eq!(dropped, 2);
+        // Sorted by ts despite ring wraparound.
+        let ts: Vec<u64> = events.iter().map(|e| e.ts_us).collect();
+        assert_eq!(ts, vec![20, 30, 40]);
+        let json = trace_to_json(&events, dropped);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"droppedEvents\":2"));
+        enable_trace(0);
+        assert!(!trace_enabled());
+    }
+}

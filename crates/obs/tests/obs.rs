@@ -1,0 +1,249 @@
+//! Integration tests for `wg-obs`: histogram bucket geometry, snapshot
+//! determinism, and trace-event JSON shape.
+//!
+//! Trace and metrics enablement are process-global, so everything touching
+//! the trace ring lives in ONE test function — the parallel test runner
+//! would otherwise interleave rings.
+
+// Test code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
+use wg_obs::{Histogram, Registry, HIST_BUCKETS};
+
+#[test]
+fn histogram_bucket_boundaries() {
+    let h = Histogram::new();
+    // Value 0 is its own bucket; value v>0 lands in bucket bit_length(v),
+    // i.e. the bucket covering [2^(b-1), 2^b).
+    for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 40] {
+        h.record(v);
+    }
+    let buckets = h.nonzero_buckets();
+    // (lower bound, count) pairs, ascending.
+    assert_eq!(
+        buckets,
+        vec![
+            (0, 1),          // 0
+            (1, 1),          // 1
+            (2, 2),          // 2, 3
+            (4, 2),          // 4, 7
+            (8, 1),          // 8
+            (512, 1),        // 1023
+            (1024, 1),       // 1024
+            (1u64 << 40, 1), // 2^40
+        ]
+    );
+    assert_eq!(h.count(), 10);
+    assert_eq!(h.sum(), 1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024 + (1u64 << 40));
+}
+
+#[test]
+fn histogram_extreme_values_cannot_escape() {
+    let h = Histogram::new();
+    // The top bucket holds everything from 2^63 up to u64::MAX — there is
+    // no overflow bucket to miss.
+    h.record(u64::MAX);
+    h.record(1u64 << 63);
+    h.record((1u64 << 63) - 1);
+    let buckets = h.nonzero_buckets();
+    assert_eq!(buckets.len(), 2);
+    assert_eq!(buckets[0], (1u64 << 62, 1)); // 2^63 - 1
+    assert_eq!(buckets[1], (1u64 << 63, 2)); // 2^63 and u64::MAX
+}
+
+// 64 bit-length buckets plus the zero bucket: any u64 has a home.
+const _: () = assert!(HIST_BUCKETS >= 65);
+
+#[test]
+fn histogram_sum_saturates_instead_of_wrapping() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.sum(), u64::MAX, "sum must saturate, not wrap");
+}
+
+#[test]
+fn snapshot_rendering_is_deterministic_and_sorted() {
+    let reg = Registry::new();
+    // Register in deliberately unsorted order.
+    reg.counter("z.last").add(3);
+    reg.counter("a.first").add(1);
+    reg.gauge("m.middle").set(-7);
+    reg.histogram("b.hist").record(5);
+
+    let s1 = reg.snapshot();
+    let s2 = reg.snapshot();
+    assert_eq!(s1.to_text(), s2.to_text());
+    assert_eq!(s1.to_json(), s2.to_json());
+
+    let names: Vec<&str> = s1.entries.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["a.first", "b.hist", "m.middle", "z.last"]);
+
+    // One metric per line: time-valued lines can be stripped with a grep.
+    let json = s1.to_json();
+    for name in &names {
+        let matching: Vec<&str> = json.lines().filter(|l| l.contains(name)).collect();
+        assert_eq!(matching.len(), 1, "{name} must render on exactly one line");
+    }
+    // And the whole document is valid JSON.
+    let mut p = JsonParser::new(&json);
+    p.value();
+    p.finish();
+}
+
+#[test]
+fn trace_ring_produces_wellformed_monotonic_chrome_json() {
+    wg_obs::enable_trace(64);
+    for i in 0..10u64 {
+        let sw = wg_obs::Stopwatch::start();
+        // A span with any (possibly zero) duration; name varies per event.
+        wg_obs::record_span(&format!("ev{i}"), "test", &sw);
+    }
+    let (events, dropped) = wg_obs::take_trace();
+    wg_obs::enable_trace(0); // disarm for any other process-global user
+    assert_eq!(events.len(), 10);
+    assert_eq!(dropped, 0);
+    // take_trace sorts by timestamp: monotonically non-decreasing.
+    for w in events.windows(2) {
+        assert!(w[0].ts_us <= w[1].ts_us, "timestamps must be sorted");
+    }
+    let json = wg_obs::trace_to_json(&events, dropped);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"droppedEvents\":0"));
+    let mut p = JsonParser::new(&json);
+    p.value();
+    p.finish();
+}
+
+/// A minimal recursive-descent JSON checker — enough to prove the emitted
+/// documents parse, with no dependencies.
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn finish(&mut self) {
+        self.ws();
+        assert_eq!(self.i, self.s.len(), "trailing garbage after JSON value");
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.ws();
+        assert!(self.i < self.s.len(), "unexpected end of JSON");
+        self.s[self.i]
+    }
+
+    fn eat(&mut self, b: u8) {
+        assert_eq!(
+            self.peek(),
+            b,
+            "expected {:?} at byte {}",
+            b as char,
+            self.i
+        );
+        self.i += 1;
+    }
+
+    fn value(&mut self) {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal("true"),
+            b'f' => self.literal("false"),
+            b'n' => self.literal("null"),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) {
+        self.eat(b'{');
+        if self.peek() == b'}' {
+            self.i += 1;
+            return;
+        }
+        loop {
+            self.string();
+            self.eat(b':');
+            self.value();
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return;
+                }
+                c => panic!("expected , or }} in object, got {:?}", c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) {
+        self.eat(b'[');
+        if self.peek() == b']' {
+            self.i += 1;
+            return;
+        }
+        loop {
+            self.value();
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return;
+                }
+                c => panic!("expected , or ] in array, got {:?}", c as char),
+            }
+        }
+    }
+
+    fn string(&mut self) {
+        self.eat(b'"');
+        while self.s[self.i] != b'"' {
+            if self.s[self.i] == b'\\' {
+                self.i += 1;
+            }
+            self.i += 1;
+            assert!(self.i < self.s.len(), "unterminated string");
+        }
+        self.i += 1;
+    }
+
+    fn literal(&mut self, lit: &str) {
+        self.ws();
+        assert!(
+            self.s[self.i..].starts_with(lit.as_bytes()),
+            "expected literal {lit}"
+        );
+        self.i += lit.len();
+    }
+
+    fn number(&mut self) {
+        self.ws();
+        let start = self.i;
+        while self.i < self.s.len()
+            && matches!(
+                self.s[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        assert!(self.i > start, "expected a number at byte {start}");
+    }
+}

@@ -17,11 +17,15 @@
 //!   with hand-crafted plans mirroring the paper's (§4.3), plus workload
 //!   discovery that picks phrase/domain parameters with non-trivial
 //!   selectivity from a generated corpus.
+//! * [`obsrun`] — an observed workload runner that wraps each query in
+//!   metric-registry snapshots and reports per-query costs (pages
+//!   fetched, lists decoded, cache hits) plus result fingerprints.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod index;
+pub mod obsrun;
 pub mod queries;
 pub mod reps;
 

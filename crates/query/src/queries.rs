@@ -11,8 +11,9 @@
 use crate::index::{DomainTable, PageRankIndex, TextIndex};
 use crate::{GraphRep, Result};
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use wg_graph::PageId;
+use wg_obs::Stopwatch;
 
 /// Shared read-only query context.
 #[derive(Clone, Copy)]
@@ -61,7 +62,7 @@ impl<'a> Nav<'a> {
     }
 
     fn out(&mut self, p: PageId) -> Result<Vec<PageId>> {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let r = self.rep.out_neighbors(p);
         self.stats.nav_time += t0.elapsed();
         self.stats.nav_calls += 1;

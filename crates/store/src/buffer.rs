@@ -8,15 +8,16 @@
 //!
 //! The pool is single-writer (an exclusive `&mut` API) — query execution in
 //! this workspace is deterministic and single-threaded, so the complexity
-//! of latching individual frames would buy nothing. `parking_lot` is used
-//! only for the cheap interior-mutable statistics.
+//! of latching individual frames would buy nothing. Statistics live in
+//! shared [`wg_obs::CacheMetrics`] counters (the same struct the core
+//! graph cache uses), registered as `store.buffer.*` under `--metrics`.
 
 use crate::pager::{PageNo, Pager};
 use crate::{Result, PAGE_SIZE};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
-/// Cache hit/miss statistics.
+/// Cache hit/miss statistics: a point-in-time view over the pool's
+/// [`wg_obs::CacheMetrics`] counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests satisfied from the pool.
@@ -37,7 +38,7 @@ pub struct BufferPool {
     map: HashMap<PageNo, usize>,
     /// Clock hand for second-chance eviction.
     hand: usize,
-    stats: Mutex<CacheStats>,
+    metrics: wg_obs::CacheMetrics,
 }
 
 #[derive(Debug)]
@@ -71,7 +72,7 @@ impl BufferPool {
             frames: (0..capacity).map(|_| Frame::empty()).collect(),
             map: HashMap::with_capacity(capacity),
             hand: 0,
-            stats: Mutex::new(CacheStats::default()),
+            metrics: wg_obs::CacheMetrics::auto("store.buffer"),
         }
     }
 
@@ -80,14 +81,18 @@ impl BufferPool {
         self.frames.len()
     }
 
-    /// Cache statistics so far.
+    /// Cache statistics so far (a view over the obs counters).
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        CacheStats {
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            evictions: self.metrics.evictions.get(),
+        }
     }
 
     /// Resets cache statistics.
     pub fn reset_stats(&self) {
-        *self.stats.lock() = CacheStats::default();
+        self.metrics.reset();
     }
 
     /// Direct access to the underlying pager (e.g. for allocation).
@@ -148,10 +153,10 @@ impl BufferPool {
     /// Ensures `no` is resident and returns its frame index.
     fn fetch(&mut self, no: PageNo) -> Result<usize> {
         if let Some(&idx) = self.map.get(&no) {
-            self.stats.lock().hits += 1;
+            self.metrics.hits.inc();
             return Ok(idx);
         }
-        self.stats.lock().misses += 1;
+        self.metrics.misses.inc();
         let idx = self.victim()?;
         if self.frames[idx].occupied {
             if self.frames[idx].dirty {
@@ -159,9 +164,10 @@ impl BufferPool {
                     .write_page(self.frames[idx].page_no, &self.frames[idx].data)?;
             }
             self.map.remove(&self.frames[idx].page_no);
-            self.stats.lock().evictions += 1;
+            self.metrics.evictions.inc();
         }
         self.pager.read_page(no, &mut self.frames[idx].data)?;
+        self.metrics.bytes_loaded.add(PAGE_SIZE as u64);
         self.frames[idx].page_no = no;
         self.frames[idx].occupied = true;
         self.frames[idx].dirty = false;

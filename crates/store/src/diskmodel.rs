@@ -17,7 +17,7 @@
 //! the relative standings).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use wg_obs::Stopwatch;
 
 /// Monotonic stream-id source (one id per open file/store).
 static NEXT_STREAM: AtomicU64 = AtomicU64::new(1);
@@ -94,7 +94,7 @@ pub fn charge_read(stream: u64, offset: u64, bytes: usize) {
     if deadline.is_zero() {
         return;
     }
-    let start = Instant::now();
+    let start = Stopwatch::start();
     while start.elapsed() < deadline {
         std::hint::spin_loop();
     }
@@ -103,6 +103,7 @@ pub fn charge_read(stream: u64, offset: u64, bytes: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn disabled_model_is_free_and_counts() {

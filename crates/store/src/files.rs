@@ -29,8 +29,32 @@ pub struct UncompressedFileStore {
     domain_pages: Vec<Vec<PageId>>,
     /// Number of positioned reads performed.
     read_count: AtomicU64,
+    /// Global counters (`store.files.*`), present only when metrics were
+    /// enabled at build time.
+    counters: Option<FilesCounters>,
     /// Stream id for simulated-disk seek accounting.
     stream: u64,
+}
+
+/// Registry counters for the uncompressed-file baseline's reads.
+/// `pages_fetched` counts 8 KiB pages spanned per positioned read.
+#[derive(Debug)]
+struct FilesCounters {
+    reads: wg_obs::Counter,
+    pages_fetched: wg_obs::Counter,
+}
+
+impl FilesCounters {
+    fn auto() -> Option<Self> {
+        if !wg_obs::metrics_enabled() {
+            return None;
+        }
+        let reg = wg_obs::global();
+        Some(Self {
+            reads: reg.counter("store.files.reads"),
+            pages_fetched: reg.counter("store.files.pages_fetched"),
+        })
+    }
 }
 
 impl UncompressedFileStore {
@@ -93,6 +117,7 @@ impl UncompressedFileStore {
             lengths,
             domain_pages,
             read_count: AtomicU64::new(0),
+            counters: FilesCounters::auto(),
             stream: crate::diskmodel::new_stream(),
         })
     }
@@ -119,6 +144,16 @@ impl UncompressedFileStore {
         self.read_at(&mut buf, start)?;
         crate::diskmodel::charge_read(self.stream, start, len);
         self.read_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.counters {
+            let page = crate::PAGE_SIZE as u64;
+            let pages = if len == 0 {
+                0
+            } else {
+                (start + len as u64 - 1) / page - start / page + 1
+            };
+            c.reads.inc();
+            c.pages_fetched.add(pages);
+        }
         if len < 4 {
             return Err(StoreError::Corrupt("record shorter than its header"));
         }

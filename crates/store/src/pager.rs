@@ -9,31 +9,53 @@ use crate::{Result, StoreError, PAGE_SIZE};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Index of a page within a pager's file.
 pub type PageNo = u32;
 
-/// Counters of physical page I/O.
+/// Counters of physical page I/O, built on obs counters. Per-pager by
+/// default; when metrics were enabled at construction the same events
+/// also feed the global `store.pager.page_reads` / `page_writes`
+/// counters (the paper's disk-cost unit, aggregated across files).
 #[derive(Debug, Default)]
 pub struct IoStats {
-    reads: AtomicU64,
-    writes: AtomicU64,
+    reads: wg_obs::Counter,
+    writes: wg_obs::Counter,
 }
 
 impl IoStats {
     /// Physical page reads performed.
     pub fn reads(&self) -> u64 {
-        self.reads.load(Ordering::Relaxed)
+        self.reads.get()
     }
     /// Physical page writes performed.
     pub fn writes(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed)
+        self.writes.get()
     }
     /// Resets both counters.
     pub fn reset(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
+        self.reads.reset();
+        self.writes.reset();
+    }
+}
+
+/// Global page-I/O counters, resolved once per pager when metrics are on.
+#[derive(Debug)]
+struct GlobalIo {
+    page_reads: wg_obs::Counter,
+    page_writes: wg_obs::Counter,
+}
+
+impl GlobalIo {
+    fn auto() -> Option<Self> {
+        if !wg_obs::metrics_enabled() {
+            return None;
+        }
+        let reg = wg_obs::global();
+        Some(Self {
+            page_reads: reg.counter("store.pager.page_reads"),
+            page_writes: reg.counter("store.pager.page_writes"),
+        })
     }
 }
 
@@ -43,6 +65,7 @@ pub struct Pager {
     file: File,
     num_pages: PageNo,
     stats: IoStats,
+    global_io: Option<GlobalIo>,
     /// Stream id for simulated-disk seek accounting.
     stream: u64,
 }
@@ -60,6 +83,7 @@ impl Pager {
             file,
             num_pages: 0,
             stats: IoStats::default(),
+            global_io: GlobalIo::auto(),
             stream: crate::diskmodel::new_stream(),
         })
     }
@@ -77,6 +101,7 @@ impl Pager {
             file,
             num_pages,
             stats: IoStats::default(),
+            global_io: GlobalIo::auto(),
             stream: crate::diskmodel::new_stream(),
         })
     }
@@ -108,7 +133,10 @@ impl Pager {
             .seek(SeekFrom::Start(u64::from(no) * PAGE_SIZE as u64))?;
         self.file.read_exact(buf)?;
         crate::diskmodel::charge_read(self.stream, u64::from(no) * PAGE_SIZE as u64, PAGE_SIZE);
-        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.reads.inc();
+        if let Some(g) = &self.global_io {
+            g.page_reads.inc();
+        }
         Ok(())
     }
 
@@ -124,7 +152,10 @@ impl Pager {
         if no == self.num_pages {
             self.num_pages += 1;
         }
-        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats.writes.inc();
+        if let Some(g) = &self.global_io {
+            g.page_writes.inc();
+        }
         Ok(())
     }
 

@@ -14,6 +14,7 @@ use webgraph_repr::corpus::{Corpus, CorpusConfig};
 use webgraph_repr::graph::diameter::estimate_diameter;
 use webgraph_repr::graph::pagerank::{pagerank, top_ranked, PageRankConfig};
 use webgraph_repr::graph::scc::tarjan_scc;
+use webgraph_repr::obs::Stopwatch;
 use webgraph_repr::snode::{build_snode, RepoInput, SNodeConfig, SNodeInMemory};
 
 fn main() {
@@ -43,12 +44,12 @@ fn main() {
         mem.encoded_bytes() / 1024,
         (corpus.graph.num_edges() * 4 + u64::from(corpus.num_pages()) * 4) / 1024
     );
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let graph = mem.to_graph().expect("decode");
     println!("full decode to CSR: {:?}", t0.elapsed());
 
     // SCC / bow-tie.
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let scc = tarjan_scc(&graph);
     let sizes = scc.component_sizes();
     let giant = sizes.iter().copied().max().unwrap_or(0);
@@ -61,7 +62,7 @@ fn main() {
     );
 
     // PageRank over the decoded graph; report the top pages by URL.
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let pr = pagerank(&graph, &PageRankConfig::default());
     println!(
         "PageRank: {} iterations in {:?} (delta {:.2e})",
@@ -80,7 +81,7 @@ fn main() {
 
     // Effective diameter from a BFS sample — the third global task §1.2
     // names.
-    let t0 = std::time::Instant::now();
+    let t0 = Stopwatch::start();
     let est = estimate_diameter(&graph, 24);
     println!(
         "\ndiameter: max observed {} hops, effective (90th pct) {} hops ({} sources, {:?})",

@@ -2,12 +2,18 @@
 //!
 //! ```text
 //! wgr gen   --pages 50000 --seed 7 --out corpus/         generate a corpus
-//! wgr build --corpus corpus/ --out repo/                 build the S-Node repo
-//! wgr stats --repo repo/                                 representation statistics
+//! wgr build --corpus corpus/ --out repo/ --metrics       build the S-Node repo
+//! wgr query corpus/ --metrics=json                       observed Q1–6 workload
+//! wgr stats repo/ --json                                 representation statistics
 //! wgr links --repo repo/ --page 1234                     adjacency of a page
 //! wgr domain --repo repo/ --name stanford.edu            pages of a domain
 //! wgr top   --corpus corpus/ --repo repo/ -k 10          top pages by PageRank
 //! ```
+//!
+//! Observability: `--metrics` (on `build` and `query`) prints the metrics
+//! registry snapshot on exit (`--metrics=json` for machine-readable form),
+//! and `--trace FILE` writes a Chrome trace-event file loadable in
+//! `chrome://tracing` / Perfetto.
 //!
 //! The corpus directory stores the generated repository in a simple text
 //! format (`urls.txt`, `domains.txt`, `edges.txt`) so external tooling can
@@ -19,6 +25,11 @@ use std::path::PathBuf;
 use webgraph_repr::corpus::textio::{read_corpus, write_corpus};
 use webgraph_repr::corpus::{Corpus, CorpusConfig};
 use webgraph_repr::graph::pagerank::{pagerank, top_ranked, PageRankConfig};
+use webgraph_repr::obs;
+use webgraph_repr::query::obsrun::{run_observed, WorkloadReport};
+use webgraph_repr::query::queries::{QueryEnv, Workload};
+use webgraph_repr::query::reps::SchemeSet;
+use webgraph_repr::query::{DomainTable, PageRankIndex, Scheme, TextIndex};
 use webgraph_repr::snode::{build_snode, Renumbering, RepoInput, SNode, SNodeConfig};
 
 fn main() {
@@ -26,6 +37,7 @@ fn main() {
     let code = match args.get(1).map(String::as_str) {
         Some("gen") => cmd_gen(&args[2..]),
         Some("build") => cmd_build(&args[2..]),
+        Some("query") => cmd_query(&args[2..]),
         Some("stats") => cmd_stats(&args[2..]),
         Some("links") => cmd_links(&args[2..]),
         Some("domain") => cmd_domain(&args[2..]),
@@ -35,11 +47,13 @@ fn main() {
         Some("bench") => cmd_bench(&args[2..]),
         _ => {
             eprintln!(
-                "usage: wgr <gen|build|stats|links|domain|top|verify|check|bench> [options]\n\
+                "usage: wgr <gen|build|query|stats|links|domain|top|verify|check|bench> [options]\n\
                  \n\
                  gen    --pages N [--seed N] --out DIR      generate a synthetic corpus\n\
                  build  --corpus DIR --out DIR [--threads N] build the S-Node representation\n\
-                 stats  --repo DIR                          show representation statistics\n\
+                 query  DIR [--scheme NAME|all] [--budget B] run the observed Q1-6 workload\n\
+                 \x20      [--reps DIR]                       over the corpus at DIR\n\
+                 stats  DIR [--json]                        show representation statistics\n\
                  links  --repo DIR --page N                 print a page's adjacency list\n\
                  domain --repo DIR --corpus DIR --name D    list a domain's pages\n\
                  top    --repo DIR --corpus DIR [-k N]      top pages by PageRank\n\
@@ -47,7 +61,10 @@ fn main() {
                  check  DIR [--json] [--deny warn]          full static analysis;\n\
                  \x20                                          exit 0 clean, 1 denied warnings, 2 corrupt\n\
                  bench  [--pages N] [--seed N] [--threads 1,2,4] [--iters N] [--quick]\n\
-                 \x20      [--out FILE]                       build benchmark → BENCH_build.json"
+                 \x20      [--out FILE] [--query-out FILE]    build benchmark → BENCH_build.json\n\
+                 \x20                                          + query benchmark → BENCH_query.json\n\
+                 \n\
+                 build and query also accept --metrics[=json] and --trace FILE"
             );
             2
         }
@@ -70,6 +87,81 @@ fn req(args: &[String], flag: &str) -> String {
     })
 }
 
+/// First positional (non-flag) argument, skipping the value slot of every
+/// `--flag value` pair. Boolean flags (and `--flag=value` forms) consume
+/// only their own slot.
+fn positional(args: &[String]) -> Option<String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with('-') {
+            let boolean = a.contains('=') || matches!(a, "--json" | "--quick" | "--metrics");
+            i += if boolean { 1 } else { 2 };
+        } else {
+            return Some(a.to_string());
+        }
+    }
+    None
+}
+
+/// How `--metrics` output should be rendered.
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
+
+/// Observability flags shared by `build` and `query`. Parsing has side
+/// effects: `--metrics` raises the global metrics flag (it must be up
+/// *before* caches and readers are constructed, or their counters stay
+/// private) and `--trace` arms the trace ring.
+struct ObsFlags {
+    metrics: Option<MetricsFormat>,
+    trace: Option<PathBuf>,
+}
+
+impl ObsFlags {
+    fn parse(args: &[String]) -> Self {
+        let mut metrics = None;
+        for a in args {
+            match a.as_str() {
+                "--metrics" | "--metrics=text" => metrics = Some(MetricsFormat::Text),
+                "--metrics=json" => metrics = Some(MetricsFormat::Json),
+                _ => {}
+            }
+        }
+        let trace = opt(args, "--trace").map(PathBuf::from);
+        if metrics.is_some() {
+            obs::set_metrics_enabled(true);
+        }
+        if trace.is_some() {
+            obs::enable_trace(1 << 16);
+        }
+        ObsFlags { metrics, trace }
+    }
+
+    /// Prints the registry snapshot in the requested format.
+    fn print_metrics(&self) {
+        match self.metrics {
+            Some(MetricsFormat::Text) => print!("{}", obs::global().snapshot().to_text()),
+            Some(MetricsFormat::Json) => print!("{}", obs::global().snapshot().to_json()),
+            None => {}
+        }
+    }
+
+    /// Writes the trace file if one was requested; returns an exit code.
+    fn write_trace(&self) -> i32 {
+        if let Some(path) = &self.trace {
+            if let Err(e) = obs::write_trace_file(path) {
+                eprintln!("failed to write trace {}: {e}", path.display());
+                return 1;
+            }
+            eprintln!("wrote trace {}", path.display());
+        }
+        0
+    }
+}
+
 fn cmd_gen(args: &[String]) -> i32 {
     let pages: u32 = req(args, "--pages").parse().expect("--pages number");
     let seed: u64 = opt(args, "--seed").map_or(42, |s| s.parse().expect("--seed number"));
@@ -89,6 +181,7 @@ fn cmd_gen(args: &[String]) -> i32 {
 }
 
 fn cmd_build(args: &[String]) -> i32 {
+    let flags = ObsFlags::parse(args);
     let corpus_dir = PathBuf::from(req(args, "--corpus"));
     let out = PathBuf::from(req(args, "--out"));
     // 0 = auto: WGR_THREADS env var, else available parallelism. The
@@ -106,7 +199,7 @@ fn cmd_build(args: &[String]) -> i32 {
         threads,
         ..SNodeConfig::default()
     };
-    let t0 = std::time::Instant::now();
+    let t0 = obs::Stopwatch::start();
     let (stats, _renum) = build_snode(input, &config, &out).expect("build");
     println!(
         "built in {:?} ({} threads): {} supernodes, {} superedges, {:.2} bits/edge → {}",
@@ -117,32 +210,184 @@ fn cmd_build(args: &[String]) -> i32 {
         stats.bits_per_edge(),
         out.display()
     );
-    0
+    flags.print_metrics();
+    flags.write_trace()
 }
 
+/// `wgr query DIR` — builds the four-scheme query set from the corpus at
+/// `DIR`, runs the observed Q1–6 workload, and reports per-query costs
+/// (wall time, supernodes visited, lists decoded, cache hits/misses, pages
+/// fetched) plus a result fingerprint. Metrics are always enabled here —
+/// observation is the command's purpose; `--metrics` additionally dumps
+/// the registry snapshot, and `--metrics=json` renders everything as one
+/// JSON object.
+fn cmd_query(args: &[String]) -> i32 {
+    let Some(corpus_dir) = positional(args).or_else(|| opt(args, "--corpus")) else {
+        eprintln!(
+            "usage: wgr query DIR [--scheme NAME|all] [--budget BYTES] [--reps DIR]\n\
+             \x20                [--metrics[=json]] [--trace FILE]"
+        );
+        return 2;
+    };
+    obs::set_metrics_enabled(true);
+    let flags = ObsFlags::parse(args);
+    let budget: usize =
+        opt(args, "--budget").map_or(1 << 20, |s| s.parse().expect("--budget bytes"));
+    let schemes: Vec<Scheme> = match opt(args, "--scheme").as_deref() {
+        None => vec![Scheme::SNode],
+        Some("all") => Scheme::ALL.to_vec(),
+        Some(name) => match Scheme::ALL.iter().copied().find(|s| s.name() == name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!(
+                    "unknown scheme {name}; expected all, {}",
+                    Scheme::ALL.map(|s| s.name()).join(", ")
+                );
+                return 2;
+            }
+        },
+    };
+
+    let corpus = read_corpus(&PathBuf::from(&corpus_dir)).expect("read corpus");
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let (root, scratch) = match opt(args, "--reps") {
+        Some(d) => (PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("wgr_query_{}", std::process::id())),
+            true,
+        ),
+    };
+    let set = SchemeSet::build(
+        &root,
+        &urls,
+        &domains,
+        &corpus.graph,
+        &SNodeConfig::default(),
+        budget,
+    )
+    .expect("build scheme set");
+    let text = TextIndex::build(&corpus, &set.renumbering);
+    let pagerank = PageRankIndex::build(&corpus.graph, &set.renumbering);
+    let domain_table = DomainTable::build(&corpus, &set.renumbering);
+    let env = QueryEnv {
+        text: &text,
+        pagerank: &pagerank,
+        domains: &domain_table,
+    };
+    let workload = Workload::discover(&text, &domain_table);
+    let reports: Vec<WorkloadReport> = schemes
+        .iter()
+        .map(|&s| run_observed(env, &set, s, &workload).expect("run workload"))
+        .collect();
+    if scratch {
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    if flags.metrics == Some(MetricsFormat::Json) {
+        let mut out = String::from("{\n  \"schemes\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            let comma = if i + 1 < reports.len() { "," } else { "" };
+            out.push_str(&indent(r.to_json().trim_end(), 4));
+            out.push_str(comma);
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"registry\": ");
+        let snap = obs::global().snapshot().to_json();
+        out.push_str(indent(snap.trim_end(), 2).trim_start());
+        out.push_str("\n}\n");
+        print!("{out}");
+    } else {
+        for r in &reports {
+            print_report_text(r);
+        }
+        flags.print_metrics();
+    }
+    flags.write_trace()
+}
+
+/// Indents every line of `s` by `n` spaces.
+fn indent(s: &str, n: usize) -> String {
+    let pad = " ".repeat(n);
+    s.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn print_report_text(r: &WorkloadReport) {
+    println!("scheme {}", r.scheme);
+    for q in &r.queries {
+        println!(
+            "  {}: {:>9.3} ms | rows {:>4} | nav {:>5} calls | visited {:>5} | \
+             lists {:>5}+{:<5} | cache {}/{} | pages {} | fp {:016x}",
+            q.query,
+            q.wall_ns as f64 / 1e6,
+            q.rows,
+            q.nav_calls,
+            q.supernodes_visited,
+            q.intra_lists_decoded,
+            q.super_lists_decoded,
+            q.cache_hits,
+            q.cache_misses,
+            q.pages_fetched,
+            q.fingerprint
+        );
+    }
+}
+
+/// `wgr stats DIR [--json]` (the historical `--repo DIR` spelling still
+/// works) — representation statistics, machine-readable with `--json`.
 fn cmd_stats(args: &[String]) -> i32 {
-    let repo = PathBuf::from(req(args, "--repo"));
+    let repo = positional(args)
+        .or_else(|| opt(args, "--repo"))
+        .map(PathBuf::from);
+    let Some(repo) = repo else {
+        eprintln!("usage: wgr stats DIR [--json]");
+        return 2;
+    };
+    let json = args.iter().any(|a| a == "--json");
     let snode = SNode::open(&repo, 1 << 20).expect("open repo");
     let meta = snode.meta();
-    println!("pages        : {}", snode.num_pages());
-    println!("supernodes   : {}", snode.num_supernodes());
-    println!("superedges   : {}", meta.supergraph.num_superedges());
-    println!(
-        "supernode graph: {} bytes encoded (+pointers {})",
-        meta.supergraph_bits.div_ceil(8),
-        meta.supergraph.encoded_bytes_with_pointers()
-    );
     let mut sizes: Vec<u32> = (0..snode.num_supernodes())
         .map(|s| meta.supernode_size(s))
         .collect();
     sizes.sort_unstable();
-    println!(
-        "element sizes: min {} / median {} / max {}",
-        sizes.first().unwrap_or(&0),
-        sizes.get(sizes.len() / 2).unwrap_or(&0),
-        sizes.last().unwrap_or(&0)
+    let (min, median, max) = (
+        sizes.first().copied().unwrap_or(0),
+        sizes.get(sizes.len() / 2).copied().unwrap_or(0),
+        sizes.last().copied().unwrap_or(0),
     );
-    println!("domains      : {}", meta.domain_supernodes.len());
+    if json {
+        println!("{{");
+        println!("  \"pages\": {},", snode.num_pages());
+        println!("  \"supernodes\": {},", snode.num_supernodes());
+        println!("  \"superedges\": {},", meta.supergraph.num_superedges());
+        println!(
+            "  \"supergraph_encoded_bytes\": {},",
+            meta.supergraph_bits.div_ceil(8)
+        );
+        println!(
+            "  \"supergraph_bytes_with_pointers\": {},",
+            meta.supergraph.encoded_bytes_with_pointers()
+        );
+        println!("  \"element_size_min\": {min},");
+        println!("  \"element_size_median\": {median},");
+        println!("  \"element_size_max\": {max},");
+        println!("  \"domains\": {}", meta.domain_supernodes.len());
+        println!("}}");
+    } else {
+        println!("pages        : {}", snode.num_pages());
+        println!("supernodes   : {}", snode.num_supernodes());
+        println!("superedges   : {}", meta.supergraph.num_superedges());
+        println!(
+            "supernode graph: {} bytes encoded (+pointers {})",
+            meta.supergraph_bits.div_ceil(8),
+            meta.supergraph.encoded_bytes_with_pointers()
+        );
+        println!("element sizes: min {min} / median {median} / max {max}");
+        println!("domains      : {}", meta.domain_supernodes.len());
+    }
     0
 }
 
@@ -422,8 +667,84 @@ fn cmd_bench(args: &[String]) -> i32 {
     json.push_str("  ]\n}\n");
     std::fs::write(&out, &json).expect("write bench json");
     println!("wrote {}", out.display());
+
+    // Query companion: the six-query workload on every scheme, twice —
+    // wall times vary run to run, the cost counters and result
+    // fingerprints must not. Metrics stay off during the build benchmark
+    // above so its timings are unperturbed; they are enabled only now.
+    let qout = PathBuf::from(opt(args, "--query-out").unwrap_or_else(|| "BENCH_query.json".into()));
+    let qcode = bench_query(&corpus, &scratch, pages, seed, &qout);
+    std::fs::remove_dir_all(&scratch).ok();
+
     if !identical {
         eprintln!("FAILED: outputs differ across thread counts");
+        return 1;
+    }
+    qcode
+}
+
+/// Runs the six-query workload for every scheme twice and writes the
+/// `BENCH_query.json` companion. Returns 0 when both passes agreed on
+/// every deterministic counter and fingerprint.
+fn bench_query(
+    corpus: &Corpus,
+    scratch: &std::path::Path,
+    pages: u32,
+    seed: u64,
+    out: &std::path::Path,
+) -> i32 {
+    obs::set_metrics_enabled(true);
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let root = scratch.join("queryset");
+    let set = SchemeSet::build(
+        &root,
+        &urls,
+        &domains,
+        &corpus.graph,
+        &SNodeConfig::default(),
+        1 << 20,
+    )
+    .expect("build scheme set");
+    let text = TextIndex::build(corpus, &set.renumbering);
+    let pagerank = PageRankIndex::build(&corpus.graph, &set.renumbering);
+    let domain_table = DomainTable::build(corpus, &set.renumbering);
+    let env = QueryEnv {
+        text: &text,
+        pagerank: &pagerank,
+        domains: &domain_table,
+    };
+    let workload = Workload::discover(&text, &domain_table);
+
+    let mut deterministic = true;
+    let mut schemes_json = Vec::new();
+    for scheme in Scheme::ALL {
+        let r1 = run_observed(env, &set, scheme, &workload).expect("bench query");
+        let r2 = run_observed(env, &set, scheme, &workload).expect("bench query rerun");
+        for (a, b) in r1.queries.iter().zip(r2.queries.iter()) {
+            deterministic &= a.deterministic_fields() == b.deterministic_fields();
+        }
+        eprintln!(
+            "query bench {}: {:.3} ms total, {} pages fetched",
+            r1.scheme,
+            r1.queries.iter().map(|q| q.wall_ns).sum::<u64>() as f64 / 1e6,
+            r1.queries.iter().map(|q| q.pages_fetched).sum::<u64>()
+        );
+        schemes_json.push(indent(r1.to_json().trim_end(), 4));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"wgr query\",\n");
+    json.push_str(&format!("  \"pages\": {pages},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+    json.push_str("  \"schemes\": [\n");
+    json.push_str(&schemes_json.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(out, &json).expect("write query bench json");
+    println!("wrote {}", out.display());
+    if !deterministic {
+        eprintln!("FAILED: query counters or fingerprints differ between passes");
         return 1;
     }
     0

@@ -14,6 +14,7 @@ pub use wg_baselines as baselines;
 pub use wg_bitio as bitio;
 pub use wg_corpus as corpus;
 pub use wg_graph as graph;
+pub use wg_obs as obs;
 pub use wg_query as query;
 pub use wg_snode as snode;
 pub use wg_store as store;

@@ -163,6 +163,7 @@ fn build_threads_flag_and_env_produce_identical_repos() {
 fn bench_quick_writes_baseline_json() {
     let root = temp_dir("bench");
     let out_file = root.join("BENCH_build.json");
+    let query_file = root.join("BENCH_query.json");
     let out = wgr()
         .args([
             "bench",
@@ -174,6 +175,8 @@ fn bench_quick_writes_baseline_json() {
             "--out",
         ])
         .arg(&out_file)
+        .arg("--query-out")
+        .arg(&query_file)
         .output()
         .unwrap();
     assert!(out.status.success(), "bench failed: {out:?}");
@@ -182,6 +185,147 @@ fn bench_quick_writes_baseline_json() {
     assert!(json.contains("\"identical_output\": true"), "json: {json}");
     assert!(json.contains("\"encode_secs\""), "json: {json}");
     assert!(json.contains("\"bits_per_edge\""), "json: {json}");
+
+    // The query companion: every scheme's workload, with the two-pass
+    // determinism verdict.
+    let qjson = std::fs::read_to_string(&query_file).unwrap();
+    assert!(qjson.contains("\"bench\": \"wgr query\""), "json: {qjson}");
+    assert!(qjson.contains("\"deterministic\": true"), "json: {qjson}");
+    for scheme in ["uncompressed-files", "relational-db", "link3", "s-node"] {
+        assert!(qjson.contains(scheme), "missing {scheme}: {qjson}");
+    }
+    for key in [
+        "pages_fetched",
+        "intra_lists_decoded",
+        "fingerprint",
+        "wall_ns",
+    ] {
+        assert!(qjson.contains(key), "missing {key}: {qjson}");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Strips every line carrying a time-valued field (`*_ns` histograms and
+/// span durations) — what's left must be identical between runs.
+fn strip_time_lines(s: &str) -> String {
+    s.lines()
+        .filter(|l| !l.contains("_ns"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn query_metrics_json_is_deterministic_across_runs() {
+    let root = temp_dir("qmetrics");
+    let corpus = root.join("corpus");
+    let out = wgr()
+        .args(["gen", "--pages", "1500", "--seed", "11", "--out"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    let run = || {
+        let out = wgr()
+            .arg("query")
+            .arg(&corpus)
+            .arg("--metrics=json")
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "query failed: {out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let a = run();
+    let b = run();
+
+    // The acceptance bar: per-query wall time, supernodes visited, lists
+    // decoded, cache hits/misses, and pages fetched, for q1..q6.
+    for q in ["\"q1\"", "\"q2\"", "\"q3\"", "\"q4\"", "\"q5\"", "\"q6\""] {
+        assert!(a.contains(q), "missing {q} in: {a}");
+    }
+    for key in [
+        "wall_ns",
+        "supernodes_visited",
+        "intra_lists_decoded",
+        "super_lists_decoded",
+        "cache_hits",
+        "cache_misses",
+        "pages_fetched",
+    ] {
+        assert!(a.contains(key), "missing {key} in: {a}");
+    }
+    // Registry snapshot rides along in the same document.
+    assert!(a.contains("\"registry\""), "missing registry in: {a}");
+    assert!(
+        a.contains("core.cache.hits"),
+        "missing core.cache.hits: {a}"
+    );
+
+    // Two consecutive runs: identical counters once timing lines go.
+    assert_eq!(
+        strip_time_lines(&a),
+        strip_time_lines(&b),
+        "query counters must be deterministic across runs"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn build_metrics_and_trace_and_stats_json() {
+    let root = temp_dir("obsflags");
+    let corpus = root.join("corpus");
+    let repo = root.join("repo");
+    let trace = root.join("trace.json");
+    let out = wgr()
+        .args(["gen", "--pages", "800", "--seed", "9", "--out"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    let out = wgr()
+        .args(["build", "--corpus"])
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&repo)
+        .arg("--metrics=json")
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "build failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Build-stage spans land in the registry as histograms.
+    for key in [
+        "core.build.refine_ns",
+        "core.build.encode_ns",
+        "core.build.total_ns",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in: {stdout}");
+    }
+    // And as trace events in a Chrome trace-event file.
+    let tjson = std::fs::read_to_string(&trace).unwrap();
+    assert!(tjson.contains("\"traceEvents\""), "trace: {tjson}");
+    assert!(tjson.contains("core.build.refine"), "trace: {tjson}");
+    assert!(tjson.contains("\"ph\":\"X\""), "trace: {tjson}");
+
+    // `wgr stats DIR --json` — positional dir, machine-readable output.
+    let out = wgr()
+        .arg("stats")
+        .arg(&repo)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stats failed: {out:?}");
+    let sjson = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"pages\": 800",
+        "\"supernodes\"",
+        "\"superedges\"",
+        "\"domains\"",
+    ] {
+        assert!(sjson.contains(key), "missing {key} in: {sjson}");
+    }
     std::fs::remove_dir_all(&root).ok();
 }
 
