@@ -15,6 +15,11 @@
 //! 4. No raw `std::time::Instant` outside `crates/obs`, vendored code,
 //!    and test code: every duration must flow through `wg_obs::Stopwatch`
 //!    so it can land in the metrics registry and the trace ring.
+//! 5. No raw file-read call sites (`.read_exact(`, `.read_to_end(`,
+//!    `fs::read(`) outside `crates/fault` (the I/O shim) and test code:
+//!    every data-path read must go through `wg_fault::read_exact_at` /
+//!    `wg_fault::read_file` so fault injection covers it and transient
+//!    errors get the shim's bounded retry.
 //!
 //! Exit 0 when clean; exit 1 with one line per violation otherwise.
 //! Usage: `conventions [--root DIR]` (defaults to the workspace root,
@@ -48,7 +53,11 @@ const DECODE_PATH_FILES: &[&str] = &[
     "crates/store/src/files.rs",
     "crates/store/src/relational.rs",
     "crates/analyze/src/check.rs",
+    "crates/analyze/src/fsck.rs",
     "crates/analyze/src/lib.rs",
+    "crates/core/src/integrity.rs",
+    "crates/fault/src/crc32c.rs",
+    "crates/fault/src/io.rs",
 ];
 
 const BANNED_TOKENS: &[&str] = &[".unwrap(", ".expect(", "panic!("];
@@ -66,6 +75,7 @@ fn main() {
     check_no_panics(&root, &mut violations);
     check_unique_corrupt_messages(&root, &mut violations);
     check_no_raw_instant(&root, &mut violations);
+    check_no_raw_reads(&root, &mut violations);
 
     if violations.is_empty() {
         println!("conventions: ok");
@@ -228,6 +238,50 @@ fn check_no_raw_instant(root: &Path, violations: &mut Vec<String>) {
                 violations.push(format!(
                     "{name}:{lineno}: raw `Instant` outside crates/obs — use wg_obs::Stopwatch"
                 ));
+            }
+        }
+    }
+}
+
+// --- Rule 5: no raw file reads outside the fault shim -----------------------
+
+/// Tokens that read file bytes without passing through the `wg-fault`
+/// shim. Reads that bypass the shim dodge fault injection and skip the
+/// bounded retry on transient errors, so new call sites are banned
+/// everywhere but `crates/fault` itself and test code.
+const RAW_READ_TOKENS: &[&str] = &[".read_exact(", ".read_to_end(", "fs::read("];
+
+fn check_no_raw_reads(root: &Path, violations: &mut Vec<String>) {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    collect_rs_files(&root.join("examples"), &mut files);
+    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
+        for e in crates.flatten() {
+            if e.file_name() == "fault" {
+                continue; // the shim is the one sanctioned home of raw reads
+            }
+            collect_rs_files(&e.path(), &mut files);
+        }
+    }
+    files.sort();
+    for path in files {
+        let name = rel(root, &path);
+        if name.contains("/tests/") || name.ends_with("bin/conventions.rs") {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for (lineno, line) in non_test_lines(&src) {
+            let code = strip_line_comment(line);
+            for tok in RAW_READ_TOKENS {
+                if code.contains(tok) {
+                    violations.push(format!(
+                        "{name}:{lineno}: raw `{}` outside crates/fault — read through \
+                         wg_fault::read_exact_at / wg_fault::read_file",
+                        tok.trim_start_matches('.').trim_end_matches('(')
+                    ));
+                }
             }
         }
     }

@@ -17,8 +17,10 @@
 #![forbid(unsafe_code)]
 
 mod check;
+mod fsck;
 
 pub use check::{check, Summary};
+pub use fsck::{fsck, FsckReport};
 
 /// How bad a finding is.
 ///
@@ -44,7 +46,8 @@ impl Severity {
 /// Stable diagnostic codes. The numeric part groups by layer: `SN00x`
 /// resident metadata, `SN01x` graph structure, `SN02x` reference chains,
 /// `SN03x`/`SN04x` encoding choices, `SN05x` bitstream hygiene, `SN06x`
-/// index files, `SN07x` cross-layer consistency.
+/// index files, `SN07x` cross-layer consistency, `SN1xx` physical
+/// integrity (checksums, truncation — the `wgr fsck` pass).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// SN001: a supernode's page range is empty (gap in the PageID tiling).
@@ -85,6 +88,22 @@ pub enum Code {
     /// SN070: the supernode graph names a superedge whose encoded graph is
     /// missing from or out of bounds in the index files.
     MissingSuperedgeGraph,
+    /// SN100: the directory carries no `sums.bin` integrity manifest
+    /// (a pre-checksum v1 directory) — nothing can be verified.
+    MissingManifest,
+    /// SN101: the integrity manifest itself is unreadable (bad magic,
+    /// unsupported version, truncation, or failed self-checksum) or
+    /// inconsistent with the directory it describes.
+    ManifestCorrupt,
+    /// SN102: a `meta.bin` section's CRC-32C differs from the manifest.
+    MetaSectionChecksum,
+    /// SN103: a whole file's CRC-32C differs from the manifest.
+    FileChecksum,
+    /// SN104: an encoded graph blob's CRC-32C differs from the manifest.
+    BlobChecksum,
+    /// SN105: a manifest-listed file is missing, unreadable, or has a
+    /// different length than recorded.
+    TruncatedFile,
 }
 
 impl Code {
@@ -104,6 +123,12 @@ impl Code {
             Code::TrailingBits => "SN050",
             Code::IndexFileOversize => "SN060",
             Code::MissingSuperedgeGraph => "SN070",
+            Code::MissingManifest => "SN100",
+            Code::ManifestCorrupt => "SN101",
+            Code::MetaSectionChecksum => "SN102",
+            Code::FileChecksum => "SN103",
+            Code::BlobChecksum => "SN104",
+            Code::TruncatedFile => "SN105",
         }
     }
 
@@ -123,6 +148,12 @@ impl Code {
             Code::TrailingBits => "trailing-bits",
             Code::IndexFileOversize => "index-file-oversize",
             Code::MissingSuperedgeGraph => "supernode-edge-without-superedge-graph",
+            Code::MissingManifest => "missing-integrity-manifest",
+            Code::ManifestCorrupt => "integrity-manifest-corrupt",
+            Code::MetaSectionChecksum => "meta-section-checksum-mismatch",
+            Code::FileChecksum => "file-checksum-mismatch",
+            Code::BlobChecksum => "graph-blob-checksum-mismatch",
+            Code::TruncatedFile => "file-truncated",
         }
     }
 
@@ -136,12 +167,18 @@ impl Code {
             | Code::DecodeError
             | Code::ListNotMonotone
             | Code::RefChainCycle
-            | Code::MissingSuperedgeGraph => Severity::Error,
+            | Code::MissingSuperedgeGraph
+            | Code::ManifestCorrupt
+            | Code::MetaSectionChecksum
+            | Code::FileChecksum
+            | Code::BlobChecksum
+            | Code::TruncatedFile => Severity::Error,
             Code::RefChainTooDeep
             | Code::NegativeNotSmaller
             | Code::HuffmanNonCanonical
             | Code::TrailingBits
-            | Code::IndexFileOversize => Severity::Warning,
+            | Code::IndexFileOversize
+            | Code::MissingManifest => Severity::Warning,
         }
     }
 }
@@ -155,6 +192,12 @@ pub enum Location {
     DomainIndex,
     /// The encoded supernode graph inside `meta.bin`.
     Supergraph,
+    /// The per-supernode size table inside `meta.bin`.
+    SizeTable,
+    /// The page renumbering file (`pagemap.bin`).
+    Pagemap,
+    /// The integrity manifest (`sums.bin`).
+    Manifest,
     /// An index file (`index_NNN.bin`).
     IndexFile(u32),
     /// The intranode graph of one supernode.
@@ -169,6 +212,9 @@ impl std::fmt::Display for Location {
             Location::Meta => write!(f, "meta"),
             Location::DomainIndex => write!(f, "domain-index"),
             Location::Supergraph => write!(f, "supergraph"),
+            Location::SizeTable => write!(f, "size-table"),
+            Location::Pagemap => write!(f, "pagemap.bin"),
+            Location::Manifest => write!(f, "sums.bin"),
             Location::IndexFile(no) => write!(f, "index_{no:03}.bin"),
             Location::Intranode(s) => write!(f, "intranode {s}"),
             Location::Superedge(i, j) => write!(f, "superedge {i}->{j}"),

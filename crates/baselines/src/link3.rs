@@ -283,20 +283,13 @@ impl Link3DiskStore {
         result
     }
 
-    #[cfg(unix)]
+    /// One positioned read through the canonical shim (portable, short
+    /// reads are errors, transient errors retried with bounded backoff).
     fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
-        use std::os::unix::fs::FileExt;
-        self.file.read_exact_at(buf, offset)?;
+        wg_fault::read_exact_at(&self.file, buf, offset)?;
         wg_store::diskmodel::charge_read(self.stream_id, offset, buf.len());
         self.reads.set(self.reads.get() + 1);
         Ok(())
-    }
-
-    #[cfg(not(unix))]
-    fn read_at(&self, _buf: &mut [u8], _offset: u64) -> Result<()> {
-        Err(BaselineError::Corrupt(
-            "link3 positioned reads require unix",
-        ))
     }
 }
 

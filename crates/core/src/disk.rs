@@ -21,7 +21,7 @@
 use crate::supergraph::SupernodeGraph;
 use crate::{Result, SNodeError};
 use std::fs::File;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const META_MAGIC: u32 = 0x534E_4F44; // "SNOD"
@@ -146,8 +146,7 @@ impl SNodeMeta {
     /// re-derives the graph and discards the raw stream; audits need the
     /// stream itself to inspect the stored Huffman table and padding.
     pub fn read_supergraph_section(dir: &Path) -> Result<(Vec<u8>, u64)> {
-        let mut buf = Vec::new();
-        File::open(dir.join("meta.bin"))?.read_to_end(&mut buf)?;
+        let buf = read_whole_file(&dir.join("meta.bin"))?;
         let mut c = Cursor::new(&buf);
         if c.u32()? != META_MAGIC {
             return Err(SNodeError::Corrupt(
@@ -172,9 +171,14 @@ impl SNodeMeta {
 
     /// Deserialises from `dir/meta.bin`.
     pub fn read(dir: &Path) -> Result<Self> {
-        let mut buf = Vec::new();
-        File::open(dir.join("meta.bin"))?.read_to_end(&mut buf)?;
-        let mut c = Cursor::new(&buf);
+        let buf = read_whole_file(&dir.join("meta.bin"))?;
+        Self::parse(&buf)
+    }
+
+    /// Deserialises from an in-memory `meta.bin` image (callers that
+    /// checksum the raw bytes parse the same buffer they verified).
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        let mut c = Cursor::new(buf);
         if c.u32()? != META_MAGIC {
             return Err(SNodeError::Corrupt("bad meta magic"));
         }
@@ -336,8 +340,7 @@ impl Renumbering {
 
     /// Reads `dir/pagemap.bin`.
     pub fn read(dir: &Path) -> Result<Self> {
-        let mut buf = Vec::new();
-        File::open(dir.join("pagemap.bin"))?.read_to_end(&mut buf)?;
+        let buf = read_whole_file(&dir.join("pagemap.bin"))?;
         let mut c = Cursor::new(&buf);
         if c.u32()? != PAGEMAP_MAGIC {
             return Err(SNodeError::Corrupt("bad pagemap magic"));
@@ -510,7 +513,7 @@ impl IndexFileReader {
             return Err(SNodeError::Corrupt("locator names a missing file"));
         };
         let mut buf = vec![0u8; loc.byte_len as usize];
-        read_exact_at(f, &mut buf, loc.offset)?;
+        wg_fault::read_exact_at(f, &mut buf, loc.offset)?;
         wg_store::diskmodel::charge_read(self.streams[loc.file as usize], loc.offset, buf.len());
         self.reads.set(self.reads.get() + 1);
         if let Some(c) = &self.counters {
@@ -532,16 +535,11 @@ pub fn index_file_path(dir: &Path, no: u32) -> PathBuf {
     dir.join(format!("index_{no:03}.bin"))
 }
 
-#[cfg(unix)]
-fn read_exact_at(f: &File, buf: &mut [u8], offset: u64) -> Result<()> {
-    use std::os::unix::fs::FileExt;
-    f.read_exact_at(buf, offset)?;
-    Ok(())
-}
-
-#[cfg(not(unix))]
-fn read_exact_at(_f: &File, _buf: &mut [u8], _offset: u64) -> Result<()> {
-    Err(SNodeError::Corrupt("positioned reads require unix"))
+/// Reads an entire file through the canonical shim (retried, injectable),
+/// naming the path on failure so CLI diagnostics can report which file of
+/// a half-written directory is missing or unreadable.
+pub(crate) fn read_whole_file(path: &Path) -> Result<Vec<u8>> {
+    wg_fault::read_file(path).map_err(|e| SNodeError::file_io(path, e))
 }
 
 // --- Little-endian scribbling ----------------------------------------------

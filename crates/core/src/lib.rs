@@ -41,6 +41,7 @@
 pub mod build;
 pub mod cache;
 pub mod disk;
+pub mod integrity;
 pub mod kmeans;
 pub mod par;
 pub mod partition;
@@ -52,7 +53,8 @@ pub mod verify;
 
 pub use build::{build_snode, BuildStats, RepoInput, SNodeConfig, StageTimings};
 pub use disk::Renumbering;
-pub use repr::{SNode, SNodeInMemory};
+pub use integrity::{IntegrityCounters, IntegrityManifest, DIRECTORY_VERSION, SUMS_FILE};
+pub use repr::{DegradedReport, SNode, SNodeInMemory};
 pub use verify::{verify, VerifyReport};
 
 /// Errors produced while building, writing, or reading an S-Node
@@ -63,8 +65,26 @@ pub enum SNodeError {
     Bits(wg_bitio::BitError),
     /// Filesystem failure.
     Io(std::io::Error),
+    /// Filesystem failure on a known file — carries the path so CLI
+    /// diagnostics can name the missing or short file.
+    FileIo {
+        /// Path the failed operation targeted.
+        path: std::path::PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
     /// Structural inconsistency in the on-disk representation.
     Corrupt(&'static str),
+}
+
+impl SNodeError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn file_io(path: impl Into<std::path::PathBuf>, source: std::io::Error) -> Self {
+        SNodeError::FileIo {
+            path: path.into(),
+            source,
+        }
+    }
 }
 
 impl std::fmt::Display for SNodeError {
@@ -72,6 +92,9 @@ impl std::fmt::Display for SNodeError {
         match self {
             SNodeError::Bits(e) => write!(f, "bit-level decode error: {e}"),
             SNodeError::Io(e) => write!(f, "I/O error: {e}"),
+            SNodeError::FileIo { path, source } => {
+                write!(f, "I/O error on {}: {source}", path.display())
+            }
             SNodeError::Corrupt(w) => write!(f, "corrupt S-Node representation: {w}"),
         }
     }
@@ -82,6 +105,7 @@ impl std::error::Error for SNodeError {
         match self {
             SNodeError::Bits(e) => Some(e),
             SNodeError::Io(e) => Some(e),
+            SNodeError::FileIo { source, .. } => Some(source),
             SNodeError::Corrupt(_) => None,
         }
     }

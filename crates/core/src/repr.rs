@@ -12,13 +12,105 @@
 //!   no cache management.
 
 use crate::cache::{CacheEvent, CachedGraph, GraphCache, GraphCacheStats, GraphKey};
-use crate::disk::{IndexFileReader, SNodeMeta};
+use crate::disk::{GraphLocator, IndexFileReader, SNodeMeta};
+use crate::integrity::{IntegrityCounters, IntegrityManifest};
 use crate::refenc::{ListsIndex, Universe};
 use crate::subgraphs::SuperedgeIndex;
-use crate::Result;
+use crate::{Result, SNodeError};
+use std::collections::HashSet;
 use std::path::Path;
 use std::sync::Arc;
 use wg_graph::PageId;
+
+/// What graceful degradation cost a representation so far.
+///
+/// Semantics: a **quarantined supernode** is one with at least one
+/// checksum- or decode-damaged graph (its intranode graph or one of its
+/// outgoing superedge graphs); a **skipped edge part** is one
+/// adjacency-list contribution (one intranode or superedge list access)
+/// omitted from an answer because its graph is quarantined. Parts are the
+/// unit because a damaged blob cannot be decoded to count the exact edges
+/// it held. `retries` counts transient read errors absorbed by the I/O
+/// shim's bounded backoff since the representation was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedReport {
+    /// Distinct supernodes with at least one quarantined graph.
+    pub quarantined_supernodes: u64,
+    /// Adjacency-list parts omitted from answers due to quarantine.
+    pub skipped_edges: u64,
+    /// Transient read errors retried successfully since open.
+    pub retries: u64,
+}
+
+impl DegradedReport {
+    /// True when no answer was affected by quarantine.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_supernodes == 0 && self.skipped_edges == 0
+    }
+}
+
+/// Which graph a quarantine event targets.
+#[derive(Debug, Clone, Copy)]
+enum Quarantine {
+    Intra(u32),
+    Super(u32, u32),
+}
+
+/// Registry counters for quarantine events, created only when metrics
+/// were enabled at open time. Incremented on *new* events (first
+/// quarantine of a supernode, each skipped part), so snapshot deltas give
+/// accurate per-query degradation counts.
+#[derive(Debug)]
+struct DegradeCounters {
+    quarantined_supernodes: wg_obs::Counter,
+    skipped_edges: wg_obs::Counter,
+}
+
+/// Quarantine bookkeeping, present only in degraded-open mode.
+#[derive(Debug)]
+struct DegradeState {
+    quarantined_intra: HashSet<u32>,
+    quarantined_super: HashSet<(u32, u32)>,
+    quarantined_sn: HashSet<u32>,
+    skipped_parts: u64,
+    global: Option<DegradeCounters>,
+}
+
+impl DegradeState {
+    fn new() -> Self {
+        let global = if wg_obs::metrics_enabled() {
+            let reg = wg_obs::global();
+            Some(DegradeCounters {
+                quarantined_supernodes: reg.counter("integrity.quarantined_supernodes"),
+                skipped_edges: reg.counter("integrity.skipped_edges"),
+            })
+        } else {
+            None
+        };
+        Self {
+            quarantined_intra: HashSet::new(),
+            quarantined_super: HashSet::new(),
+            quarantined_sn: HashSet::new(),
+            skipped_parts: 0,
+            global,
+        }
+    }
+
+    fn mark_supernode(&mut self, s: u32) {
+        if self.quarantined_sn.insert(s) {
+            if let Some(g) = &self.global {
+                g.quarantined_supernodes.inc();
+            }
+        }
+    }
+
+    fn skip(&mut self) {
+        self.skipped_parts += 1;
+        if let Some(g) = &self.global {
+            g.skipped_edges.inc();
+        }
+    }
+}
 
 /// Registry counters for the navigation path, created only when metrics
 /// were enabled at open time (the `core.nav.*` names of the paper's
@@ -53,20 +145,116 @@ pub struct SNode {
     files: IndexFileReader,
     cache: GraphCache,
     nav: Option<NavCounters>,
+    /// Per-blob CRCs and file sums from `sums.bin`; `None` for v1
+    /// directories (readable, unverified).
+    manifest: Option<IntegrityManifest>,
+    /// `blob_base[s]` = linear blob index of supernode `s`'s intranode
+    /// graph; superedge `k` of `s` is blob `blob_base[s] + 1 + k`.
+    blob_base: Vec<u64>,
+    integrity: IntegrityCounters,
+    degrade: Option<DegradeState>,
+    retries_at_open: u64,
 }
 
 impl SNode {
     /// Opens the representation under `dir` with a decoded-graph budget of
     /// `cache_budget_bytes` (the experiment's memory cap, §4.3).
+    ///
+    /// Strict mode: any checksum or decode failure surfaces as an error.
     pub fn open(dir: &Path, cache_budget_bytes: usize) -> Result<Self> {
-        let meta = SNodeMeta::read(dir)?;
+        Self::open_mode(dir, cache_budget_bytes, false)
+    }
+
+    /// Opens with graceful degradation: a damaged intranode or superedge
+    /// graph is quarantined instead of failing the query, answers omit its
+    /// contribution, and [`SNode::degraded`] reports what was skipped.
+    /// The resident metadata (`meta.bin`) must still verify — it is the
+    /// index everything else hangs off, so there is nothing to degrade to.
+    pub fn open_degraded(dir: &Path, cache_budget_bytes: usize) -> Result<Self> {
+        Self::open_mode(dir, cache_budget_bytes, true)
+    }
+
+    fn open_mode(dir: &Path, cache_budget_bytes: usize, degrade: bool) -> Result<Self> {
+        let integrity = IntegrityCounters::new();
+        // A corrupt manifest in degraded mode downgrades to "unverified"
+        // (counted as a failure); strict mode refuses to guess.
+        let manifest = match IntegrityManifest::read(dir) {
+            Ok(m) => m,
+            Err(_) if degrade => {
+                integrity.failure();
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        let meta_buf = crate::disk::read_whole_file(&dir.join("meta.bin"))?;
+        if let Some(m) = &manifest {
+            integrity.check();
+            if let Err(e) = m.check_file_bytes("meta.bin", &meta_buf) {
+                integrity.failure();
+                return Err(e);
+            }
+        }
+        let meta = SNodeMeta::parse(&meta_buf)?;
+        let mut blob_base = Vec::with_capacity(meta.num_supernodes() as usize + 1);
+        let mut acc = 0u64;
+        blob_base.push(0);
+        for adj in &meta.supergraph.adj {
+            acc += 1 + adj.len() as u64;
+            blob_base.push(acc);
+        }
+        let manifest = match manifest {
+            Some(m) if m.blob_crc.len() as u64 != acc => {
+                integrity.failure();
+                if degrade {
+                    None
+                } else {
+                    return Err(SNodeError::Corrupt(
+                        "integrity manifest blob count mismatch",
+                    ));
+                }
+            }
+            other => other,
+        };
         let files = IndexFileReader::open(dir)?;
         Ok(Self {
             meta,
             files,
             cache: GraphCache::new(cache_budget_bytes),
             nav: NavCounters::auto(),
+            manifest,
+            blob_base,
+            integrity,
+            degrade: degrade.then(DegradeState::new),
+            retries_at_open: wg_fault::retries_performed(),
         })
+    }
+
+    /// Degradation summary: quarantined supernodes, skipped adjacency
+    /// parts, and transient-read retries since open. All zeros (except
+    /// possibly retries) for a clean directory or a strict open.
+    pub fn degraded(&self) -> DegradedReport {
+        let retries = wg_fault::retries_performed().saturating_sub(self.retries_at_open);
+        match &self.degrade {
+            Some(d) => DegradedReport {
+                quarantined_supernodes: d.quarantined_sn.len() as u64,
+                skipped_edges: d.skipped_parts,
+                retries,
+            },
+            None => DegradedReport {
+                retries,
+                ..DegradedReport::default()
+            },
+        }
+    }
+
+    /// Integrity verifications performed and failed by this handle.
+    pub fn integrity_stats(&self) -> (u64, u64) {
+        (self.integrity.checks(), self.integrity.failures())
+    }
+
+    /// Whether blob reads are verified against an integrity manifest.
+    pub fn verifies_checksums(&self) -> bool {
+        self.manifest.is_some()
     }
 
     /// Number of pages.
@@ -125,12 +313,19 @@ impl SNode {
 
         // (target-range start, local list) per contributing graph.
         let mut parts: Vec<(u32, Vec<u32>)> = Vec::new();
-        {
-            let intra = self.intranode(s)?;
-            let list = intra.decode_list_for(local as u32)?;
-            if !list.is_empty() {
-                parts.push((s_start, list));
-            }
+        match self.intranode(s)? {
+            Some(intra) => match intra.decode_list_for(local as u32) {
+                Ok(list) => {
+                    if !list.is_empty() {
+                        parts.push((s_start, list));
+                    }
+                }
+                Err(e) => {
+                    self.quarantine(Quarantine::Intra(s), e)?;
+                    self.note_skip();
+                }
+            },
+            None => self.note_skip(),
         }
         let targets = self.meta.supergraph.adj[s as usize].clone();
         if let Some(nav) = &self.nav {
@@ -141,10 +336,19 @@ impl SNode {
         }
         for (k, j) in targets.into_iter().enumerate() {
             let j_start = self.meta.page_range(j).start;
-            let se = self.superedge(s, k as u32, j)?;
-            let list = se.decode_list_for(local as u32)?;
-            if !list.is_empty() {
-                parts.push((j_start, list));
+            match self.superedge(s, k as u32, j)? {
+                Some(se) => match se.decode_list_for(local as u32) {
+                    Ok(list) => {
+                        if !list.is_empty() {
+                            parts.push((j_start, list));
+                        }
+                    }
+                    Err(e) => {
+                        self.quarantine(Quarantine::Super(s, j), e)?;
+                        self.note_skip();
+                    }
+                },
+                None => self.note_skip(),
             }
         }
         // Ranges are disjoint, lists sorted: sort parts by range start and
@@ -183,34 +387,109 @@ impl SNode {
         self.cache.take_log()
     }
 
-    fn intranode(&mut self, s: u32) -> Result<Arc<CachedGraph>> {
-        let key = GraphKey::Intra(s);
-        if let Some(g) = self.cache.get(key) {
-            return Ok(g);
+    /// Reads one blob and verifies it against the manifest when present.
+    fn load_blob(&self, loc: &GraphLocator, blob_idx: u64) -> Result<Vec<u8>> {
+        let bytes = self.files.read(loc)?;
+        if let Some(m) = &self.manifest {
+            self.integrity.check();
+            let expected = m
+                .blob_crc
+                .get(blob_idx as usize)
+                .copied()
+                .ok_or(SNodeError::Corrupt("blob index beyond manifest table"))?;
+            if wg_fault::crc32c(&bytes) != expected {
+                self.integrity.failure();
+                return Err(SNodeError::Corrupt("graph blob checksum mismatch"));
+            }
         }
-        let loc = self.meta.intranode_loc[s as usize];
-        let bytes = self.files.read(&loc)?;
-        let index = ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount)?;
-        Ok(self.cache.insert(
-            key,
-            CachedGraph::new_encoded_intra(bytes, loc.bit_len, index),
-        ))
+        Ok(bytes)
     }
 
-    fn superedge(&mut self, s: u32, edge_idx: u32, j: u32) -> Result<Arc<CachedGraph>> {
+    /// In degraded mode records the quarantine and succeeds; in strict
+    /// mode propagates the failure.
+    fn quarantine(&mut self, q: Quarantine, e: SNodeError) -> Result<()> {
+        let Some(d) = &mut self.degrade else {
+            return Err(e);
+        };
+        match q {
+            Quarantine::Intra(s) => {
+                d.quarantined_intra.insert(s);
+                d.mark_supernode(s);
+            }
+            Quarantine::Super(s, j) => {
+                d.quarantined_super.insert((s, j));
+                d.mark_supernode(s);
+            }
+        }
+        Ok(())
+    }
+
+    fn note_skip(&mut self) {
+        if let Some(d) = &mut self.degrade {
+            d.skip();
+        }
+    }
+
+    /// `Ok(None)` means the graph is quarantined (degraded mode only);
+    /// the caller counts the skipped part per access.
+    fn intranode(&mut self, s: u32) -> Result<Option<Arc<CachedGraph>>> {
+        if let Some(d) = &self.degrade {
+            if d.quarantined_intra.contains(&s) {
+                return Ok(None);
+            }
+        }
+        let key = GraphKey::Intra(s);
+        if let Some(g) = self.cache.get(key) {
+            return Ok(Some(g));
+        }
+        let loc = self.meta.intranode_loc[s as usize];
+        let parsed = self
+            .load_blob(&loc, self.blob_base[s as usize])
+            .and_then(|bytes| {
+                let index = ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount)?;
+                Ok((bytes, index))
+            });
+        match parsed {
+            Ok((bytes, index)) => Ok(Some(self.cache.insert(
+                key,
+                CachedGraph::new_encoded_intra(bytes, loc.bit_len, index),
+            ))),
+            Err(e) => {
+                self.quarantine(Quarantine::Intra(s), e)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// `Ok(None)` means the graph is quarantined (degraded mode only).
+    fn superedge(&mut self, s: u32, edge_idx: u32, j: u32) -> Result<Option<Arc<CachedGraph>>> {
+        if let Some(d) = &self.degrade {
+            if d.quarantined_super.contains(&(s, j)) {
+                return Ok(None);
+            }
+        }
         let key = GraphKey::Super(s, j);
         if let Some(g) = self.cache.get(key) {
-            return Ok(g);
+            return Ok(Some(g));
         }
         let loc = self.meta.superedge_loc[s as usize][edge_idx as usize];
-        let bytes = self.files.read(&loc)?;
+        let blob_idx = self.blob_base[s as usize] + 1 + u64::from(edge_idx);
         let ni = u64::from(self.meta.supernode_size(s));
         let nj = u64::from(self.meta.supernode_size(j));
-        let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
-        Ok(self.cache.insert(
-            key,
-            CachedGraph::new_encoded_super(bytes, loc.bit_len, index, nj),
-        ))
+        let parsed = self.load_blob(&loc, blob_idx).and_then(|bytes| {
+            let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
+            Ok((bytes, index))
+        });
+        match parsed {
+            Ok((bytes, index)) => Ok(Some(self.cache.insert(
+                key,
+                CachedGraph::new_encoded_super(bytes, loc.bit_len, index, nj),
+            ))),
+            Err(e) => {
+                self.quarantine(Quarantine::Super(s, j), e)?;
+                Ok(None)
+            }
+        }
     }
 }
 
@@ -225,16 +504,41 @@ pub struct SNodeInMemory {
 }
 
 impl SNodeInMemory {
-    /// Loads every encoded graph under `dir` into memory.
+    /// Loads every encoded graph under `dir` into memory, verifying each
+    /// blob against the integrity manifest when one is present (strict —
+    /// the Table 2 setup has no quarantine path).
     pub fn load(dir: &Path) -> Result<Self> {
         let meta = SNodeMeta::read(dir)?;
         let files = IndexFileReader::open(dir)?;
+        let manifest = IntegrityManifest::read(dir)?;
+        let integrity = IntegrityCounters::new();
+        let check = |bytes: &[u8], blob_idx: usize| -> Result<()> {
+            let Some(m) = &manifest else {
+                return Ok(());
+            };
+            integrity.check();
+            let expected = m
+                .blob_crc
+                .get(blob_idx)
+                .copied()
+                .ok_or(SNodeError::Corrupt(
+                    "resident manifest blob table truncated",
+                ))?;
+            if wg_fault::crc32c(bytes) != expected {
+                integrity.failure();
+                return Err(SNodeError::Corrupt("resident blob checksum mismatch"));
+            }
+            Ok(())
+        };
         let n = meta.num_supernodes();
+        let mut blob_idx = 0usize;
         let mut intra = Vec::with_capacity(n as usize);
         let mut supers = Vec::with_capacity(n as usize);
         for s in 0..n {
             let loc = meta.intranode_loc[s as usize];
             let bytes = files.read(&loc)?;
+            check(&bytes, blob_idx)?;
+            blob_idx += 1;
             let index = ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount)?;
             intra.push((bytes, loc.bit_len, index));
             let mut row = Vec::with_capacity(meta.supergraph.adj[s as usize].len());
@@ -243,6 +547,8 @@ impl SNodeInMemory {
                 let j = meta.supergraph.adj[s as usize][k];
                 let nj = u64::from(meta.supernode_size(j));
                 let bytes = files.read(loc)?;
+                check(&bytes, blob_idx)?;
+                blob_idx += 1;
                 let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
                 row.push((bytes, loc.bit_len, index));
             }
@@ -469,6 +775,84 @@ mod tests {
             expect.sort_unstable();
             assert_eq!(got, expect, "domain {d}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn flip_first_index_byte(dir: &std::path::Path) {
+        let path = crate::disk::index_file_path(dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn clean_directory_verifies_with_zero_failures() {
+        let (dir, graph, renum, _) = build_repo("cleancrc", 80);
+        let mut snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
+        assert!(snode.verifies_checksums());
+        for p in 0..graph.num_nodes() {
+            assert_eq!(
+                snode.out_neighbors(p).unwrap(),
+                expected_neighbors(&graph, &renum, p)
+            );
+        }
+        assert!(snode.degraded().is_clean());
+        let (checks, failures) = snode.integrity_stats();
+        assert!(checks > 0, "manifest present, blobs must be verified");
+        assert_eq!(failures, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strict_open_surfaces_a_single_bit_flip() {
+        let (dir, graph, _renum, _) = build_repo("strictcrc", 80);
+        flip_first_index_byte(&dir);
+        let mut snode = SNode::open(&dir, 1 << 20).unwrap();
+        let err = (0..graph.num_nodes()).find_map(|p| snode.out_neighbors(p).err());
+        assert!(err.is_some(), "strict mode must surface the flip");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn degraded_open_quarantines_and_answers_partially() {
+        let (dir, graph, renum, _) = build_repo("degrade", 80);
+        flip_first_index_byte(&dir);
+        let mut snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
+        for p in 0..graph.num_nodes() {
+            let got = snode.out_neighbors(p).unwrap();
+            let expect = expected_neighbors(&graph, &renum, p);
+            // Partial answers only ever omit edges, never invent them.
+            assert!(got.iter().all(|t| expect.contains(t)), "page {p}");
+        }
+        let report = snode.degraded();
+        assert!(report.quarantined_supernodes >= 1);
+        assert!(report.skipped_edges >= 1);
+        let (_, failures) = snode.integrity_stats();
+        assert!(failures >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_load_verifies_blobs() {
+        let (dir, _graph, _renum, _) = build_repo("memcrc", 60);
+        flip_first_index_byte(&dir);
+        assert!(SNodeInMemory::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifestless_directory_stays_readable() {
+        let (dir, graph, renum, _) = build_repo("v1compat", 60);
+        std::fs::remove_file(dir.join(crate::integrity::SUMS_FILE)).unwrap();
+        let mut snode = SNode::open(&dir, 1 << 20).unwrap();
+        assert!(!snode.verifies_checksums());
+        for p in 0..graph.num_nodes() {
+            assert_eq!(
+                snode.out_neighbors(p).unwrap(),
+                expected_neighbors(&graph, &renum, p)
+            );
+        }
+        assert_eq!(snode.integrity_stats(), (0, 0));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,90 @@
+//! CRC-32C (Castagnoli, polynomial `0x1EDC6F41`), the checksum used by
+//! iSCSI, ext4, and most modern storage formats — and by the S-Node
+//! integrity manifest. Table-driven software implementation, no
+//! dependencies; the table is built at compile time.
+
+/// Reflected form of the Castagnoli polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32C of `data` (the standard variant: initial value all-ones, final
+/// complement).
+pub fn crc32c(data: &[u8]) -> u32 {
+    finish(update(START, data))
+}
+
+/// Starting state for incremental checksumming with [`update`]/[`finish`].
+pub const START: u32 = 0xFFFF_FFFF;
+
+/// Feeds `data` into an in-progress checksum state.
+pub fn update(state: u32, data: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Finalises an incremental checksum state into the CRC value.
+pub fn finish(state: u32) -> u32 {
+    !state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / common reference vectors for CRC-32C.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0u16..1000).map(|i| (i % 251) as u8).collect();
+        let whole = crc32c(&data);
+        let mut state = START;
+        for chunk in data.chunks(7) {
+            state = update(state, chunk);
+        }
+        assert_eq!(finish(state), whole);
+    }
+
+    #[test]
+    fn single_bit_flip_always_changes_crc() {
+        let data: Vec<u8> = (0u16..256).map(|i| i as u8).collect();
+        let base = crc32c(&data);
+        for byte in (0..data.len()).step_by(13) {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

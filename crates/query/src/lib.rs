@@ -72,6 +72,13 @@ pub trait GraphRep {
 
     /// Drops any caches so the next query runs cold.
     fn reset(&mut self) -> Result<()>;
+
+    /// Degradation summary for schemes with graceful degradation (damaged
+    /// graphs quarantined, answers partial); `None` for schemes without a
+    /// quarantine path, where any damage is a hard error instead.
+    fn degraded(&self) -> Option<wg_snode::DegradedReport> {
+        None
+    }
 }
 
 /// Boxes an arbitrary representation error.

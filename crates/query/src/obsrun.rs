@@ -42,6 +42,12 @@ pub struct QueryObservation {
     pub cache_misses: u64,
     /// Pages fetched from disk (the paper's disk-cost unit).
     pub pages_fetched: u64,
+    /// Integrity checksum verifications that failed during this query.
+    pub integrity_failures: u64,
+    /// Supernodes newly quarantined during this query (degraded mode).
+    pub quarantined_supernodes: u64,
+    /// Adjacency-list parts skipped due to quarantine during this query.
+    pub skipped_edges: u64,
     /// Result rows produced.
     pub rows: u64,
     /// FNV-1a fingerprint of the result rows (determinism check).
@@ -55,6 +61,10 @@ pub struct WorkloadReport {
     pub scheme: &'static str,
     /// One observation per query, in Q1–Q6 order.
     pub queries: Vec<QueryObservation>,
+    /// Degradation summary across the whole workload (forward plus
+    /// transpose representations), for schemes that support graceful
+    /// degradation; `None` otherwise. All-zero on clean directories.
+    pub degraded: Option<wg_snode::DegradedReport>,
 }
 
 /// FNV-1a over the result rows: keys and score bit patterns, in order.
@@ -113,6 +123,9 @@ fn observe(
                 "store.files.pages_fetched",
             ],
         ),
+        integrity_failures: after.counter_delta(&before, "integrity.failures"),
+        quarantined_supernodes: after.counter_delta(&before, "integrity.quarantined_supernodes"),
+        skipped_edges: after.counter_delta(&before, "integrity.skipped_edges"),
         rows: out.rows.len() as u64,
         fingerprint: fingerprint_rows(&out.rows),
     })
@@ -138,9 +151,18 @@ pub fn run_observed(
         observe("q5", || query5(env, fwd.as_mut(), &workload.q5))?,
         observe("q6", || query6(env, fwd.as_mut(), &workload.q6))?,
     ];
+    let degraded = match (fwd.degraded(), back.degraded()) {
+        (Some(f), Some(b)) => Some(wg_snode::DegradedReport {
+            quarantined_supernodes: f.quarantined_supernodes + b.quarantined_supernodes,
+            skipped_edges: f.skipped_edges + b.skipped_edges,
+            retries: f.retries + b.retries,
+        }),
+        (one, other) => one.or(other),
+    };
     Ok(WorkloadReport {
         scheme: scheme.name(),
         queries,
+        degraded,
     })
 }
 
@@ -153,10 +175,13 @@ impl QueryObservation {
             ("cache_misses", self.cache_misses),
             ("edges_touched", self.edges_touched),
             ("fingerprint", self.fingerprint),
+            ("integrity_failures", self.integrity_failures),
             ("intra_lists_decoded", self.intra_lists_decoded),
             ("nav_calls", self.nav_calls),
             ("pages_fetched", self.pages_fetched),
+            ("quarantined_supernodes", self.quarantined_supernodes),
             ("rows", self.rows),
+            ("skipped_edges", self.skipped_edges),
             ("super_lists_decoded", self.super_lists_decoded),
             ("supernodes_visited", self.supernodes_visited),
         ]
@@ -181,7 +206,15 @@ impl WorkloadReport {
             out.push_str(&format!("      \"wall_ns\": {}\n", q.wall_ns));
             out.push_str(&format!("    }}{comma}\n"));
         }
-        out.push_str("  }\n}\n");
+        out.push_str("  }");
+        if let Some(d) = &self.degraded {
+            out.push_str(&format!(
+                ",\n  \"degraded\": {{\"quarantined_supernodes\": {}, \"skipped_edges\": {}, \
+                 \"retries\": {}}}",
+                d.quarantined_supernodes, d.skipped_edges, d.retries
+            ));
+        }
+        out.push_str("\n}\n");
         out
     }
 }

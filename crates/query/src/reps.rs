@@ -62,6 +62,9 @@ impl GraphRep for SNodeRep {
         self.0.clear_cache();
         Ok(())
     }
+    fn degraded(&self) -> Option<wg_snode::DegradedReport> {
+        Some(self.0.degraded())
+    }
 }
 
 /// Relational-store adapter.
@@ -223,6 +226,31 @@ impl SchemeSet {
         })
     }
 
+    /// Re-attaches to representations already on disk under `root`
+    /// without rebuilding them.
+    ///
+    /// [`SchemeSet::build`] rewrites every representation, which would
+    /// silently heal any on-disk damage — useless for fault-injection
+    /// runs, wasteful for repeat queries. This constructor only reads
+    /// `snode/pagemap.bin` for the shared renumbering and re-derives the
+    /// ground-truth graphs from `graph` (the original input graph). The
+    /// S-Node directories are used exactly as found; the Files and Link3
+    /// stores still rebuild their flat files at open (inherent to their
+    /// design — see [`SchemeSet::open_with_budget`]), so injected faults
+    /// should target the `snode` directory.
+    pub fn open_existing(root: &Path, graph: &Graph, budget_bytes: usize) -> Result<Self> {
+        let renumbering = Renumbering::read(&root.join("snode")).map_err(rep_err)?;
+        let renum_graph = renumber_graph(graph, &renumbering);
+        let transpose = renum_graph.transpose();
+        Ok(Self {
+            renumbering,
+            graph: renum_graph,
+            transpose,
+            root: root.to_path_buf(),
+            budget: budget_bytes,
+        })
+    }
+
     /// Opens the forward representation for `scheme` with the configured
     /// budget.
     pub fn open(&self, scheme: Scheme) -> Result<Box<dyn GraphRep>> {
@@ -244,15 +272,19 @@ impl SchemeSet {
         let suffix = if transpose { "_t" } else { "" };
         Ok(match scheme {
             Scheme::SNode => {
+                // Degraded open: a damaged graph is quarantined and the
+                // query answers partially (with an explicit report)
+                // instead of aborting. On a clean directory the behaviour
+                // and counters are identical to a strict open.
                 let snode = if transpose {
                     // The transpose S-Node has its own internal numbering;
                     // wrap it with the id translation layer.
                     let dir = self.root.join("snode_t");
-                    let inner = SNode::open(&dir, budget).map_err(rep_err)?;
+                    let inner = SNode::open_degraded(&dir, budget).map_err(rep_err)?;
                     let renum = Renumbering::read(&dir).map_err(rep_err)?;
                     return Ok(Box::new(TranslatedSNodeRep { inner, renum }));
                 } else {
-                    SNode::open(&self.root.join("snode"), budget).map_err(rep_err)?
+                    SNode::open_degraded(&self.root.join("snode"), budget).map_err(rep_err)?
                 };
                 Box::new(SNodeRep(snode))
             }
@@ -320,6 +352,9 @@ impl GraphRep for TranslatedSNodeRep {
     fn reset(&mut self) -> Result<()> {
         self.inner.clear_cache();
         Ok(())
+    }
+    fn degraded(&self) -> Option<wg_snode::DegradedReport> {
+        Some(self.inner.degraded())
     }
 }
 

@@ -13,9 +13,6 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use wg_graph::{Graph, PageId};
 
-#[cfg(unix)]
-use std::os::unix::fs::FileExt;
-
 /// Uncompressed adjacency lists in a flat file, with an in-memory offset
 /// index.
 #[derive(Debug)]
@@ -92,7 +89,9 @@ impl UncompressedFileStore {
             for &p in layout {
                 offsets[p as usize] = pos;
                 let targets = graph.neighbors(p);
-                w.write_all(&(targets.len() as u32).to_le_bytes())?;
+                let degree = u32::try_from(targets.len())
+                    .map_err(|_| StoreError::Full("adjacency list exceeds u32 record header"))?;
+                w.write_all(&degree.to_le_bytes())?;
                 for &t in targets {
                     w.write_all(&t.to_le_bytes())?;
                 }
@@ -198,15 +197,12 @@ impl UncompressedFileStore {
                 .sum::<usize>()
     }
 
-    #[cfg(unix)]
+    /// One positioned read through the canonical shim: portable on
+    /// non-unix (seek + full-buffer read, `Interrupted` handled), short
+    /// reads are errors, transient errors retried with bounded backoff.
     fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
-        self.file.read_exact_at(buf, offset)?;
+        wg_fault::read_exact_at(&self.file, buf, offset)?;
         Ok(())
-    }
-
-    #[cfg(not(unix))]
-    fn read_at(&self, _buf: &mut [u8], _offset: u64) -> Result<()> {
-        Err(StoreError::Corrupt("store positioned reads require unix"))
     }
 }
 

@@ -7,7 +7,7 @@
 
 use crate::{Result, StoreError, PAGE_SIZE};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Index of a page within a pager's file.
@@ -129,9 +129,8 @@ impl Pager {
         if no >= self.num_pages {
             return Err(StoreError::Corrupt("read past end of paged file"));
         }
-        self.file
-            .seek(SeekFrom::Start(u64::from(no) * PAGE_SIZE as u64))?;
-        self.file.read_exact(buf)?;
+        // Through the canonical shim: positioned, retried, injectable.
+        wg_fault::read_exact_at(&self.file, buf, u64::from(no) * PAGE_SIZE as u64)?;
         crate::diskmodel::charge_read(self.stream, u64::from(no) * PAGE_SIZE as u64, PAGE_SIZE);
         self.stats.reads.inc();
         if let Some(g) = &self.global_io {

@@ -24,6 +24,7 @@ use std::io::Write;
 use std::path::PathBuf;
 use webgraph_repr::corpus::textio::{read_corpus, write_corpus};
 use webgraph_repr::corpus::{Corpus, CorpusConfig};
+use webgraph_repr::fault::{FaultPlan, FaultSpec};
 use webgraph_repr::graph::pagerank::{pagerank, top_ranked, PageRankConfig};
 use webgraph_repr::obs;
 use webgraph_repr::query::obsrun::{run_observed, WorkloadReport};
@@ -44,15 +45,18 @@ fn main() {
         Some("top") => cmd_top(&args[2..]),
         Some("verify") => cmd_verify(&args[2..]),
         Some("check") => cmd_check(&args[2..]),
+        Some("fsck") => cmd_fsck(&args[2..]),
+        Some("corrupt") => cmd_corrupt(&args[2..]),
         Some("bench") => cmd_bench(&args[2..]),
         _ => {
             eprintln!(
-                "usage: wgr <gen|build|query|stats|links|domain|top|verify|check|bench> [options]\n\
+                "usage: wgr <gen|build|query|stats|links|domain|top|verify|check|fsck|corrupt|bench> [options]\n\
                  \n\
                  gen    --pages N [--seed N] --out DIR      generate a synthetic corpus\n\
                  build  --corpus DIR --out DIR [--threads N] build the S-Node representation\n\
                  query  DIR [--scheme NAME|all] [--budget B] run the observed Q1-6 workload\n\
-                 \x20      [--reps DIR]                       over the corpus at DIR\n\
+                 \x20      [--reps DIR] [--reuse]             over the corpus at DIR;\n\
+                 \x20                                          exit 3 when answers were degraded\n\
                  stats  DIR [--json]                        show representation statistics\n\
                  links  --repo DIR --page N                 print a page's adjacency list\n\
                  domain --repo DIR --corpus DIR --name D    list a domain's pages\n\
@@ -60,6 +64,11 @@ fn main() {
                  verify --repo DIR                          integrity check (ok/failed)\n\
                  check  DIR [--json] [--deny warn]          full static analysis;\n\
                  \x20                                          exit 0 clean, 1 denied warnings, 2 corrupt\n\
+                 fsck   DIR [--json] [--repair --from DIR]  checksum every section against sums.bin;\n\
+                 \x20                                          exit 0 clean, 1 damage, 2 unusable;\n\
+                 \x20                                          --repair re-encodes from the corpus\n\
+                 corrupt DIR --seed N [--flips N] [--truncate N] [--torn N] [--json]\n\
+                 \x20                                          inject deterministic faults (testing)\n\
                  bench  [--pages N] [--seed N] [--threads 1,2,4] [--iters N] [--quick]\n\
                  \x20      [--out FILE] [--query-out FILE]    build benchmark → BENCH_build.json\n\
                  \x20                                          + query benchmark → BENCH_query.json\n\
@@ -95,7 +104,11 @@ fn positional(args: &[String]) -> Option<String> {
     while i < args.len() {
         let a = args[i].as_str();
         if a.starts_with('-') {
-            let boolean = a.contains('=') || matches!(a, "--json" | "--quick" | "--metrics");
+            let boolean = a.contains('=')
+                || matches!(
+                    a,
+                    "--json" | "--quick" | "--metrics" | "--reuse" | "--repair"
+                );
             i += if boolean { 1 } else { 2 };
         } else {
             return Some(a.to_string());
@@ -224,7 +237,7 @@ fn cmd_build(args: &[String]) -> i32 {
 fn cmd_query(args: &[String]) -> i32 {
     let Some(corpus_dir) = positional(args).or_else(|| opt(args, "--corpus")) else {
         eprintln!(
-            "usage: wgr query DIR [--scheme NAME|all] [--budget BYTES] [--reps DIR]\n\
+            "usage: wgr query DIR [--scheme NAME|all] [--budget BYTES] [--reps DIR] [--reuse]\n\
              \x20                [--metrics[=json]] [--trace FILE]"
         );
         return 2;
@@ -248,9 +261,16 @@ fn cmd_query(args: &[String]) -> i32 {
         },
     };
 
-    let corpus = read_corpus(&PathBuf::from(&corpus_dir)).expect("read corpus");
+    let corpus = match read_corpus(&PathBuf::from(&corpus_dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read corpus at {corpus_dir}: {e}");
+            return 2;
+        }
+    };
     let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let reuse = args.iter().any(|a| a == "--reuse");
     let (root, scratch) = match opt(args, "--reps") {
         Some(d) => (PathBuf::from(d), false),
         None => (
@@ -258,15 +278,37 @@ fn cmd_query(args: &[String]) -> i32 {
             true,
         ),
     };
-    let set = SchemeSet::build(
-        &root,
-        &urls,
-        &domains,
-        &corpus.graph,
-        &SNodeConfig::default(),
-        budget,
-    )
-    .expect("build scheme set");
+    // --reuse opens the representations already on disk instead of
+    // rebuilding them — a rebuild would silently heal any damage, which
+    // defeats fault-injection testing.
+    let set = if reuse {
+        if scratch {
+            eprintln!("--reuse requires --reps DIR (a previously built representation root)");
+            return 2;
+        }
+        match SchemeSet::open_existing(&root, &corpus.graph, budget) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open representations at {}: {e}", root.display());
+                return 2;
+            }
+        }
+    } else {
+        match SchemeSet::build(
+            &root,
+            &urls,
+            &domains,
+            &corpus.graph,
+            &SNodeConfig::default(),
+            budget,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot build representations under {}: {e}", root.display());
+                return 2;
+            }
+        }
+    };
     let text = TextIndex::build(&corpus, &set.renumbering);
     let pagerank = PageRankIndex::build(&corpus.graph, &set.renumbering);
     let domain_table = DomainTable::build(&corpus, &set.renumbering);
@@ -276,10 +318,19 @@ fn cmd_query(args: &[String]) -> i32 {
         domains: &domain_table,
     };
     let workload = Workload::discover(&text, &domain_table);
-    let reports: Vec<WorkloadReport> = schemes
-        .iter()
-        .map(|&s| run_observed(env, &set, s, &workload).expect("run workload"))
-        .collect();
+    let mut reports: Vec<WorkloadReport> = Vec::new();
+    for &s in &schemes {
+        match run_observed(env, &set, s, &workload) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("workload failed on scheme {}: {e}", s.name());
+                if scratch {
+                    std::fs::remove_dir_all(&root).ok();
+                }
+                return 2;
+            }
+        }
+    }
     if scratch {
         std::fs::remove_dir_all(&root).ok();
     }
@@ -303,7 +354,27 @@ fn cmd_query(args: &[String]) -> i32 {
         }
         flags.print_metrics();
     }
-    flags.write_trace()
+    // Partial answers are still answers, but the caller must know: any
+    // quarantine during the workload turns the exit code to 3.
+    let mut degraded_any = false;
+    for r in &reports {
+        if let Some(d) = r.degraded {
+            if !d.is_clean() {
+                degraded_any = true;
+                eprintln!(
+                    "scheme {}: degraded answers — {} supernode(s) quarantined, \
+                     {} adjacency part(s) skipped, {} transient read(s) retried",
+                    r.scheme, d.quarantined_supernodes, d.skipped_edges, d.retries
+                );
+            }
+        }
+    }
+    let trace_code = flags.write_trace();
+    if degraded_any {
+        3
+    } else {
+        trace_code
+    }
 }
 
 /// Indents every line of `s` by `n` spaces.
@@ -347,7 +418,13 @@ fn cmd_stats(args: &[String]) -> i32 {
         return 2;
     };
     let json = args.iter().any(|a| a == "--json");
-    let snode = SNode::open(&repo, 1 << 20).expect("open repo");
+    let snode = match SNode::open(&repo, 1 << 20) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open S-Node directory {}: {e}", repo.display());
+            return 2;
+        }
+    };
     let meta = snode.meta();
     let mut sizes: Vec<u32> = (0..snode.num_supernodes())
         .map(|s| meta.supernode_size(s))
@@ -535,6 +612,166 @@ fn cmd_check(args: &[String]) -> i32 {
             } else {
                 eprintln!("fatal: {e}");
             }
+            2
+        }
+    }
+}
+
+/// `wgr fsck DIR [--json] [--repair --from CORPUS_DIR]` — verifies every
+/// checksummed section of an S-Node directory against its `sums.bin`
+/// manifest (whole files, `meta.bin` sections, graph blobs) and reports a
+/// per-section verdict with stable SN1xx codes. With `--repair`, damaged
+/// files are re-encoded deterministically from the original corpus and the
+/// directory is re-verified. Exit 0 clean, 1 damage found (or remaining
+/// after repair), 2 usage error or failed repair.
+fn cmd_fsck(args: &[String]) -> i32 {
+    let mut dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" => i += 2,
+            a if !a.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(a));
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: wgr fsck DIR [--json] [--repair --from CORPUS_DIR]");
+        return 2;
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let repair = args.iter().any(|a| a == "--repair");
+
+    let report = webgraph_repr::analyze::fsck(&dir);
+    let render = |r: &webgraph_repr::analyze::FsckReport| {
+        if json {
+            println!("{}", r.to_json());
+        } else {
+            println!("{r}");
+        }
+    };
+    render(&report);
+    if report.is_clean() {
+        return 0;
+    }
+    if !repair {
+        return 1;
+    }
+
+    let Some(from) = opt(args, "--from") else {
+        eprintln!("--repair requires --from CORPUS_DIR (the original edge files)");
+        return 2;
+    };
+    match repair_dir(&dir, &PathBuf::from(from)) {
+        Ok(replaced) => {
+            for name in &replaced {
+                eprintln!("repaired {name}");
+            }
+        }
+        Err(e) => {
+            eprintln!("repair failed: {e}");
+            return 2;
+        }
+    }
+    let after = webgraph_repr::analyze::fsck(&dir);
+    render(&after);
+    i32::from(!after.is_clean())
+}
+
+/// Re-encodes the representation from `corpus_dir` into a scratch
+/// directory (the build is deterministic, so a clean rebuild is
+/// byte-identical to the original) and replaces every file of `dir` that
+/// differs. Returns the replaced file names.
+fn repair_dir(dir: &std::path::Path, corpus_dir: &std::path::Path) -> Result<Vec<String>, String> {
+    let corpus = read_corpus(corpus_dir)
+        .map_err(|e| format!("cannot read corpus at {}: {e}", corpus_dir.display()))?;
+    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let input = RepoInput {
+        urls: &urls,
+        domains: &domains,
+        graph: &corpus.graph,
+    };
+    let tmp = std::env::temp_dir().join(format!("wgr_repair_{}", std::process::id()));
+    std::fs::remove_dir_all(&tmp).ok();
+    let built = build_snode(input, &SNodeConfig::default(), &tmp)
+        .map(|_| ())
+        .map_err(|e| format!("re-encode failed: {e}"));
+    let result = built.and_then(|()| {
+        let mut replaced = Vec::new();
+        let entries = std::fs::read_dir(&tmp).map_err(|e| format!("read scratch dir: {e}"))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read scratch dir: {e}"))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let good = webgraph_repr::fault::read_file(&entry.path())
+                .map_err(|e| format!("read rebuilt {name}: {e}"))?;
+            if webgraph_repr::fault::read_file(&dir.join(&name))
+                .ok()
+                .as_deref()
+                != Some(&good[..])
+            {
+                std::fs::write(dir.join(&name), &good).map_err(|e| format!("write {name}: {e}"))?;
+                replaced.push(name);
+            }
+        }
+        replaced.sort();
+        Ok(replaced)
+    });
+    std::fs::remove_dir_all(&tmp).ok();
+    result
+}
+
+/// `wgr corrupt DIR --seed N [--flips N] [--truncate N] [--torn N]` —
+/// injects a deterministic, seeded fault plan into the representation at
+/// `DIR` (for testing `fsck` and degraded queries; `sums.bin` itself is
+/// never targeted). Prints each applied fault.
+fn cmd_corrupt(args: &[String]) -> i32 {
+    let Some(dir) = positional(args) else {
+        eprintln!("usage: wgr corrupt DIR --seed N [--flips N] [--truncate N] [--torn N] [--json]");
+        return 2;
+    };
+    let dir = PathBuf::from(dir);
+    let seed: u64 = opt(args, "--seed").map_or(1, |s| s.parse().expect("--seed number"));
+    let spec = FaultSpec {
+        flips: opt(args, "--flips").map_or(1, |s| s.parse().expect("--flips number")),
+        truncations: opt(args, "--truncate").map_or(0, |s| s.parse().expect("--truncate number")),
+        torn_writes: opt(args, "--torn").map_or(0, |s| s.parse().expect("--torn number")),
+        transient_reads: 0, // in-process only; meaningless across processes
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let plan = match FaultPlan::generate(&dir, seed, &spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("cannot plan faults over {}: {e}", dir.display());
+            return 2;
+        }
+    };
+    match plan.apply_to_dir(&dir) {
+        Ok(applied) => {
+            if json {
+                let mut out = format!("{{\"seed\":{seed},\"applied\":[");
+                for (i, a) in applied.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&a.describe.replace('\\', "\\\\").replace('"', "\\\""));
+                    out.push('"');
+                }
+                out.push_str("]}");
+                println!("{out}");
+            } else {
+                for a in &applied {
+                    println!("{}", a.describe);
+                }
+                println!("applied {} fault(s) (seed {seed})", applied.len());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("cannot apply faults to {}: {e}", dir.display());
             2
         }
     }
@@ -751,11 +988,15 @@ fn bench_query(
 }
 
 /// FNV-1a over (file name, file bytes) of every file in `dir`, in sorted
-/// name order — enough to witness byte-identical builds.
+/// name order — enough to witness byte-identical builds. The `sums.bin`
+/// integrity manifest is excluded: fingerprints witness the paper's
+/// payload bytes, and checksum overhead is reported separately
+/// (`BuildStats::checksum_bytes`).
 fn fingerprint_dir(dir: &std::path::Path) -> u64 {
     let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
         .expect("read bench dir")
         .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.file_name().is_none_or(|n| n != "sums.bin"))
         .collect();
     names.sort();
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -767,7 +1008,7 @@ fn fingerprint_dir(dir: &std::path::Path) -> u64 {
     };
     for p in names {
         eat(p.file_name().expect("file name").as_encoded_bytes());
-        eat(&std::fs::read(&p).expect("read bench file"));
+        eat(&webgraph_repr::fault::read_file(&p).expect("read bench file"));
     }
     h
 }

@@ -13,6 +13,7 @@ pub use wg_analyze as analyze;
 pub use wg_baselines as baselines;
 pub use wg_bitio as bitio;
 pub use wg_corpus as corpus;
+pub use wg_fault as fault;
 pub use wg_graph as graph;
 pub use wg_obs as obs;
 pub use wg_query as query;

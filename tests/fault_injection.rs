@@ -1,0 +1,379 @@
+//! Fault injection end-to-end: seeded fault plans over a built S-Node
+//! directory must never panic a decode path, `wgr fsck` must detect every
+//! injected fault that actually changed bytes, degraded queries must
+//! return accurate partial-answer reports, and the CLI must exit with
+//! clean diagnostics (2 on unusable input, 3 on degraded answers).
+
+// Test/bench code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::OnceLock;
+use webgraph_repr::corpus::{Corpus, CorpusConfig};
+use webgraph_repr::fault::{FaultPlan, FaultSpec};
+use webgraph_repr::snode::{build_snode, RepoInput, SNode, SNodeConfig, SNodeInMemory};
+
+fn wgr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wgr"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("wg_faultinj_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::remove_dir_all(to).ok();
+    std::fs::create_dir_all(to).unwrap();
+    for e in std::fs::read_dir(from).unwrap() {
+        let e = e.unwrap();
+        std::fs::copy(e.path(), to.join(e.file_name())).unwrap();
+    }
+}
+
+/// One pristine representation shared by every proptest case (built once;
+/// cases operate on throwaway copies).
+fn pristine() -> &'static (PathBuf, u32) {
+    static DIR: OnceLock<(PathBuf, u32)> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let corpus = Corpus::generate(CorpusConfig::scaled(600, 77));
+        let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+        let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+        let dir = temp_dir("pristine");
+        let input = RepoInput {
+            urls: &urls,
+            domains: &domains,
+            graph: &corpus.graph,
+        };
+        build_snode(input, &SNodeConfig::default(), &dir).expect("build");
+        (dir, corpus.num_pages())
+    })
+}
+
+/// True when any file of `dir` differs from its counterpart in `from`
+/// (i.e. the fault plan actually changed bytes on disk).
+fn differs(from: &Path, dir: &Path) -> bool {
+    std::fs::read_dir(from).unwrap().any(|e| {
+        let e = e.unwrap();
+        std::fs::read(e.path()).unwrap() != std::fs::read(dir.join(e.file_name())).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A seeded fault plan — flips, truncations, torn writes, transient
+    /// reads — never panics any decode path: strict opens error, degraded
+    /// opens answer partially, fsck always returns a verdict. And fsck
+    /// detects every plan that actually changed bytes.
+    #[test]
+    fn seeded_faults_never_panic_and_are_detected(seed in 0u64..10_000) {
+        let (pristine_dir, num_pages) = pristine();
+        let dir = temp_dir(&format!("case_{seed}"));
+        copy_dir(pristine_dir, &dir);
+        let spec = FaultSpec {
+            flips: 1 + (seed % 3) as u32,
+            truncations: ((seed >> 2) % 2) as u32,
+            torn_writes: ((seed >> 3) % 2) as u32,
+            transient_reads: ((seed >> 4) % 3) as u32,
+        };
+        let plan = FaultPlan::generate(&dir, seed, &spec).unwrap();
+        plan.apply_to_dir(&dir).unwrap();
+        plan.install_transients();
+
+        // fsck: a plan that changed bytes must be detected; a directory
+        // it left untouched must stay clean.
+        let report = webgraph_repr::analyze::fsck(&dir);
+        let damaged = differs(pristine_dir, &dir);
+        prop_assert_eq!(
+            report.num_errors() > 0,
+            damaged,
+            "fsck found {} error(s), damage={}: {}",
+            report.num_errors(),
+            damaged,
+            report
+        );
+
+        // Strict open: error or clean walk — never a panic, and never a
+        // clean verdict over damaged checksummed bytes.
+        if let Ok(mut snode) = SNode::open(&dir, 1 << 20) {
+            for p in (0..*num_pages).step_by(13) {
+                let _ = snode.out_neighbors(p);
+            }
+        }
+        // Degraded open: damaged graphs quarantine, the rest answers.
+        if let Ok(mut snode) = SNode::open_degraded(&dir, 1 << 20) {
+            for p in 0..*num_pages {
+                let _ = snode.out_neighbors(p);
+            }
+            let d = snode.degraded();
+            // Quarantines (checksum mismatch or short read in a blob)
+            // only ever appear over actually damaged bytes.
+            prop_assert!(
+                damaged || (d.quarantined_supernodes == 0 && d.skipped_edges == 0),
+                "clean directory produced quarantines: {d:?}"
+            );
+        }
+        // Resident load: strict by design.
+        let _ = SNodeInMemory::load(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Damaging exactly one graph blob quarantines its supernode, leaves
+/// every other answer identical to the pristine truth, and the degraded
+/// report counts exactly the skipped adjacency parts.
+#[test]
+fn degraded_answers_are_accurate() {
+    let (pristine_dir, num_pages) = pristine();
+    let dir = temp_dir("accuracy");
+    copy_dir(pristine_dir, &dir);
+
+    let mut truth = SNode::open(&dir, 1 << 20).unwrap();
+    let expected: Vec<Vec<u32>> = (0..*num_pages)
+        .map(|p| truth.out_neighbors(p).unwrap())
+        .collect();
+    drop(truth);
+
+    // Find a seed whose single flip lands inside an index (blob) file.
+    let plan = (0u64..)
+        .map(|s| {
+            FaultPlan::generate(
+                &dir,
+                s,
+                &FaultSpec {
+                    flips: 1,
+                    ..FaultSpec::default()
+                },
+            )
+            .unwrap()
+        })
+        .find(|p| {
+            matches!(&p.faults[0],
+                webgraph_repr::fault::Fault::BitFlip { file, .. } if file.starts_with("index_"))
+        })
+        .unwrap();
+    plan.apply_to_dir(&dir).unwrap();
+
+    let mut snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
+    let mut wrong_answers = 0u64;
+    let mut shortened = 0u64;
+    for p in 0..*num_pages {
+        let got = snode.out_neighbors(p).unwrap();
+        if got != expected[p as usize] {
+            wrong_answers += 1;
+            // Partial answers only omit, never invent: a subset in order.
+            let mut it = expected[p as usize].iter();
+            assert!(
+                got.iter().all(|t| it.any(|e| e == t)),
+                "page {p}: degraded answer invents edges"
+            );
+            shortened += 1;
+        }
+    }
+    let d = snode.degraded();
+    assert_eq!(d.quarantined_supernodes, 1, "one blob → one quarantine");
+    assert!(d.skipped_edges > 0);
+    assert!(
+        wrong_answers > 0,
+        "the damaged blob must affect some answer"
+    );
+    assert_eq!(wrong_answers, shortened);
+    let (checks, failures) = snode.integrity_stats();
+    assert!(checks > 0 && failures > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_and_query_exit_2_with_clean_diagnostics() {
+    let root = temp_dir("exit2");
+    // Missing directory entirely.
+    let missing = root.join("nope");
+    let out = wgr().arg("stats").arg(&missing).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "stats on missing dir: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("cannot open S-Node directory") && err.contains("nope"),
+        "stats diagnostic must name the directory: {err}"
+    );
+    assert!(!err.contains("panicked"), "no panic output: {err}");
+
+    let out = wgr().arg("query").arg(&missing).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "query on missing corpus: {out:?}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("cannot read corpus") && err.contains("nope"),
+        "query diagnostic must name the corpus: {err}"
+    );
+
+    // Half-written directory: meta.bin deleted after a successful build.
+    let (pristine_dir, _) = pristine();
+    let half = root.join("half");
+    copy_dir(pristine_dir, &half);
+    std::fs::remove_file(half.join("meta.bin")).unwrap();
+    let out = wgr().arg("stats").arg(&half).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "stats on half-written: {out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("meta.bin"),
+        "diagnostic must name the missing file: {err}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `wgr corrupt` → `wgr fsck` (exit 1, SN1xx verdicts) → `wgr fsck
+/// --repair --from corpus` (exit 0) → clean re-check, all through real
+/// process invocations.
+#[test]
+fn cli_corrupt_fsck_repair_round_trip() {
+    let root = temp_dir("fsckcli");
+    let corpus = root.join("corpus");
+    let repo = root.join("repo");
+    let run = |args: &[&str]| {
+        let mut cmd = wgr();
+        for a in args {
+            cmd.arg(
+                a.replace("CORPUS", corpus.to_str().unwrap())
+                    .replace("REPO", repo.to_str().unwrap()),
+            );
+        }
+        cmd.output().unwrap()
+    };
+    assert!(
+        run(&["gen", "--pages", "1500", "--seed", "9", "--out", "CORPUS"])
+            .status
+            .success()
+    );
+    assert!(run(&["build", "--corpus", "CORPUS", "--out", "REPO"])
+        .status
+        .success());
+
+    let out = run(&["fsck", "REPO", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "clean fsck: {out:?}");
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("\"errors\":0"), "clean verdict: {body}");
+
+    let out = run(&[
+        "corrupt",
+        "REPO",
+        "--seed",
+        "4",
+        "--flips",
+        "3",
+        "--truncate",
+        "1",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "corrupt: {out:?}");
+
+    let out = run(&["fsck", "REPO", "--json"]);
+    assert_eq!(out.status.code(), Some(1), "damaged fsck: {out:?}");
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("SN10"), "SN1xx verdicts expected: {body}");
+
+    let out = run(&["fsck", "REPO", "--repair", "--from", "CORPUS"]);
+    assert_eq!(out.status.code(), Some(0), "repair: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("repaired"));
+
+    let out = run(&["fsck", "REPO"]);
+    assert_eq!(out.status.code(), Some(0), "post-repair fsck: {out:?}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Extracts every `"key": N` occurrence from rendered JSON.
+fn json_u64s(body: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\": ");
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while let Some(i) = body[pos..].find(&needle) {
+        let rest = &body[pos + i + needle.len()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(v) = digits.parse() {
+            out.push(v);
+        }
+        pos += i + needle.len();
+    }
+    out
+}
+
+/// A degraded query run exits 3 and its per-query quarantine/skip deltas
+/// sum to the workload-level degraded report.
+#[test]
+fn degraded_query_exits_3_with_consistent_counts() {
+    let root = temp_dir("degquery");
+    let corpus = root.join("corpus");
+    let reps = root.join("reps");
+    let out = wgr()
+        .args(["gen", "--pages", "1500", "--seed", "9", "--out"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen: {out:?}");
+    let out = wgr()
+        .arg("query")
+        .arg(&corpus)
+        .arg("--reps")
+        .arg(&reps)
+        .args(["--scheme", "s-node"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "clean query: {out:?}");
+
+    // One bit flip inside a blob of the forward S-Node directory.
+    let snode_dir = reps.join("snode");
+    let plan = (0u64..)
+        .map(|s| {
+            FaultPlan::generate(
+                &snode_dir,
+                s,
+                &FaultSpec {
+                    flips: 1,
+                    ..FaultSpec::default()
+                },
+            )
+            .unwrap()
+        })
+        .find(|p| {
+            matches!(&p.faults[0],
+                webgraph_repr::fault::Fault::BitFlip { file, .. } if file.starts_with("index_"))
+        })
+        .unwrap();
+    plan.apply_to_dir(&snode_dir).unwrap();
+
+    let out = wgr()
+        .arg("query")
+        .arg(&corpus)
+        .arg("--reps")
+        .arg(&reps)
+        .args(["--reuse", "--scheme", "s-node", "--metrics=json"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "degraded query exits 3: {out:?}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("degraded answers"), "summary on stderr: {err}");
+    let body = String::from_utf8_lossy(&out.stdout);
+
+    // Six per-query deltas followed by the workload-level report; the
+    // report must equal the sum of the deltas (each quarantine and each
+    // skip is counted exactly once, when it happens).
+    for key in ["quarantined_supernodes", "skipped_edges"] {
+        let vals = json_u64s(&body, key);
+        assert_eq!(vals.len(), 7, "{key}: 6 queries + 1 summary: {body}");
+        let total: u64 = vals[..6].iter().sum();
+        assert_eq!(total, vals[6], "{key}: deltas must sum to the report");
+        assert!(total > 0, "{key}: the flip must be observed");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
