@@ -399,8 +399,9 @@ mod tests {
             40,
             (0..40u32).flat_map(|i| [(i, (i + 1) % 40), (i, (i + 7) % 40)]),
         );
+        let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
         let input = RepoInput {
-            urls: &urls,
+            urls: &url_refs,
             domains: &domains,
             graph: &g,
         };

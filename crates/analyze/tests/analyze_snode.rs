@@ -27,7 +27,7 @@ fn temp_dir(name: &str) -> PathBuf {
 fn built_representation_is_clean() {
     let dir = temp_dir("clean");
     let corpus = Corpus::generate(CorpusConfig::scaled(1_200, 7));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let input = RepoInput {
         urls: &urls,

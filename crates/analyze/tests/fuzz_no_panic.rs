@@ -25,7 +25,7 @@ fn base_dir() -> &'static Path {
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         let corpus = Corpus::generate(CorpusConfig::scaled(400, 11));
-        let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+        let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
         let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
         let input = RepoInput {
             urls: &urls,

@@ -32,7 +32,7 @@ struct Fixture {
 
 fn fixture(pages: u32) -> Fixture {
     let corpus = Corpus::generate(CorpusConfig::scaled(pages, 42));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let mut dir = std::env::temp_dir();
     dir.push(format!("wg_bench_t2_{}_{}", pages, std::process::id()));

@@ -50,8 +50,8 @@ fn main() {
         let transpose = renum_graph.transpose();
 
         // Transpose S-Node (built over the same renumbered repository).
-        let t_urls: Vec<String> = (0..graph.num_nodes())
-            .map(|new| urls[renum.old_of_new[new as usize] as usize].clone())
+        let t_urls: Vec<&str> = (0..graph.num_nodes())
+            .map(|new| urls[renum.old_of_new[new as usize] as usize])
             .collect();
         let t_domains: Vec<u32> = (0..graph.num_nodes())
             .map(|new| domains[renum.old_of_new[new as usize] as usize])

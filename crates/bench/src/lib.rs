@@ -104,11 +104,11 @@ pub fn corpus_for(args: &BenchArgs, millions: u32) -> Corpus {
 /// grow sub-linearly: later pages mostly join sites the crawl has already
 /// visited. Scalability experiments must therefore slice one corpus, not
 /// generate independent ones.
-pub fn crawl_prefix(corpus: &Corpus, pages: u32) -> (Vec<String>, Vec<u32>, Graph) {
+pub fn crawl_prefix(corpus: &Corpus, pages: u32) -> (Vec<&str>, Vec<u32>, Graph) {
     let pages = pages.min(corpus.num_pages());
-    let urls: Vec<String> = corpus.pages[..pages as usize]
+    let urls: Vec<&str> = corpus.pages[..pages as usize]
         .iter()
-        .map(|p| p.url.clone())
+        .map(|p| p.url.as_str())
         .collect();
     let domains: Vec<u32> = corpus.pages[..pages as usize]
         .iter()
@@ -122,9 +122,9 @@ pub fn crawl_prefix(corpus: &Corpus, pages: u32) -> (Vec<String>, Vec<u32>, Grap
 }
 
 /// Extracts the `(urls, domains)` columns the S-Node builder wants.
-pub fn repo_columns(corpus: &Corpus) -> (Vec<String>, Vec<u32>) {
+pub fn repo_columns(corpus: &Corpus) -> (Vec<&str>, Vec<u32>) {
     (
-        corpus.pages.iter().map(|p| p.url.clone()).collect(),
+        corpus.pages.iter().map(|p| p.url.as_str()).collect(),
         corpus.pages.iter().map(|p| p.domain).collect(),
     )
 }

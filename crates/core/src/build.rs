@@ -17,8 +17,10 @@ use wg_obs::{record_span, Stopwatch};
 /// The repository slice the builder consumes.
 #[derive(Debug, Clone, Copy)]
 pub struct RepoInput<'a> {
-    /// Full URL per page (drives URL split and page ordering).
-    pub urls: &'a [String],
+    /// Full URL per page (drives URL split and page ordering). Borrowed
+    /// string slices: callers keep ownership and no URL text is cloned
+    /// anywhere on the build path.
+    pub urls: &'a [&'a str],
     /// Domain id per page (drives `P0` and the domain index).
     pub domains: &'a [u32],
     /// The Web graph.
@@ -306,11 +308,11 @@ pub fn build_snode(
 }
 
 /// Orders pages: supernode by element index, lexicographic URL within.
-fn number_pages(partition: &Partition, urls: &[String]) -> Renumbering {
+fn number_pages(partition: &Partition, urls: &[&str]) -> Renumbering {
     let mut old_of_new = Vec::with_capacity(urls.len());
     for e in &partition.elements {
         let mut pages = e.pages.clone();
-        pages.sort_by(|&a, &b| urls[a as usize].cmp(&urls[b as usize]));
+        pages.sort_by(|&a, &b| urls[a as usize].cmp(urls[b as usize]));
         old_of_new.extend_from_slice(&pages);
     }
     Renumbering::from_old_of_new(old_of_new)
@@ -414,8 +416,8 @@ mod tests {
     }
 
     /// A small but structured repository: 2 domains, 3 hosts, 12 pages.
-    fn small_repo() -> (Vec<String>, Vec<u32>, Graph) {
-        let urls: Vec<String> = vec![
+    fn small_repo() -> (Vec<&'static str>, Vec<u32>, Graph) {
+        let urls: Vec<&'static str> = vec![
             "http://www.alpha.edu/a/p0.html",
             "http://www.alpha.edu/a/p1.html",
             "http://www.alpha.edu/b/p2.html",
@@ -428,10 +430,7 @@ mod tests {
             "http://www.beta.com/p9.html",
             "http://www.beta.com/y/p10.html",
             "http://cs.alpha.edu/z/p11.html",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect();
+        ];
         let domains = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0];
         let graph = Graph::from_edges(
             12,
@@ -465,7 +464,7 @@ mod tests {
         BuildStats,
         Renumbering,
         Graph,
-        Vec<String>,
+        Vec<&'static str>,
         Vec<u32>,
     ) {
         let (urls, domains, graph) = small_repo();
@@ -496,7 +495,7 @@ mod tests {
             let r = meta.page_range(s);
             let window: Vec<&str> = r
                 .clone()
-                .map(|n| urls[renum.old_of_new[n as usize] as usize].as_str())
+                .map(|n| urls[renum.old_of_new[n as usize] as usize])
                 .collect();
             assert!(window.windows(2).all(|w| w[0] < w[1]), "supernode {s}");
             // Domain purity.
@@ -611,7 +610,7 @@ mod tests {
 
     #[test]
     fn single_page_repository() {
-        let urls = vec!["http://www.solo.org/p.html".to_string()];
+        let urls = vec!["http://www.solo.org/p.html"];
         let domains = vec![0u32];
         let graph = Graph::from_edges(1, []);
         let dir = temp_dir("solo");

@@ -8,10 +8,100 @@
 //! overflows, and every load/unload is recorded — the paper instrumented
 //! exactly these events to explain its Figure 11 numbers.
 
-use crate::refenc::ListsIndex;
+use crate::refenc::{DecodeMemo, ListsIndex};
 use crate::subgraphs::SuperedgeIndex;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Bounded memo of decoded lists, attached to an encoded cached graph.
+///
+/// The memo is the fast-navigation layer of §4.3's byte budget story: the
+/// shared reference-chain prefixes of an encoded graph — the lists other
+/// lists decode *through*, which is exactly the hot minority — are kept in
+/// decoded form so a chain walk that reaches one is an O(1) lookup instead
+/// of a further O(chain) decode. Only those ancestors are ever offered
+/// (see [`ListsIndex::decode_list_with_memo`]); leaf lists nothing
+/// references are decoded straight into the caller's buffer, keeping the
+/// per-decode overhead of the memo near zero. Its capacity is **reserved
+/// statically**: the parent graph's accounted [`CachedGraph::bytes`]
+/// includes the full memo cap at construction, so the memo's worst case is
+/// charged against the cache budget up front and freed wholesale when the
+/// parent graph is evicted — no dynamic re-accounting, no leak.
+///
+/// Overflow policy: an insertion that would exceed the cap clears the
+/// whole memo first (a full restart, not per-entry eviction). This keeps
+/// run-to-run behaviour deterministic — it never depends on `HashMap`
+/// iteration order — which the bench drift check requires.
+#[derive(Debug, Default)]
+pub struct ListMemo {
+    map: HashMap<u32, Vec<u32>>,
+    used: usize,
+    cap: usize,
+    hits: Option<wg_obs::Counter>,
+}
+
+impl ListMemo {
+    /// Approximate retained cost of one entry.
+    fn entry_bytes(v: &[u32]) -> usize {
+        v.len() * 4 + std::mem::size_of::<Vec<u32>>() + 4
+    }
+
+    /// A memo bounded by `cap` bytes of decoded lists. Registers the
+    /// `core.nav.list_memo_hits` counter when metrics are enabled.
+    pub fn with_cap(cap: usize) -> Self {
+        let hits =
+            wg_obs::metrics_enabled().then(|| wg_obs::global().counter("core.nav.list_memo_hits"));
+        Self {
+            map: HashMap::new(),
+            used: 0,
+            cap,
+            hits,
+        }
+    }
+
+    /// Bytes of decoded lists currently retained.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// The static byte reservation this memo was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+impl DecodeMemo for ListMemo {
+    fn get(&self, i: u32) -> Option<&Vec<u32>> {
+        // Graphs with no reference chains never populate the memo; one
+        // branch here keeps their decode path free of hashing entirely.
+        if self.map.is_empty() {
+            return None;
+        }
+        let v = self.map.get(&i);
+        if v.is_some() {
+            if let Some(h) = &self.hits {
+                h.inc();
+            }
+        }
+        v
+    }
+
+    fn put(&mut self, i: u32, v: &[u32]) {
+        let cost = Self::entry_bytes(v);
+        if cost > self.cap {
+            return; // one oversized list can never fit
+        }
+        if self.used + cost > self.cap {
+            self.map.clear();
+            self.used = 0;
+        }
+        if let Some(old) = self.map.insert(i, v.to_vec()) {
+            self.used -= Self::entry_bytes(&old);
+        }
+        self.used += cost;
+    }
+}
 
 /// Identity of a cached graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,7 +149,10 @@ pub enum CachedGraph {
         bit_len: u64,
         /// Parsed directory (offsets rebuilt at load).
         index: ListsIndex,
-        /// Resident footprint (encoded bytes + directory).
+        /// Decoded-list memo (shared reference-chain prefixes), keyed by
+        /// local page id. Its cap is part of `bytes`.
+        memo: Mutex<ListMemo>,
+        /// Resident footprint (encoded bytes + directory + memo cap).
         bytes: usize,
     },
     /// A superedge graph kept encoded, with its parsed directory.
@@ -72,6 +165,11 @@ pub enum CachedGraph {
         index: SuperedgeIndex,
         /// `|Nj|`, needed to complement negative representations.
         nj: u64,
+        /// Decoded-list memo (shared reference-chain prefixes), keyed in
+        /// lists-index space — see
+        /// [`SuperedgeIndex::targets_of_with_memo`]. Its cap is part of
+        /// `bytes`.
+        memo: Mutex<ListMemo>,
         /// Resident footprint.
         bytes: usize,
     },
@@ -103,52 +201,128 @@ impl CachedGraph {
         }
     }
 
+    /// The decoded-list memo cap for an encoded graph: equal to the
+    /// graph's own encoded footprint. Policy: a graph's hot decoded lists
+    /// may occupy at most as much budget again as the encoded graph they
+    /// derive from, so admitting a graph charges exactly twice its
+    /// encoded-resident size and the §4.3 accounting stays a single
+    /// constructor-time number.
+    fn memo_cap(encoded: usize) -> usize {
+        encoded
+    }
+
     /// Wraps an encoded intranode graph with its parsed directory.
     pub fn new_encoded_intra(data: Vec<u8>, bit_len: u64, index: ListsIndex) -> Self {
-        let bytes = data.len() + index.heap_bytes() + std::mem::size_of::<Self>();
+        let encoded = data.len() + index.heap_bytes();
+        let cap = Self::memo_cap(encoded);
+        let bytes = encoded + cap + std::mem::size_of::<Self>();
         CachedGraph::EncodedIntra {
             data,
             bit_len,
             index,
+            memo: Mutex::new(ListMemo::with_cap(cap)),
             bytes,
         }
     }
 
     /// Wraps an encoded superedge graph with its parsed directory.
     pub fn new_encoded_super(data: Vec<u8>, bit_len: u64, index: SuperedgeIndex, nj: u64) -> Self {
-        let bytes = data.len() + index.heap_bytes() + std::mem::size_of::<Self>();
+        let encoded = data.len() + index.heap_bytes();
+        let cap = Self::memo_cap(encoded);
+        let bytes = encoded + cap + std::mem::size_of::<Self>();
         CachedGraph::EncodedSuper {
             data,
             bit_len,
             index,
             nj,
+            memo: Mutex::new(ListMemo::with_cap(cap)),
             bytes,
         }
     }
 
     /// The positive target list of local id `local` (empty when absent).
     pub fn decode_list_for(&self, local: u32) -> crate::Result<Vec<u32>> {
+        let mut out = Vec::new();
+        self.decode_list_into(local, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes the target list of `local` into `out` (cleared first).
+    ///
+    /// This is the fast navigation path: encoded graphs consult (and feed)
+    /// their decoded-list memo, and the caller's buffer is reused across
+    /// calls, so a BFS level costs no per-page list allocation on hits.
+    pub fn decode_list_into(&self, local: u32, out: &mut Vec<u32>) -> crate::Result<()> {
+        out.clear();
         match self {
             CachedGraph::Dense { lists, .. } => {
-                Ok(lists.get(local as usize).cloned().unwrap_or_default())
+                if let Some(l) = lists.get(local as usize) {
+                    out.extend_from_slice(l);
+                }
+                Ok(())
             }
-            CachedGraph::Sparse { sources, lists, .. } => match sources.binary_search(&local) {
-                Ok(i) => Ok(lists[i].clone()),
-                Err(_) => Ok(Vec::new()),
-            },
+            CachedGraph::Sparse { sources, lists, .. } => {
+                if let Ok(i) = sources.binary_search(&local) {
+                    out.extend_from_slice(&lists[i]);
+                }
+                Ok(())
+            }
             CachedGraph::EncodedIntra {
                 data,
                 bit_len,
                 index,
+                memo,
                 ..
-            } => index.decode_list(data, *bit_len, local),
+            } => {
+                let mut memo = memo.lock();
+                if let Some(v) = memo.get(local) {
+                    out.extend_from_slice(v);
+                    return Ok(());
+                }
+                let list = index.decode_list_with_memo(data, *bit_len, local, &mut *memo)?;
+                out.extend_from_slice(&list);
+                Ok(())
+            }
             CachedGraph::EncodedSuper {
                 data,
                 bit_len,
                 index,
                 nj,
+                memo,
                 ..
-            } => index.targets_of(data, *bit_len, u64::from(local), *nj),
+            } => {
+                let mut memo = memo.lock();
+                let list = index.targets_of_with_memo(
+                    data,
+                    *bit_len,
+                    u64::from(local),
+                    *nj,
+                    &mut *memo,
+                )?;
+                out.extend_from_slice(&list);
+                Ok(())
+            }
+        }
+    }
+
+    /// Bytes of decoded lists currently retained by this graph's memo
+    /// (0 for decoded variants, which have no memo).
+    pub fn memo_used(&self) -> usize {
+        match self {
+            CachedGraph::EncodedIntra { memo, .. } | CachedGraph::EncodedSuper { memo, .. } => {
+                memo.lock().used()
+            }
+            _ => 0,
+        }
+    }
+
+    /// The memo's static byte reservation (0 for decoded variants).
+    pub fn memo_cap_bytes(&self) -> usize {
+        match self {
+            CachedGraph::EncodedIntra { memo, .. } | CachedGraph::EncodedSuper { memo, .. } => {
+                memo.lock().cap()
+            }
+            _ => 0,
         }
     }
 
@@ -409,6 +583,79 @@ mod tests {
         c.insert(GraphKey::Intra(7), graph_of(2_000));
         assert_eq!(c.used(), used_once);
         assert_eq!(c.len(), 1);
+    }
+
+    /// An encoded intranode graph whose lists are similar enough that the
+    /// windowed selector builds reference chains (so decodes populate the
+    /// memo).
+    fn chained_encoded_intra() -> CachedGraph {
+        // Intranode universes equal the list count, so targets stay < 30.
+        let base: Vec<u32> = (0..30).collect();
+        let lists: Vec<Vec<u32>> = (0..30u32)
+            .map(|i| {
+                let mut l = base.clone();
+                l.retain(|&x| x % 23 != i % 23);
+                l
+            })
+            .collect();
+        let enc = crate::refenc::encode_lists(&lists, 30, crate::refenc::RefMode::Windowed(8));
+        let index = ListsIndex::parse(
+            &enc.bytes,
+            enc.bit_len,
+            crate::refenc::Universe::SameAsCount,
+        )
+        .expect("parse");
+        CachedGraph::new_encoded_intra(enc.bytes, enc.bit_len, index)
+    }
+
+    #[test]
+    fn memo_cap_is_charged_at_construction() {
+        let g = chained_encoded_intra();
+        let CachedGraph::EncodedIntra {
+            data, index, bytes, ..
+        } = &g
+        else {
+            panic!("expected EncodedIntra");
+        };
+        let encoded = data.len() + index.heap_bytes();
+        assert_eq!(g.memo_cap_bytes(), encoded, "cap = encoded footprint");
+        assert_eq!(
+            *bytes,
+            encoded + g.memo_cap_bytes() + std::mem::size_of::<CachedGraph>(),
+            "accounted bytes include the full memo cap up front"
+        );
+        assert_eq!(g.memo_used(), 0, "memo starts empty");
+    }
+
+    #[test]
+    fn memo_growth_is_pre_budgeted_and_freed_by_clear() {
+        let mut c = GraphCache::new(1 << 20);
+        let g = c.insert(GraphKey::Intra(0), chained_encoded_intra());
+        let used_after_insert = c.used();
+        // Deep-end-first decodes walk every reference chain and retain
+        // ancestors in the memo.
+        let n = match &*g {
+            CachedGraph::EncodedIntra { index, .. } => index.num_lists(),
+            _ => unreachable!(),
+        };
+        for i in (0..n).rev() {
+            g.decode_list_for(i).expect("decode");
+        }
+        assert!(g.memo_used() > 0, "chained decodes must populate the memo");
+        assert!(g.memo_used() <= g.memo_cap_bytes(), "memo bounded by cap");
+        assert_eq!(
+            c.used(),
+            used_after_insert,
+            "memo growth is statically reserved, never re-accounted"
+        );
+        // Clearing the cache drops the graph and its memo wholesale.
+        c.clear();
+        assert_eq!(c.used(), 0, "no bytes leak across a cache clear");
+        drop(g);
+        // A fresh admission of the same graph charges the same bytes: the
+        // memo of the evicted instance left nothing behind.
+        c.insert(GraphKey::Intra(0), chained_encoded_intra());
+        assert_eq!(c.used(), used_after_insert);
     }
 
     #[test]

@@ -266,7 +266,7 @@ pub struct RefineStats {
 /// `urls[p]` must be the full URL of page `p`; `domains[p]` its domain id;
 /// `graph` the Web graph.
 pub fn refine(
-    urls: &[String],
+    urls: &[&str],
     domains: &[u32],
     graph: &Graph,
     config: &RefineConfig,
@@ -298,7 +298,7 @@ pub fn refine(
 fn refine_one(
     partition: &mut Partition,
     idx: u32,
-    urls: &[String],
+    urls: &[&str],
     graph: &Graph,
     config: &RefineConfig,
     rng: &mut SmallRng,
@@ -330,7 +330,7 @@ fn refine_one(
 /// elements turn sterile and never re-enter). Runs to true exhaustion.
 fn refine_largest_first(
     partition: &mut Partition,
-    urls: &[String],
+    urls: &[&str],
     graph: &Graph,
     config: &RefineConfig,
     rng: &mut SmallRng,
@@ -365,7 +365,7 @@ fn refine_largest_first(
 /// The paper's random policy with its consecutive-abort stopping criterion.
 fn refine_random(
     partition: &mut Partition,
-    urls: &[String],
+    urls: &[&str],
     graph: &Graph,
     config: &RefineConfig,
     rng: &mut SmallRng,
@@ -401,7 +401,7 @@ fn try_url_split(
     partition: &mut Partition,
     idx: u32,
     start_depth: u32,
-    urls: &[String],
+    urls: &[&str],
     config: &RefineConfig,
 ) -> UrlSplitOutcome {
     let element = &partition.elements[idx as usize];
@@ -414,7 +414,7 @@ fn try_url_split(
         let mut groups: HashMap<&str, Vec<PageId>> = HashMap::new();
         for &p in &partition.elements[idx as usize].pages {
             groups
-                .entry(url_prefix(&urls[p as usize], depth))
+                .entry(url_prefix(urls[p as usize], depth))
                 .or_default()
                 .push(p);
         }
@@ -605,14 +605,14 @@ pub fn url_prefix(url: &str, depth: u32) -> &str {
 mod tests {
     use super::*;
 
-    fn urls_and_domains() -> (Vec<String>, Vec<u32>) {
+    fn urls_and_domains() -> (Vec<&'static str>, Vec<u32>) {
         let urls = vec![
-            "http://www.alpha.edu/a/x/p0.html".to_string(), // 0
-            "http://www.alpha.edu/a/y/p1.html".to_string(), // 1
-            "http://www.alpha.edu/b/p2.html".to_string(),   // 2
-            "http://cs.alpha.edu/p3.html".to_string(),      // 3
-            "http://www.beta.com/p4.html".to_string(),      // 4
-            "http://www.beta.com/q/p5.html".to_string(),    // 5
+            "http://www.alpha.edu/a/x/p0.html", // 0
+            "http://www.alpha.edu/a/y/p1.html", // 1
+            "http://www.alpha.edu/b/p2.html",   // 2
+            "http://cs.alpha.edu/p3.html",      // 3
+            "http://www.beta.com/p4.html",      // 4
+            "http://www.beta.com/q/p5.html",    // 5
         ];
         let domains = vec![0, 0, 0, 0, 1, 1];
         (urls, domains)
@@ -680,8 +680,8 @@ mod tests {
     fn url_split_exhausts_to_clustered() {
         // All pages share every prefix level → exhausted.
         let urls = vec![
-            "http://h.x.com/a/b/c/p0.html".to_string(),
-            "http://h.x.com/a/b/c/p1.html".to_string(),
+            "http://h.x.com/a/b/c/p0.html",
+            "http://h.x.com/a/b/c/p1.html",
         ];
         let domains = vec![0, 0];
         let mut p = Partition::initial(&domains);
@@ -806,7 +806,7 @@ mod tests {
 
     #[test]
     fn singleton_elements_never_split() {
-        let urls = vec!["http://a.x.com/p.html".to_string()];
+        let urls = vec!["http://a.x.com/p.html"];
         let domains = vec![0];
         let graph = Graph::from_edges(1, []);
         let (p, _) = refine(&urls, &domains, &graph, &RefineConfig::default());

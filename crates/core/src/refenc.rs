@@ -433,7 +433,7 @@ impl ListsIndex {
 
     /// Decodes list `i`, following its reference chain.
     pub fn decode_list(&self, data: &[u8], bit_len: u64, i: u32) -> Result<Vec<u32>> {
-        self.decode_with_memo(data, bit_len, i, &mut NoMemo)
+        self.decode_list_with_memo(data, bit_len, i, &mut NoMemo)
     }
 
     /// Decodes every list (reference chains shared via memoisation).
@@ -441,7 +441,11 @@ impl ListsIndex {
         let mut memo = VecMemo(vec![None; self.num_lists as usize]);
         let mut out = Vec::with_capacity(self.num_lists as usize);
         for i in 0..self.num_lists {
-            out.push(self.decode_with_memo(data, bit_len, i, &mut memo)?);
+            let list = self.decode_list_with_memo(data, bit_len, i, &mut memo)?;
+            // The chain decode memoises only ancestors; a full sweep wants
+            // every list retained, since any list may be a later reference.
+            memo.put(i, &list);
+            out.push(list);
         }
         Ok(out)
     }
@@ -466,12 +470,24 @@ impl ListsIndex {
         Ok(r)
     }
 
-    fn decode_with_memo(
+    /// Decodes list `i` through a caller-supplied [`DecodeMemo`].
+    ///
+    /// The memo is consulted for `i` itself and for every ancestor on its
+    /// reference chain; each *ancestor* decoded along the way is offered
+    /// back via [`DecodeMemo::put`] — the leaf itself is not. Ancestors are
+    /// shared by construction (reference selection points many lists at the
+    /// same nearby list), so a persistent memo (the query cache's
+    /// decoded-list memo) turns repeated chain walks into O(1) prefix
+    /// lookups; offering the leaf too would charge an allocation to every
+    /// random access for a list nothing else decodes through. Callers that
+    /// want leaves retained (a full sweep, a hot-page cache) call
+    /// [`DecodeMemo::put`] on the result themselves.
+    pub fn decode_list_with_memo(
         &self,
         data: &[u8],
         bit_len: u64,
         i: u32,
-        memo: &mut dyn Memo,
+        memo: &mut dyn DecodeMemo,
     ) -> Result<Vec<u32>> {
         if let Some(v) = memo.get(i) {
             return Ok(v.clone());
@@ -495,7 +511,9 @@ impl ListsIndex {
                     // cur is plain; decode it directly and pop it.
                     let list = self.decode_plain(data, bit_len, cur)?;
                     chain.pop();
-                    memo.put(cur, &list);
+                    if cur != i {
+                        memo.put(cur, &list);
+                    }
                     break list;
                 }
             }
@@ -508,7 +526,9 @@ impl ListsIndex {
         let mut copied: Vec<u32> = Vec::new();
         for &idx in chain.iter().rev() {
             top = self.decode_ref(data, bit_len, idx, &top, &mut copied)?;
-            memo.put(idx, &top);
+            if idx != i {
+                memo.put(idx, &top);
+            }
         }
         Ok(top)
     }
@@ -615,15 +635,22 @@ impl<'a> ListsReader<'a> {
     }
 }
 
-/// Memoisation strategies for chain decoding.
-trait Memo {
+/// Memoisation strategy for chain decoding.
+///
+/// `get` may hit on any list of the stream; `put` offers a freshly decoded
+/// list and the memo is free to drop it (a bounded memo under byte
+/// pressure, [`NoMemo`] always). Implementations must return exactly what
+/// was `put` for an index, or nothing — decode correctness rests on it.
+pub trait DecodeMemo {
+    /// The memoised decoded form of list `i`, if retained.
     fn get(&self, i: u32) -> Option<&Vec<u32>>;
+    /// Offers the decoded form of list `i` for retention.
     fn put(&mut self, i: u32, v: &[u32]);
 }
 
 /// No memoisation (single-list random access).
-struct NoMemo;
-impl Memo for NoMemo {
+pub struct NoMemo;
+impl DecodeMemo for NoMemo {
     fn get(&self, _i: u32) -> Option<&Vec<u32>> {
         None
     }
@@ -632,7 +659,7 @@ impl Memo for NoMemo {
 
 /// Full memo table (decode_all).
 struct VecMemo(Vec<Option<Vec<u32>>>);
-impl Memo for VecMemo {
+impl DecodeMemo for VecMemo {
     fn get(&self, i: u32) -> Option<&Vec<u32>> {
         self.0[i as usize].as_ref()
     }

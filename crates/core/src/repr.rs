@@ -121,6 +121,7 @@ struct NavCounters {
     supernodes_visited: wg_obs::Counter,
     intra_lists_decoded: wg_obs::Counter,
     super_lists_decoded: wg_obs::Counter,
+    batched_lookups: wg_obs::Counter,
 }
 
 impl NavCounters {
@@ -134,8 +135,24 @@ impl NavCounters {
             supernodes_visited: reg.counter("core.nav.supernodes_visited"),
             intra_lists_decoded: reg.counter("core.nav.intra_lists_decoded"),
             super_lists_decoded: reg.counter("core.nav.super_lists_decoded"),
+            batched_lookups: reg.counter("core.nav.batched_lookups"),
         })
     }
+}
+
+/// Reusable buffers of the batched navigation path, kept on the handle so
+/// steady-state BFS levels allocate nothing new.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Input positions sorted by page id (groups pages per supernode).
+    order: Vec<u32>,
+    /// Per input position, the assembled adjacency list.
+    results: Vec<Vec<PageId>>,
+    /// One decoded local list at a time.
+    tmp: Vec<u32>,
+    /// `(target-range start, part slot)` per contributing graph of the
+    /// current group; `u32::MAX` is the intranode slot.
+    part_order: Vec<(u32, u32)>,
 }
 
 /// Disk-backed S-Node representation with a memory-budgeted graph cache.
@@ -145,6 +162,7 @@ pub struct SNode {
     files: IndexFileReader,
     cache: GraphCache,
     nav: Option<NavCounters>,
+    scratch: BatchScratch,
     /// Per-blob CRCs and file sums from `sums.bin`; `None` for v1
     /// directories (readable, unverified).
     manifest: Option<IntegrityManifest>,
@@ -221,6 +239,7 @@ impl SNode {
             files,
             cache: GraphCache::new(cache_budget_bytes),
             nav: NavCounters::auto(),
+            scratch: BatchScratch::default(),
             manifest,
             blob_base,
             integrity,
@@ -307,58 +326,141 @@ impl SNode {
     /// is partitioned across an intranode graph and a set of one or more
     /// superedge graphs".
     pub fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
-        let s = self.meta.supernode_of(p);
-        let s_start = self.meta.page_range(s).start;
-        let local = (p - s_start) as usize;
-
-        // (target-range start, local list) per contributing graph.
-        let mut parts: Vec<(u32, Vec<u32>)> = Vec::new();
-        match self.intranode(s)? {
-            Some(intra) => match intra.decode_list_for(local as u32) {
-                Ok(list) => {
-                    if !list.is_empty() {
-                        parts.push((s_start, list));
-                    }
-                }
-                Err(e) => {
-                    self.quarantine(Quarantine::Intra(s), e)?;
-                    self.note_skip();
-                }
-            },
-            None => self.note_skip(),
-        }
-        let targets = self.meta.supergraph.adj[s as usize].clone();
-        if let Some(nav) = &self.nav {
-            nav.calls.inc();
-            nav.supernodes_visited.inc();
-            nav.intra_lists_decoded.inc();
-            nav.super_lists_decoded.add(targets.len() as u64);
-        }
-        for (k, j) in targets.into_iter().enumerate() {
-            let j_start = self.meta.page_range(j).start;
-            match self.superedge(s, k as u32, j)? {
-                Some(se) => match se.decode_list_for(local as u32) {
-                    Ok(list) => {
-                        if !list.is_empty() {
-                            parts.push((j_start, list));
-                        }
-                    }
-                    Err(e) => {
-                        self.quarantine(Quarantine::Super(s, j), e)?;
-                        self.note_skip();
-                    }
-                },
-                None => self.note_skip(),
-            }
-        }
-        // Ranges are disjoint, lists sorted: sort parts by range start and
-        // concatenate for a globally sorted adjacency list.
-        parts.sort_by_key(|&(start, _)| start);
-        let mut out = Vec::with_capacity(parts.iter().map(|(_, l)| l.len()).sum());
-        for (start, list) in parts {
-            out.extend(list.into_iter().map(|t| start + t));
-        }
+        let mut out = Vec::new();
+        self.out_neighbors_into(p, &mut out)?;
         Ok(out)
+    }
+
+    /// Zero-alloc variant of [`SNode::out_neighbors`]: clears `out` and
+    /// fills it with the sorted adjacency list of `p`, reusing the
+    /// handle's internal decode buffers.
+    pub fn out_neighbors_into(&mut self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
+        out.clear();
+        let pages = [p];
+        self.batch_inner(&pages, &mut |_, list| out.extend_from_slice(list), false)
+    }
+
+    /// Batched navigation: answers `out_neighbors` for every page in
+    /// `pages`, grouping pages of the same supernode so each group's
+    /// intranode and superedge graphs are looked up (and counted) once.
+    /// `visit` is invoked exactly once per input page, **in input order**,
+    /// so callers with order-sensitive accumulation (Q1's f64 weights)
+    /// observe the same sequence as a scalar loop.
+    pub fn out_neighbors_batch(
+        &mut self,
+        pages: &[PageId],
+        visit: &mut dyn FnMut(PageId, &[PageId]),
+    ) -> Result<()> {
+        self.batch_inner(pages, visit, true)
+    }
+
+    fn batch_inner(
+        &mut self,
+        pages: &[PageId],
+        visit: &mut dyn FnMut(PageId, &[PageId]),
+        count_batched: bool,
+    ) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let r = self.batch_run(pages, visit, count_batched, &mut scratch);
+        self.scratch = scratch;
+        r
+    }
+
+    fn batch_run(
+        &mut self,
+        pages: &[PageId],
+        visit: &mut dyn FnMut(PageId, &[PageId]),
+        count_batched: bool,
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        let n = pages.len();
+        scratch.order.clear();
+        scratch.order.extend(0..n as u32);
+        scratch.order.sort_unstable_by_key(|&i| pages[i as usize]);
+        if scratch.results.len() < n {
+            scratch.results.resize_with(n, Vec::new);
+        }
+        for r in &mut scratch.results[..n] {
+            r.clear();
+        }
+
+        let mut g = 0usize;
+        while g < n {
+            let s = self.meta.supernode_of(pages[scratch.order[g] as usize]);
+            let range = self.meta.page_range(s);
+            let mut end = g + 1;
+            while end < n && range.contains(&pages[scratch.order[end] as usize]) {
+                end += 1;
+            }
+
+            // One lookup per graph per group; counters charge the group as
+            // a whole (this is where batching beats the scalar path).
+            let mut intra = self.intranode(s)?;
+            let targets = self.meta.supergraph.adj[s as usize].clone();
+            if let Some(nav) = &self.nav {
+                nav.calls.add((end - g) as u64);
+                nav.supernodes_visited.inc();
+                nav.intra_lists_decoded.inc();
+                nav.super_lists_decoded.add(targets.len() as u64);
+                if count_batched {
+                    nav.batched_lookups.add(1 + targets.len() as u64);
+                }
+            }
+            // (target-range start, target supernode, graph) per superedge.
+            let mut supers: Vec<(u32, u32, Option<Arc<CachedGraph>>)> =
+                Vec::with_capacity(targets.len());
+            for (k, j) in targets.into_iter().enumerate() {
+                let graph = self.superedge(s, k as u32, j)?;
+                supers.push((self.meta.page_range(j).start, j, graph));
+            }
+            // Ranges are disjoint and each local list is sorted, so
+            // decoding parts in ascending range-start order yields a
+            // globally sorted adjacency list with no final sort.
+            scratch.part_order.clear();
+            scratch.part_order.push((range.start, u32::MAX));
+            for (k, &(j_start, _, _)) in supers.iter().enumerate() {
+                scratch.part_order.push((j_start, k as u32));
+            }
+            scratch.part_order.sort_unstable_by_key(|&(start, _)| start);
+
+            for gi in g..end {
+                let oi = scratch.order[gi] as usize;
+                let p = pages[oi];
+                let local = p - range.start;
+                for pi in 0..scratch.part_order.len() {
+                    let (start, slot) = scratch.part_order[pi];
+                    let graph = if slot == u32::MAX {
+                        intra.clone()
+                    } else {
+                        supers[slot as usize].2.clone()
+                    };
+                    match graph {
+                        Some(gr) => match gr.decode_list_into(local, &mut scratch.tmp) {
+                            Ok(()) => {
+                                scratch.results[oi].extend(scratch.tmp.iter().map(|&t| start + t));
+                            }
+                            Err(e) => {
+                                if slot == u32::MAX {
+                                    self.quarantine(Quarantine::Intra(s), e)?;
+                                    intra = None;
+                                } else {
+                                    let j = supers[slot as usize].1;
+                                    self.quarantine(Quarantine::Super(s, j), e)?;
+                                    supers[slot as usize].2 = None;
+                                }
+                                self.note_skip();
+                            }
+                        },
+                        None => self.note_skip(),
+                    }
+                }
+            }
+            g = end;
+        }
+        for (oi, &p) in pages.iter().enumerate() {
+            visit(p, &scratch.results[oi]);
+        }
+        Ok(())
     }
 
     /// Cache statistics.
@@ -671,8 +773,9 @@ mod tests {
         }
         let graph = Graph::from_edges(n, edges);
         let dir = temp_dir(name);
+        let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
         let input = RepoInput {
-            urls: &urls,
+            urls: &url_refs,
             domains: &domains,
             graph: &graph,
         };

@@ -293,16 +293,41 @@ impl SuperedgeIndex {
 
     /// The positive target list of local source `s` (`nj` = |Nj|).
     pub fn targets_of(&self, bytes: &[u8], bit_len: u64, s: u64, nj: u64) -> Result<Vec<u32>> {
+        self.targets_of_with_memo(bytes, bit_len, s, nj, &mut crate::refenc::NoMemo)
+    }
+
+    /// [`SuperedgeIndex::targets_of`] decoding through a caller-supplied
+    /// [`crate::refenc::DecodeMemo`].
+    ///
+    /// The memo is keyed in **lists-index space** — for a positive
+    /// representation the key of source `s` is its position among the
+    /// non-empty sources, for a negative one it is `s` itself — never in
+    /// source-id space, so reference-chain prefixes shared between sources
+    /// are decoded once and found again whatever source asks next. Negative
+    /// representations complement outside the memo: only the stored
+    /// (negative) lists are memoised, not the expanded complements.
+    pub fn targets_of_with_memo(
+        &self,
+        bytes: &[u8],
+        bit_len: u64,
+        s: u64,
+        nj: u64,
+        memo: &mut dyn crate::refenc::DecodeMemo,
+    ) -> Result<Vec<u32>> {
         if s >= self.ni {
             return Err(SNodeError::Corrupt("superedge source out of range"));
         }
         match self.kind {
             SuperedgeKind::Positive => match self.sources.binary_search(&(s as u32)) {
-                Ok(idx) => self.lists.decode_list(bytes, bit_len, idx as u32),
+                Ok(idx) => self
+                    .lists
+                    .decode_list_with_memo(bytes, bit_len, idx as u32, memo),
                 Err(_) => Ok(Vec::new()),
             },
             SuperedgeKind::Negative => {
-                let neg = self.lists.decode_list(bytes, bit_len, s as u32)?;
+                let neg = self
+                    .lists
+                    .decode_list_with_memo(bytes, bit_len, s as u32, memo)?;
                 Ok(complement(&neg, nj as u32))
             }
         }

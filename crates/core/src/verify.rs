@@ -161,8 +161,9 @@ mod tests {
         }
         let graph = Graph::from_edges(n, edges);
         let dir = temp_dir(name);
+        let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
         let input = RepoInput {
-            urls: &urls,
+            urls: &url_refs,
             domains: &domains,
             graph: &graph,
         };

@@ -7,7 +7,7 @@ use wg_snode::{build_snode, RepoInput, SNode, SNodeConfig, SNodeInMemory};
 
 fn build_repo(name: &str) -> (std::path::PathBuf, u32) {
     let corpus = Corpus::generate(CorpusConfig::scaled(600, 77));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let mut dir = std::env::temp_dir();
     dir.push(format!("wg_failinj_{name}_{}", std::process::id()));

@@ -1,0 +1,145 @@
+//! The decoded-list memo must be invisible in results: decoding any list
+//! through a persistent [`ListMemo`] — whatever its cap, however thrashed —
+//! returns exactly what a memo-free decode returns, for arbitrary list
+//! collections under every reference mode. The memo is a performance layer;
+//! these tests pin that it can never change an answer.
+
+// Test/bench code: unwrap on setup failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use wg_snode::cache::ListMemo;
+use wg_snode::refenc::{encode_lists, DecodeMemo, ListsIndex, NoMemo, RefMode, Universe};
+
+/// Strategy: up to 40 sorted deduped lists over a small universe, biased
+/// towards overlap so reference encoding actually builds chains.
+fn list_collections() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..64, 0..24), 0..40).prop_map(|raw| {
+        raw.into_iter()
+            .map(|mut l| {
+                l.sort_unstable();
+                l.dedup();
+                l
+            })
+            .collect()
+    })
+}
+
+fn modes() -> [RefMode; 4] {
+    [
+        RefMode::None,
+        RefMode::Windowed(1),
+        RefMode::Windowed(8),
+        RefMode::Exact,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every access order, every mode, several caps (including a cap so
+    /// small every insertion clears the memo): the memoised decode equals
+    /// the NoMemo decode equals the original list.
+    #[test]
+    fn memoized_decode_equals_nomemo(lists in list_collections(), seed in any::<u64>()) {
+        for mode in modes() {
+            let enc = encode_lists(&lists, 64, mode);
+            let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64)).unwrap();
+            for cap in [0usize, 96, 1 << 16] {
+                let mut memo = ListMemo::with_cap(cap);
+                // A pseudo-random access order with repeats, so hot lists
+                // and shared prefixes get every chance to hit.
+                let n = lists.len() as u64;
+                let mut state = seed | 1;
+                for step in 0..(2 * lists.len()) {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let i = ((state >> 33) % n.max(1)) as u32;
+                    let via_memo = index
+                        .decode_list_with_memo(&enc.bytes, enc.bit_len, i, &mut memo)
+                        .unwrap();
+                    let plain = index
+                        .decode_list_with_memo(&enc.bytes, enc.bit_len, i, &mut NoMemo)
+                        .unwrap();
+                    prop_assert_eq!(&via_memo, &plain, "step {} list {} cap {}", step, i, cap);
+                    prop_assert_eq!(&via_memo, &lists[i as usize]);
+                    prop_assert!(memo.used() <= cap, "memo overran its cap");
+                }
+            }
+        }
+    }
+
+    /// decode_all (which seeds its own full memo) agrees with per-list
+    /// random access everywhere.
+    #[test]
+    fn decode_all_equals_random_access(lists in list_collections()) {
+        for mode in modes() {
+            let enc = encode_lists(&lists, 64, mode);
+            let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64)).unwrap();
+            let all = index.decode_all(&enc.bytes, enc.bit_len).unwrap();
+            prop_assert_eq!(all.len(), lists.len());
+            for (i, want) in lists.iter().enumerate() {
+                prop_assert_eq!(&all[i], want);
+                let got = index.decode_list(&enc.bytes, enc.bit_len, i as u32).unwrap();
+                prop_assert_eq!(&got, want);
+            }
+        }
+    }
+}
+
+/// The chain decode offers only ancestors to the memo, never the leaf:
+/// decoding a plain (chain-free) list must leave a fresh memo untouched,
+/// so graphs without reference chains pay nothing for the memo layer.
+#[test]
+fn plain_decodes_leave_the_memo_empty() {
+    let lists: Vec<Vec<u32>> = (0..10u32)
+        .map(|i| (0..8).map(|j| (i * 97 + j * 13) % 64).collect())
+        .map(|mut l: Vec<u32>| {
+            l.sort_unstable();
+            l.dedup();
+            l
+        })
+        .collect();
+    let enc = encode_lists(&lists, 64, RefMode::None);
+    let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64)).unwrap();
+    let mut memo = ListMemo::with_cap(1 << 16);
+    for i in 0..lists.len() as u32 {
+        let got = index
+            .decode_list_with_memo(&enc.bytes, enc.bit_len, i, &mut memo)
+            .unwrap();
+        assert_eq!(got, lists[i as usize]);
+    }
+    assert_eq!(memo.used(), 0, "plain lists must not be retained");
+    assert!(memo.get(0).is_none());
+}
+
+/// Reference chains do populate the memo, and a second pass over the same
+/// lists hits the retained ancestors.
+#[test]
+fn chain_ancestors_are_retained_and_hit() {
+    // Near-identical lists force the windowed selector to build chains.
+    let base: Vec<u32> = (0..40).collect();
+    let lists: Vec<Vec<u32>> = (0..20u32)
+        .map(|i| {
+            let mut l = base.clone();
+            l.retain(|&x| x % 19 != i % 19);
+            l
+        })
+        .collect();
+    let enc = encode_lists(&lists, 64, RefMode::Windowed(8));
+    let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64)).unwrap();
+    let mut memo = ListMemo::with_cap(1 << 16);
+    // Decode back-to-front so every chain is walked from its deep end.
+    for i in (0..lists.len() as u32).rev() {
+        let got = index
+            .decode_list_with_memo(&enc.bytes, enc.bit_len, i, &mut memo)
+            .unwrap();
+        assert_eq!(got, lists[i as usize]);
+    }
+    assert!(memo.used() > 0, "chained decodes must retain ancestors");
+    assert!(
+        (0..lists.len() as u32).any(|i| memo.get(i).is_some()),
+        "some ancestor must be memoised"
+    );
+}

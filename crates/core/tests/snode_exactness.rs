@@ -20,7 +20,7 @@ fn temp_dir(name: &str) -> std::path::PathBuf {
     p
 }
 
-fn check_exact(name: &str, urls: &[String], domains: &[u32], graph: &Graph, config: &SNodeConfig) {
+fn check_exact(name: &str, urls: &[&str], domains: &[u32], graph: &Graph, config: &SNodeConfig) {
     let dir = temp_dir(name);
     let input = RepoInput {
         urls,
@@ -49,7 +49,7 @@ fn check_exact(name: &str, urls: &[String], domains: &[u32], graph: &Graph, conf
 #[test]
 fn corpus_graph_round_trips_exactly() {
     let corpus = Corpus::generate(CorpusConfig::scaled(1_500, 2024));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     check_exact(
         "corpus",
@@ -63,7 +63,7 @@ fn corpus_graph_round_trips_exactly() {
 #[test]
 fn corpus_graph_round_trips_with_edge_count_policy_and_tight_files() {
     let corpus = Corpus::generate(CorpusConfig::scaled(800, 7));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let config = SNodeConfig {
         superedge_policy: SuperedgePolicy::EdgeCount,
@@ -77,7 +77,7 @@ fn corpus_graph_round_trips_with_edge_count_policy_and_tight_files() {
 #[test]
 fn corpus_graph_round_trips_without_reference_encoding() {
     let corpus = Corpus::generate(CorpusConfig::scaled(600, 99));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let config = SNodeConfig {
         ref_mode: RefMode::None,
@@ -92,7 +92,7 @@ fn random_pick_policy_round_trips_exactly() {
     // consecutive-abort stopping criterion) must also produce an exact
     // representation — only the partition differs, never the graph.
     let corpus = Corpus::generate(CorpusConfig::scaled(900, 64));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let config = SNodeConfig {
         refine: RefineConfig {
@@ -108,7 +108,7 @@ fn random_pick_policy_round_trips_exactly() {
 fn transpose_graph_round_trips_exactly() {
     // The paper builds S-Node representations of WGᵀ too (backlinks).
     let corpus = Corpus::generate(CorpusConfig::scaled(1_000, 5));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let transpose = corpus.graph.transpose();
     check_exact(
@@ -125,7 +125,7 @@ fn reference_encoding_compresses_corpus_graphs() {
     // Sanity on the headline claim's direction: with reference encoding the
     // representation is smaller than without it.
     let corpus = Corpus::generate(CorpusConfig::scaled(2_000, 31));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let input = RepoInput {
         urls: &urls,
@@ -186,7 +186,8 @@ proptest! {
             ..Default::default()
         };
         let dir = temp_dir(&format!("prop_{seed}_{n}"));
-        let input = RepoInput { urls: &urls, domains: &domains, graph: &graph };
+        let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+        let input = RepoInput { urls: &url_refs, domains: &domains, graph: &graph };
         let (_stats, renum) = build_snode(input, &config, &dir).unwrap();
         let mut snode = SNode::open(&dir, 64 << 10).unwrap();
         for old in 0..n {

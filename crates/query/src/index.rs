@@ -191,7 +191,7 @@ mod tests {
 
     fn setup() -> (Corpus, Renumbering, std::path::PathBuf) {
         let corpus = Corpus::generate(CorpusConfig::scaled(800, 3));
-        let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+        let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
         let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
         let mut dir = std::env::temp_dir();
         dir.push(format!("wg_query_idx_{}", std::process::id()));

@@ -70,6 +70,33 @@ pub trait GraphRep {
     /// The sorted adjacency list of `p`.
     fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>>;
 
+    /// Fills `out` with the sorted adjacency list of `p`, reusing the
+    /// caller's buffer. The default delegates to [`GraphRep::out_neighbors`];
+    /// schemes with an allocation-free path override it.
+    fn out_neighbors_into(&mut self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
+        out.clear();
+        out.extend(self.out_neighbors(p)?);
+        Ok(())
+    }
+
+    /// Answers `out_neighbors` for every page of `pages`, calling `visit`
+    /// exactly once per page **in input order** with its sorted adjacency
+    /// list. The default is a scalar loop, so baseline schemes keep their
+    /// per-page access counters; S-Node overrides it with frontier
+    /// batching (one graph lookup per supernode per batch, §3.4).
+    fn out_neighbors_batch(
+        &mut self,
+        pages: &[PageId],
+        visit: &mut dyn FnMut(PageId, &[PageId]),
+    ) -> Result<()> {
+        let mut buf = Vec::new();
+        for &p in pages {
+            self.out_neighbors_into(p, &mut buf)?;
+            visit(p, &buf);
+        }
+        Ok(())
+    }
+
     /// Drops any caches so the next query runs cold.
     fn reset(&mut self) -> Result<()>;
 

@@ -36,6 +36,11 @@ pub struct QueryObservation {
     pub intra_lists_decoded: u64,
     /// Superedge lists decoded.
     pub super_lists_decoded: u64,
+    /// Decoded-list memo hits inside the graph cache (S-Node only).
+    pub list_memo_hits: u64,
+    /// Graph lookups answered once for a whole frontier batch group
+    /// instead of once per page (S-Node only).
+    pub batched_lookups: u64,
     /// Cache hits (graph cache + buffer pools).
     pub cache_hits: u64,
     /// Cache misses.
@@ -108,6 +113,8 @@ fn observe(
         supernodes_visited: after.counter_delta(&before, "core.nav.supernodes_visited"),
         intra_lists_decoded: after.counter_delta(&before, "core.nav.intra_lists_decoded"),
         super_lists_decoded: after.counter_delta(&before, "core.nav.super_lists_decoded"),
+        list_memo_hits: after.counter_delta(&before, "core.nav.list_memo_hits"),
+        batched_lookups: after.counter_delta(&before, "core.nav.batched_lookups"),
         cache_hits: delta_sum(&after, &before, &["core.cache.hits", "store.buffer.hits"]),
         cache_misses: delta_sum(
             &after,
@@ -171,12 +178,14 @@ impl QueryObservation {
     /// pairs — what two identical runs must reproduce exactly.
     pub fn deterministic_fields(&self) -> Vec<(&'static str, u64)> {
         vec![
+            ("batched_lookups", self.batched_lookups),
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("edges_touched", self.edges_touched),
             ("fingerprint", self.fingerprint),
             ("integrity_failures", self.integrity_failures),
             ("intra_lists_decoded", self.intra_lists_decoded),
+            ("list_memo_hits", self.list_memo_hits),
             ("nav_calls", self.nav_calls),
             ("pages_fetched", self.pages_fetched),
             ("quarantined_supernodes", self.quarantined_supernodes),

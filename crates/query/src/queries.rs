@@ -5,8 +5,10 @@
 //! through a [`GraphRep`]. Only the navigation component is timed — the
 //! paper measures "the portion of the query execution time spent in
 //! accessing and traversing the Web graph" and so do we: every
-//! [`GraphRep::out_neighbors`] call runs under the stopwatch, index
-//! lookups do not.
+//! [`GraphRep::out_neighbors_batch`] call runs under the stopwatch, index
+//! lookups do not. Each query hands the representation its whole page
+//! frontier in one batched call, so S-Node can group pages by supernode
+//! (§3.4) and decode each graph's lists once per frontier.
 
 use crate::index::{DomainTable, PageRankIndex, TextIndex};
 use crate::{GraphRep, Result};
@@ -61,13 +63,24 @@ impl<'a> Nav<'a> {
         }
     }
 
-    fn out(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    /// Batched navigation over a whole frontier: one timed call, `visit`
+    /// invoked per page in input order. S-Node groups the pages by
+    /// supernode internally; baselines fall back to a scalar loop.
+    fn out_batch(
+        &mut self,
+        pages: &[PageId],
+        visit: &mut dyn FnMut(PageId, &[PageId]),
+    ) -> Result<()> {
         let t0 = Stopwatch::start();
-        let r = self.rep.out_neighbors(p);
+        let mut edges = 0u64;
+        let r = self.rep.out_neighbors_batch(pages, &mut |p, list| {
+            edges += list.len() as u64;
+            visit(p, list);
+        });
         self.stats.nav_time += t0.elapsed();
-        self.stats.nav_calls += 1;
-        if let Ok(list) = &r {
-            self.stats.edges_touched += list.len() as u64;
+        self.stats.nav_calls += pages.len() as u64;
+        if r.is_ok() {
+            self.stats.edges_touched += edges;
         }
         r
     }
@@ -100,23 +113,26 @@ pub fn query1(env: QueryEnv<'_>, rep: &mut dyn GraphRep, q: &Q1Params) -> Result
 
     let mut nav = Nav::new(rep);
     let mut weight: HashMap<u32, f64> = HashMap::new();
-    for &p in &s {
+    // One batched pass over the source set; `doms` is reused per page.
+    let mut doms: Vec<u32> = Vec::new();
+    nav.out_batch(&s, &mut |p, targets| {
         let w = env.pagerank.rank(p) / norm;
-        let targets = nav.out(p)?;
         // A page "points to domain D if it points to any page in D":
         // dedupe target domains per source.
-        let mut doms: Vec<u32> = targets
-            .iter()
-            .map(|&t| env.domains.domain_of(t))
-            .filter(|&d| d != q.source_domain)
-            .filter(|&d| env.domains.name(d).ends_with(&tld_suffix))
-            .collect();
+        doms.clear();
+        doms.extend(
+            targets
+                .iter()
+                .map(|&t| env.domains.domain_of(t))
+                .filter(|&d| d != q.source_domain)
+                .filter(|&d| env.domains.name(d).ends_with(&tld_suffix)),
+        );
         doms.sort_unstable();
         doms.dedup();
-        for d in doms {
+        for &d in &doms {
             *weight.entry(d).or_insert(0.0) += w;
         }
-    }
+    })?;
     let mut rows: Vec<(u64, f64)> = weight.into_iter().map(|(d, w)| (u64::from(d), w)).collect();
     sort_rows(&mut rows);
     Ok(QueryOutput {
@@ -176,13 +192,13 @@ pub fn query2(env: QueryEnv<'_>, rep: &mut dyn GraphRep, q: &Q2Params) -> Result
         .collect();
     let mut c2 = vec![0u64; q.comics.len()];
     let mut nav = Nav::new(rep);
-    for &p in audience {
-        for t in nav.out(p)? {
+    nav.out_batch(audience, &mut |_, targets| {
+        for &t in targets {
             if let Some(&ci) = site_of.get(&env.domains.domain_of(t)) {
                 c2[ci] += 1;
             }
         }
-    }
+    })?;
 
     let mut rows: Vec<(u64, f64)> = (0..q.comics.len())
         .map(|ci| (ci as u64, (c1[ci] + c2[ci]) as f64))
@@ -214,18 +230,16 @@ pub fn query3(
     back: &mut dyn GraphRep,
     q: &Q3Params,
 ) -> Result<QueryOutput> {
-    let roots = env
+    let mut roots = env
         .pagerank
         .top_k_of(env.text.pages_with_phrase(q.phrase), q.root_k);
-    let mut base: Vec<PageId> = roots.clone();
+    let mut base: Vec<PageId> = Vec::new();
     let mut nav_f = Nav::new(fwd);
-    for &r in &roots {
-        base.extend(nav_f.out(r)?);
-    }
+    nav_f.out_batch(&roots, &mut |_, list| base.extend_from_slice(list))?;
     let mut nav_b = Nav::new(back);
-    for &r in &roots {
-        base.extend(nav_b.out(r)?);
-    }
+    nav_b.out_batch(&roots, &mut |_, list| base.extend_from_slice(list))?;
+    // The roots join the base by move (no clone); one sort+dedup total.
+    base.append(&mut roots);
     base.sort_unstable();
     base.dedup();
     let rows = base.into_iter().map(|p| (u64::from(p), 0.0)).collect();
@@ -263,14 +277,13 @@ pub fn query4(env: QueryEnv<'_>, back: &mut dyn GraphRep, q: &Q4Params) -> Resul
             .domains
             .filter_to_domain(env.text.pages_with_phrase(q.phrase), u);
         let mut scored: Vec<(u64, f64)> = Vec::with_capacity(cands.len());
-        for &p in &cands {
-            let incoming = nav.out(p)?;
+        nav.out_batch(&cands, &mut |p, incoming| {
             let external = incoming
                 .iter()
                 .filter(|&&src| env.domains.domain_of(src) != u)
                 .count();
             scored.push(((u64::from(ui as u32) << 32) | u64::from(p), external as f64));
-        }
+        })?;
         sort_rows(&mut scored);
         scored.truncate(q.k);
         rows.extend(scored);
@@ -301,13 +314,13 @@ pub fn query5(env: QueryEnv<'_>, rep: &mut dyn GraphRep, q: &Q5Params) -> Result
     let s = env.text.pages_with_phrase(q.phrase);
     let mut counts: HashMap<PageId, u64> = HashMap::new();
     let mut nav = Nav::new(rep);
-    for &p in s {
-        for t in nav.out(p)? {
+    nav.out_batch(s, &mut |p, targets| {
+        for &t in targets {
             if t != p && s.binary_search(&t).is_ok() {
                 *counts.entry(t).or_insert(0) += 1;
             }
         }
-    }
+    })?;
     let suffix = format!(".{}", q.result_tld);
     let mut rows: Vec<(u64, f64)> = s
         .iter()
@@ -348,23 +361,23 @@ pub fn query6(env: QueryEnv<'_>, rep: &mut dyn GraphRep, q: &Q6Params) -> Result
 
     let mut nav = Nav::new(rep);
     let mut from1: HashMap<PageId, u64> = HashMap::new();
-    for &p in &s1 {
-        for t in nav.out(p)? {
+    nav.out_batch(&s1, &mut |_, targets| {
+        for &t in targets {
             let d = env.domains.domain_of(t);
             if d != q.domain1 && d != q.domain2 {
                 *from1.entry(t).or_insert(0) += 1;
             }
         }
-    }
+    })?;
     let mut from2: HashMap<PageId, u64> = HashMap::new();
-    for &p in &s2 {
-        for t in nav.out(p)? {
+    nav.out_batch(&s2, &mut |_, targets| {
+        for &t in targets {
             let d = env.domains.domain_of(t);
             if d != q.domain1 && d != q.domain2 {
                 *from2.entry(t).or_insert(0) += 1;
             }
         }
-    }
+    })?;
     let mut rows: Vec<(u64, f64)> = from1
         .iter()
         .filter_map(|(&t, &c1)| from2.get(&t).map(|&c2| (u64::from(t), (c1 + c2) as f64)))
@@ -536,7 +549,7 @@ mod tests {
 
     fn fixture(name: &str, pages: u32, seed: u64) -> Fixture {
         let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
-        let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+        let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
         let doms: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
         let mut root = std::env::temp_dir();
         root.push(format!("wg_queries_{name}_{}", std::process::id()));

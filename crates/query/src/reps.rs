@@ -58,6 +58,16 @@ impl GraphRep for SNodeRep {
     fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
         self.0.out_neighbors(p).map_err(rep_err)
     }
+    fn out_neighbors_into(&mut self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
+        self.0.out_neighbors_into(p, out).map_err(rep_err)
+    }
+    fn out_neighbors_batch(
+        &mut self,
+        pages: &[PageId],
+        visit: &mut dyn FnMut(PageId, &[PageId]),
+    ) -> Result<()> {
+        self.0.out_neighbors_batch(pages, visit).map_err(rep_err)
+    }
     fn reset(&mut self) -> Result<()> {
         self.0.clear_cache();
         Ok(())
@@ -133,7 +143,7 @@ impl SchemeSet {
     /// memory cap applied to each scheme when opened.
     pub fn build(
         root: &Path,
-        urls: &[String],
+        urls: &[&str],
         domains: &[u32],
         graph: &Graph,
         snode_config: &SNodeConfig,
@@ -158,8 +168,8 @@ impl SchemeSet {
         let transpose = renum_graph.transpose();
 
         // 3. Transpose S-Node (for backlink navigation).
-        let transpose_urls: Vec<String> = (0..graph.num_nodes())
-            .map(|new| urls[renumbering.old_of_new[new as usize] as usize].clone())
+        let transpose_urls: Vec<&str> = (0..graph.num_nodes())
+            .map(|new| urls[renumbering.old_of_new[new as usize] as usize])
             .collect();
         {
             // The transpose S-Node must preserve the SAME page ids, so its
@@ -282,7 +292,12 @@ impl SchemeSet {
                     let dir = self.root.join("snode_t");
                     let inner = SNode::open_degraded(&dir, budget).map_err(rep_err)?;
                     let renum = Renumbering::read(&dir).map_err(rep_err)?;
-                    return Ok(Box::new(TranslatedSNodeRep { inner, renum }));
+                    return Ok(Box::new(TranslatedSNodeRep {
+                        inner,
+                        renum,
+                        internal_pages: Vec::new(),
+                        translated: Vec::new(),
+                    }));
                 } else {
                     SNode::open_degraded(&self.root.join("snode"), budget).map_err(rep_err)?
                 };
@@ -331,6 +346,9 @@ impl SchemeSet {
 struct TranslatedSNodeRep {
     inner: SNode,
     renum: Renumbering,
+    /// Reused translation buffers for the zero-alloc paths.
+    internal_pages: Vec<PageId>,
+    translated: Vec<PageId>,
 }
 
 impl GraphRep for TranslatedSNodeRep {
@@ -338,16 +356,48 @@ impl GraphRep for TranslatedSNodeRep {
         Scheme::SNode.name()
     }
     fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
-        let internal = self.renum.new_of_old[p as usize];
-        let mut out: Vec<PageId> = self
-            .inner
-            .out_neighbors(internal)
-            .map_err(rep_err)?
-            .into_iter()
-            .map(|t| self.renum.old_of_new[t as usize])
-            .collect();
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.out_neighbors_into(p, &mut out)?;
         Ok(out)
+    }
+    fn out_neighbors_into(&mut self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
+        let internal = self.renum.new_of_old[p as usize];
+        self.inner
+            .out_neighbors_into(internal, &mut self.translated)
+            .map_err(rep_err)?;
+        out.clear();
+        out.extend(
+            self.translated
+                .iter()
+                .map(|&t| self.renum.old_of_new[t as usize]),
+        );
+        out.sort_unstable();
+        Ok(())
+    }
+    fn out_neighbors_batch(
+        &mut self,
+        pages: &[PageId],
+        visit: &mut dyn FnMut(PageId, &[PageId]),
+    ) -> Result<()> {
+        self.internal_pages.clear();
+        self.internal_pages
+            .extend(pages.iter().map(|&p| self.renum.new_of_old[p as usize]));
+        let renum = &self.renum;
+        let translated = &mut self.translated;
+        // The inner batch visits in input order, so `idx` walks `pages`.
+        let mut idx = 0usize;
+        let internal_pages = std::mem::take(&mut self.internal_pages);
+        let res = self
+            .inner
+            .out_neighbors_batch(&internal_pages, &mut |_, list| {
+                translated.clear();
+                translated.extend(list.iter().map(|&t| renum.old_of_new[t as usize]));
+                translated.sort_unstable();
+                visit(pages[idx], translated);
+                idx += 1;
+            });
+        self.internal_pages = internal_pages;
+        res.map_err(rep_err)
     }
     fn reset(&mut self) -> Result<()> {
         self.inner.clear_cache();
@@ -381,7 +431,7 @@ mod tests {
     #[test]
     fn all_schemes_agree_with_ground_truth() {
         let corpus = Corpus::generate(CorpusConfig::scaled(500, 17));
-        let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+        let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
         let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
         let root = temp_root("agree");
         let set = SchemeSet::build(
@@ -431,7 +481,7 @@ mod tests {
     #[test]
     fn reset_is_idempotent_for_every_scheme() {
         let corpus = Corpus::generate(CorpusConfig::scaled(200, 5));
-        let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+        let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
         let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
         let root = temp_root("reset");
         let set = SchemeSet::build(

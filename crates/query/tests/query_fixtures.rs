@@ -100,7 +100,7 @@ impl Drop for Fx {
 
 fn setup(name: &str) -> Fx {
     let corpus = fixture_corpus();
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let doms: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let mut root = std::env::temp_dir();
     root.push(format!("wg_qfix_{name}_{}", std::process::id()));

@@ -19,7 +19,7 @@ use webgraph_repr::snode::{build_snode, RepoInput, SNodeConfig, SNodeInMemory};
 
 fn main() {
     let corpus = Corpus::generate(CorpusConfig::scaled(50_000, 3));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
 
     let dir = std::env::temp_dir().join(format!("snode_mining_{}", std::process::id()));

@@ -20,7 +20,7 @@ fn main() {
 
     // 2. Build the S-Node representation on disk.
     let dir = std::env::temp_dir().join(format!("snode_quickstart_{}", std::process::id()));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let input = RepoInput {
         urls: &urls,

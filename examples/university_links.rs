@@ -17,7 +17,7 @@ use webgraph_repr::snode::SNodeConfig;
 
 fn main() {
     let corpus = Corpus::generate(CorpusConfig::scaled(30_000, 11));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
 
     // Materialise every representation once; we query through S-Node here.

@@ -201,7 +201,7 @@ fn cmd_build(args: &[String]) -> i32 {
     // representation is byte-identical for every thread count.
     let threads: u32 = opt(args, "--threads").map_or(0, |s| s.parse().expect("--threads number"));
     let corpus = read_corpus(&corpus_dir).expect("read corpus");
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let input = RepoInput {
         urls: &urls,
@@ -268,7 +268,7 @@ fn cmd_query(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let reuse = args.iter().any(|a| a == "--reuse");
     let (root, scratch) = match opt(args, "--reps") {
@@ -391,7 +391,8 @@ fn print_report_text(r: &WorkloadReport) {
     for q in &r.queries {
         println!(
             "  {}: {:>9.3} ms | rows {:>4} | nav {:>5} calls | visited {:>5} | \
-             lists {:>5}+{:<5} | cache {}/{} | pages {} | fp {:016x}",
+             lists {:>5}+{:<5} | memo {:>5} | batched {:>5} | cache {}/{} | pages {} | \
+             fp {:016x}",
             q.query,
             q.wall_ns as f64 / 1e6,
             q.rows,
@@ -399,6 +400,8 @@ fn print_report_text(r: &WorkloadReport) {
             q.supernodes_visited,
             q.intra_lists_decoded,
             q.super_lists_decoded,
+            q.list_memo_hits,
+            q.batched_lookups,
             q.cache_hits,
             q.cache_misses,
             q.pages_fetched,
@@ -687,7 +690,7 @@ fn cmd_fsck(args: &[String]) -> i32 {
 fn repair_dir(dir: &std::path::Path, corpus_dir: &std::path::Path) -> Result<Vec<String>, String> {
     let corpus = read_corpus(corpus_dir)
         .map_err(|e| format!("cannot read corpus at {}: {e}", corpus_dir.display()))?;
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let input = RepoInput {
         urls: &urls,
@@ -803,7 +806,7 @@ fn cmd_bench(args: &[String]) -> i32 {
     let out = PathBuf::from(opt(args, "--out").unwrap_or_else(|| "BENCH_build.json".into()));
 
     let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let input = RepoInput {
         urls: &urls,
@@ -931,7 +934,7 @@ fn bench_query(
     out: &std::path::Path,
 ) -> i32 {
     obs::set_metrics_enabled(true);
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let root = scratch.join("queryset");
     let set = SchemeSet::build(

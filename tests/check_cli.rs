@@ -30,7 +30,7 @@ fn temp_dir(name: &str) -> PathBuf {
 
 fn build_clean(dir: &Path) {
     let corpus = Corpus::generate(CorpusConfig::scaled(800, 3));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let input = RepoInput {
         urls: &urls,

@@ -10,7 +10,7 @@ use webgraph_repr::snode::{build_snode, RepoInput, SNodeConfig, SNodeInMemory};
 
 fn build(pages: u32, seed: u64, name: &str) -> (Corpus, Graph, f64, std::path::PathBuf) {
     let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let mut dir = std::env::temp_dir();
     dir.push(format!("wg_shape_{name}_{}", std::process::id()));
@@ -70,7 +70,7 @@ fn in_memory_snode_is_edge_exact_for_wg_and_wgt() {
     std::fs::remove_dir_all(&dir).ok();
 
     // Transpose round-trip through its own build.
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let transpose = corpus.graph.transpose();
     let mut dir_t = std::env::temp_dir();
@@ -100,7 +100,7 @@ fn supernode_graph_is_a_small_fraction_of_the_repository() {
     // Scalability requirement (§4.1): the supernode graph must be small
     // enough to stay memory-resident.
     let corpus = Corpus::generate(CorpusConfig::scaled(20_000, 55));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let mut dir = std::env::temp_dir();
     dir.push(format!("wg_shape_supersize_{}", std::process::id()));

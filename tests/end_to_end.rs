@@ -28,7 +28,7 @@ impl Drop for Pipeline {
 
 fn pipeline(name: &str, pages: u32, seed: u64) -> Pipeline {
     let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let doms: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let mut root = std::env::temp_dir();
     root.push(format!("wg_e2e_{name}_{}", std::process::id()));

@@ -42,7 +42,7 @@ fn pristine() -> &'static (PathBuf, u32) {
     static DIR: OnceLock<(PathBuf, u32)> = OnceLock::new();
     DIR.get_or_init(|| {
         let corpus = Corpus::generate(CorpusConfig::scaled(600, 77));
-        let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+        let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
         let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
         let dir = temp_dir("pristine");
         let input = RepoInput {

@@ -51,7 +51,7 @@ fn deterministic_stats(stats: &BuildStats) -> String {
 
 fn build_with_threads(
     name: &str,
-    urls: &[String],
+    urls: &[&str],
     domains: &[u32],
     graph: &Graph,
     threads: u32,
@@ -73,7 +73,7 @@ fn build_with_threads(
 #[test]
 fn parallel_build_matches_serial() {
     let corpus = Corpus::generate(CorpusConfig::scaled(2_500, 11));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
 
     let (dir_serial, stats_serial) =
@@ -117,7 +117,7 @@ fn auto_thread_resolution_is_still_deterministic() {
     // threads = 0 resolves to the machine's parallelism — whatever that
     // is, the output must match an explicit single-threaded build.
     let corpus = Corpus::generate(CorpusConfig::scaled(800, 23));
-    let urls: Vec<String> = corpus.pages.iter().map(|p| p.url.clone()).collect();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
     let (dir_serial, _) = build_with_threads("auto_ref", &urls, &domains, &corpus.graph, 1);
     let (dir_auto, stats) = build_with_threads("auto", &urls, &domains, &corpus.graph, 0);
@@ -149,8 +149,9 @@ proptest! {
         let graph = Graph::from_edges(n, edges);
         let name_a = format!("prop_s_{seed}");
         let name_b = format!("prop_p_{seed}");
-        let (dir_a, stats_a) = build_with_threads(&name_a, &urls, &domains, &graph, 1);
-        let (dir_b, stats_b) = build_with_threads(&name_b, &urls, &domains, &graph, 3);
+        let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+        let (dir_a, stats_a) = build_with_threads(&name_a, &url_refs, &domains, &graph, 1);
+        let (dir_b, stats_b) = build_with_threads(&name_b, &url_refs, &domains, &graph, 3);
         assert_dirs_byte_identical(&dir_a, &dir_b);
         assert_eq!(deterministic_stats(&stats_a), deterministic_stats(&stats_b));
         std::fs::remove_dir_all(&dir_a).ok();
