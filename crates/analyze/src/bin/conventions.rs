@@ -1,91 +1,84 @@
-//! `conventions` — a dependency-free source lint for workspace rules that
-//! clippy cannot express.
+//! `conventions` — thin wrapper over the SN210–SN214 rules of `wg-lint`
+//! (`wgr lint`), kept for CI scripts and muscle memory.
 //!
-//! Rules:
+//! The five rules this binary historically implemented with substring
+//! scans now live in `wg_analyze::lint` on the token-level source model,
+//! with file/line spans and stable codes:
 //!
-//! 1. Every crate root (`src/lib.rs` of each workspace member, plus the
-//!    umbrella `src/lib.rs`) carries `#![forbid(unsafe_code)]`.
-//! 2. Decode-path library files contain no `.unwrap(`, `.expect(`, or
-//!    `panic!(` outside `#[cfg(test)]` modules: corrupt input must come
-//!    back as `SNodeError::Corrupt`, never a panic. (`assert!` on encoder
-//!    preconditions and `unreachable!` on proven-impossible branches stay
-//!    allowed.)
-//! 3. Every `SNodeError::Corrupt("...")` message is unique across the
-//!    workspace, so a reported corruption pins down its origin.
-//! 4. No raw `std::time::Instant` outside `crates/obs`, vendored code,
-//!    and test code: every duration must flow through `wg_obs::Stopwatch`
-//!    so it can land in the metrics registry and the trace ring.
-//! 5. No raw file-read call sites (`.read_exact(`, `.read_to_end(`,
-//!    `fs::read(`) outside `crates/fault` (the I/O shim) and test code:
-//!    every data-path read must go through `wg_fault::read_exact_at` /
-//!    `wg_fault::read_file` so fault injection covers it and transient
-//!    errors get the shim's bounded retry.
+//! 1. `#![forbid(unsafe_code)]` in every crate root → **SN213**.
+//! 2. No `.unwrap(` / `.expect(` / `panic!(` outside tests on the decode
+//!    path → **SN210**. The decode path is now *discovered* (every file
+//!    under the decode crates' `src/`, minus an explicit exclusion list)
+//!    instead of a hardcoded file list, so a newly added file is checked
+//!    by default.
+//! 3. Unique `SNodeError::Corrupt("...")` messages → **SN214**.
+//! 4. No raw `std::time::Instant` outside `crates/obs` → **SN211**.
+//! 5. No raw reads outside `crates/fault` → **SN212**.
 //!
-//! Exit 0 when clean; exit 1 with one line per violation otherwise.
-//! Usage: `conventions [--root DIR]` (defaults to the workspace root,
-//! found relative to this crate's manifest).
+//! Usage: `conventions [--root DIR] [--json]`. Exit-code contract matches
+//! `wgr check`: 0 clean, 1 violations found, 2 fatal (unreadable root).
 
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use wg_analyze::lint::{self, LintCode, LintReport};
 
-/// Library files on the decode path: everything that parses untrusted
-/// bytes. Kept explicit so a new panic cannot sneak in via a new helper.
-const DECODE_PATH_FILES: &[&str] = &[
-    "crates/core/src/disk.rs",
-    "crates/core/src/refenc.rs",
-    "crates/core/src/subgraphs.rs",
-    "crates/core/src/supergraph.rs",
-    "crates/core/src/repr.rs",
-    "crates/core/src/cache.rs",
-    "crates/core/src/verify.rs",
-    "crates/bitio/src/bitstream.rs",
-    "crates/bitio/src/codes.rs",
-    "crates/bitio/src/zeta.rs",
-    "crates/bitio/src/gaps.rs",
-    "crates/bitio/src/rle.rs",
-    "crates/bitio/src/huffman.rs",
-    "crates/store/src/pager.rs",
-    "crates/store/src/buffer.rs",
-    "crates/store/src/btree.rs",
-    "crates/store/src/heap.rs",
-    "crates/store/src/files.rs",
-    "crates/store/src/relational.rs",
-    "crates/analyze/src/check.rs",
-    "crates/analyze/src/fsck.rs",
-    "crates/analyze/src/lib.rs",
-    "crates/core/src/integrity.rs",
-    "crates/fault/src/crc32c.rs",
-    "crates/fault/src/io.rs",
+/// The legacy rule subset this wrapper reports on.
+const CONVENTION_CODES: &[LintCode] = &[
+    LintCode::DecodePathPanic,
+    LintCode::RawInstant,
+    LintCode::RawRead,
+    LintCode::MissingForbidUnsafe,
+    LintCode::DuplicateCorruptMessage,
 ];
 
-const BANNED_TOKENS: &[&str] = &[".unwrap(", ".expect(", "panic!("];
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let root = args
         .iter()
         .position(|a| a == "--root")
         .and_then(|i| args.get(i + 1))
         .map_or_else(default_root, PathBuf::from);
-    let mut violations = Vec::new();
+    let json = args.iter().any(|a| a == "--json");
 
-    check_forbid_unsafe(&root, &mut violations);
-    check_no_panics(&root, &mut violations);
-    check_unique_corrupt_messages(&root, &mut violations);
-    check_no_raw_instant(&root, &mut violations);
-    check_no_raw_reads(&root, &mut violations);
-
-    if violations.is_empty() {
-        println!("conventions: ok");
-        std::process::exit(0);
+    let report = match lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            if json {
+                println!(
+                    "{{\"fatal\":\"{}\"}}",
+                    e.replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            } else {
+                eprintln!("fatal: {e}");
+            }
+            std::process::exit(2);
+        }
+    };
+    let subset = LintReport {
+        findings: report
+            .findings
+            .into_iter()
+            .filter(|f| CONVENTION_CODES.contains(&f.code))
+            .collect(),
+        worklist: Vec::new(),
+        files_scanned: report.files_scanned,
+        fns_modeled: report.fns_modeled,
+    };
+    if json {
+        println!("{}", subset.to_json());
+    } else if subset.findings.is_empty() {
+        println!(
+            "conventions: ok ({} files, {} functions)",
+            subset.files_scanned, subset.fns_modeled
+        );
+    } else {
+        for f in &subset.findings {
+            eprintln!("{f}");
+        }
+        eprintln!("conventions: {} violation(s)", subset.findings.len());
     }
-    for v in &violations {
-        eprintln!("{v}");
-    }
-    eprintln!("conventions: {} violation(s)", violations.len());
-    std::process::exit(1);
+    std::process::exit(i32::from(!subset.findings.is_empty()));
 }
 
 /// The workspace root is two levels above this crate's manifest dir.
@@ -93,296 +86,7 @@ fn default_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
         .parent()
-        .and_then(Path::parent)
-        .map(Path::to_path_buf)
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
         .unwrap_or(manifest)
-}
-
-// --- Rule 1: #![forbid(unsafe_code)] in every crate root --------------------
-
-fn check_forbid_unsafe(root: &Path, violations: &mut Vec<String>) {
-    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
-    for parent in ["crates", "vendor"] {
-        let Ok(entries) = std::fs::read_dir(root.join(parent)) else {
-            continue;
-        };
-        for e in entries.flatten() {
-            let lib = e.path().join("src/lib.rs");
-            if lib.is_file() {
-                roots.push(lib);
-            }
-        }
-    }
-    roots.sort();
-    for lib in roots {
-        let Ok(src) = std::fs::read_to_string(&lib) else {
-            violations.push(format!("{}: unreadable crate root", rel(root, &lib)));
-            continue;
-        };
-        if !src.contains("#![forbid(unsafe_code)]") {
-            violations.push(format!(
-                "{}: missing #![forbid(unsafe_code)]",
-                rel(root, &lib)
-            ));
-        }
-    }
-}
-
-// --- Rule 2: no panics on the decode path -----------------------------------
-
-fn check_no_panics(root: &Path, violations: &mut Vec<String>) {
-    for file in DECODE_PATH_FILES {
-        let path = root.join(file);
-        let Ok(src) = std::fs::read_to_string(&path) else {
-            violations.push(format!("{file}: decode-path file missing"));
-            continue;
-        };
-        for (lineno, line) in non_test_lines(&src) {
-            let code = strip_line_comment(line);
-            for tok in BANNED_TOKENS {
-                if code.contains(tok) {
-                    violations.push(format!(
-                        "{file}:{lineno}: `{}` in non-test decode-path code",
-                        tok.trim_start_matches('.')
-                    ));
-                }
-            }
-        }
-    }
-}
-
-/// Yields `(1-based line, text)` for lines outside `#[cfg(test)]` blocks.
-///
-/// A textual brace-tracker, not a parser: when a line contains
-/// `#[cfg(test)]`, everything until the matching close brace of the block
-/// that starts next is skipped. Good enough for rustfmt-formatted code,
-/// which is what the workspace contains (CI runs `cargo fmt --check`).
-fn non_test_lines(src: &str) -> Vec<(usize, &str)> {
-    let mut out = Vec::new();
-    let mut depth: i64 = 0; // brace depth inside a cfg(test) region; 0 = outside
-    let mut in_test = false;
-    let mut armed = false; // saw #[cfg(test)], waiting for its opening brace
-    for (i, line) in src.lines().enumerate() {
-        if !in_test && !armed && line.contains("#[cfg(test)]") {
-            armed = true;
-            continue;
-        }
-        let opens = line.matches('{').count() as i64;
-        let closes = line.matches('}').count() as i64;
-        if armed {
-            if opens > 0 {
-                in_test = true;
-                armed = false;
-                depth = opens - closes;
-                if depth <= 0 {
-                    in_test = false;
-                }
-            }
-            continue;
-        }
-        if in_test {
-            depth += opens - closes;
-            if depth <= 0 {
-                in_test = false;
-            }
-            continue;
-        }
-        out.push((i + 1, line));
-    }
-    out
-}
-
-/// Drops a trailing `// ...` comment (string literals containing `//` are
-/// rare enough in this codebase that the approximation is acceptable —
-/// a false *negative* only, never a false positive, for the banned
-/// tokens, which never appear inside the workspace's string literals).
-fn strip_line_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-// --- Rule 4: no raw Instant outside crates/obs ------------------------------
-
-/// Only `crates/obs` (home of the sanctioned `Stopwatch` wrapper),
-/// vendored third-party code, and test code may use `std::time::Instant`
-/// directly; everything else must time through `wg_obs` so durations can
-/// land in the metrics registry and the trace ring.
-fn check_no_raw_instant(root: &Path, violations: &mut Vec<String>) {
-    let mut files: Vec<PathBuf> = Vec::new();
-    collect_rs_files(&root.join("src"), &mut files);
-    collect_rs_files(&root.join("examples"), &mut files);
-    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
-        for e in crates.flatten() {
-            if e.file_name() == "obs" {
-                continue;
-            }
-            collect_rs_files(&e.path(), &mut files);
-        }
-    }
-    files.sort();
-    for path in files {
-        let name = rel(root, &path);
-        // Integration-test trees time freely; `#[cfg(test)]` modules are
-        // excluded by non_test_lines below. This file names the token in
-        // order to ban it.
-        if name.contains("/tests/") || name.ends_with("bin/conventions.rs") {
-            continue;
-        }
-        let Ok(src) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        for (lineno, line) in non_test_lines(&src) {
-            if has_word(strip_line_comment(line), "Instant") {
-                violations.push(format!(
-                    "{name}:{lineno}: raw `Instant` outside crates/obs — use wg_obs::Stopwatch"
-                ));
-            }
-        }
-    }
-}
-
-// --- Rule 5: no raw file reads outside the fault shim -----------------------
-
-/// Tokens that read file bytes without passing through the `wg-fault`
-/// shim. Reads that bypass the shim dodge fault injection and skip the
-/// bounded retry on transient errors, so new call sites are banned
-/// everywhere but `crates/fault` itself and test code.
-const RAW_READ_TOKENS: &[&str] = &[".read_exact(", ".read_to_end(", "fs::read("];
-
-fn check_no_raw_reads(root: &Path, violations: &mut Vec<String>) {
-    let mut files: Vec<PathBuf> = Vec::new();
-    collect_rs_files(&root.join("src"), &mut files);
-    collect_rs_files(&root.join("examples"), &mut files);
-    if let Ok(crates) = std::fs::read_dir(root.join("crates")) {
-        for e in crates.flatten() {
-            if e.file_name() == "fault" {
-                continue; // the shim is the one sanctioned home of raw reads
-            }
-            collect_rs_files(&e.path(), &mut files);
-        }
-    }
-    files.sort();
-    for path in files {
-        let name = rel(root, &path);
-        if name.contains("/tests/") || name.ends_with("bin/conventions.rs") {
-            continue;
-        }
-        let Ok(src) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        for (lineno, line) in non_test_lines(&src) {
-            let code = strip_line_comment(line);
-            for tok in RAW_READ_TOKENS {
-                if code.contains(tok) {
-                    violations.push(format!(
-                        "{name}:{lineno}: raw `{}` outside crates/fault — read through \
-                         wg_fault::read_exact_at / wg_fault::read_file",
-                        tok.trim_start_matches('.').trim_end_matches('(')
-                    ));
-                }
-            }
-        }
-    }
-}
-
-/// True when `word` occurs in `s` with no identifier character on either
-/// side (so `Instantaneous` does not count as `Instant`).
-fn has_word(s: &str, word: &str) -> bool {
-    let ident = |c: char| c.is_alphanumeric() || c == '_';
-    let mut start = 0;
-    while let Some(i) = s[start..].find(word) {
-        let at = start + i;
-        let before_ok = !s[..at].chars().next_back().is_some_and(ident);
-        let after = at + word.len();
-        let after_ok = !s[after..].chars().next().is_some_and(ident);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = after;
-    }
-    false
-}
-
-// --- Rule 3: unique Corrupt messages ----------------------------------------
-
-fn check_unique_corrupt_messages(root: &Path, violations: &mut Vec<String>) {
-    let mut seen: HashMap<String, String> = HashMap::new();
-    let mut files: Vec<PathBuf> = Vec::new();
-    let Ok(crates) = std::fs::read_dir(root.join("crates")) else {
-        violations.push("crates/ directory missing".to_string());
-        return;
-    };
-    for e in crates.flatten() {
-        collect_rs_files(&e.path().join("src"), &mut files);
-    }
-    files.sort();
-    for path in files {
-        let Ok(src) = std::fs::read_to_string(&path) else {
-            continue;
-        };
-        let name = rel(root, &path);
-        // Flatten the non-test, comment-stripped lines so literals that
-        // rustfmt wrapped onto the line after `Corrupt(` still match,
-        // keeping a line map for reporting.
-        let mut flat = String::new();
-        let mut line_starts: Vec<(usize, usize)> = Vec::new(); // (offset, lineno)
-        for (lineno, line) in non_test_lines(&src) {
-            line_starts.push((flat.len(), lineno));
-            flat.push_str(strip_line_comment(line));
-            flat.push('\n');
-        }
-        let mut pos = 0usize;
-        while let Some(found) = flat[pos..].find("Corrupt(") {
-            let after = pos + found + "Corrupt(".len();
-            pos = after;
-            let Some(msg) = leading_string_literal(&flat[after..]) else {
-                continue;
-            };
-            let lineno = line_starts
-                .iter()
-                .take_while(|&&(off, _)| off <= after)
-                .last()
-                .map_or(0, |&(_, l)| l);
-            let here = format!("{name}:{lineno}");
-            if let Some(prev) = seen.get(&msg) {
-                violations.push(format!(
-                    "{here}: duplicate Corrupt message {msg:?} (first at {prev})"
-                ));
-            } else {
-                seen.insert(msg, here);
-            }
-        }
-    }
-}
-
-/// Parses a leading `"..."` literal (no escapes needed for these messages).
-fn leading_string_literal(s: &str) -> Option<String> {
-    let s = s.trim_start();
-    let rest = s.strip_prefix('"')?;
-    let end = rest.find('"')?;
-    Some(rest[..end].to_string())
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for e in entries.flatten() {
-        let p = e.path();
-        if p.is_dir() {
-            collect_rs_files(&p, out);
-        } else if p.extension().is_some_and(|x| x == "rs") {
-            out.push(p);
-        }
-    }
-}
-
-fn rel(root: &Path, p: &Path) -> String {
-    p.strip_prefix(root)
-        .unwrap_or(p)
-        .display()
-        .to_string()
-        .replace('\\', "/")
 }

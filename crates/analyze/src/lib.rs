@@ -18,9 +18,12 @@
 
 mod check;
 mod fsck;
+pub mod lint;
+pub mod model;
 
 pub use check::{check, Summary};
 pub use fsck::{fsck, FsckReport};
+pub use lint::{lint_workspace, LintCode, LintFinding, LintReport};
 
 /// How bad a finding is.
 ///

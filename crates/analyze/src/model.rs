@@ -1,0 +1,1112 @@
+//! Source model for the `wg-lint` static analyzer (`wgr lint`).
+//!
+//! A lightweight, dependency-free Rust tokenizer and item parser — the
+//! same zero-dependency discipline as `wg-obs` — that extracts exactly
+//! what the SN2xx rules in [`crate::lint`] need: per file, the `impl`
+//! blocks, method signatures (receiver mutability, visibility), a
+//! conservative name-based call graph, and the special call sites
+//! (allocations, lock acquisitions, panics, raw `Instant`s, raw file
+//! reads, `Corrupt` message literals). It is *not* a Rust parser: it
+//! tracks braces, attributes, and item headers token by token, which is
+//! sufficient for rustfmt-formatted workspace code and — crucially —
+//! never panics on arbitrary byte soup (property-tested).
+//!
+//! Everything here is decode-path code in the conventions sense: the
+//! input is untrusted text, so no `unwrap`/`expect`/`panic!` outside
+//! tests.
+
+use std::path::Path;
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+/// One lexical token. Comments are skipped by the tokenizer; string
+/// contents are preserved (rule SN214 compares `Corrupt` messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (contents, escapes left as written).
+    Str(String),
+    /// Character literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Life,
+    /// Any single punctuation character, including braces.
+    Punct(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Tokenizes Rust source, skipping comments (line and nested block).
+/// Total function: unterminated literals or comments consume to EOF.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+    let at = |i: usize| chars.get(i).copied();
+    while i < n {
+        let c = match at(i) {
+            Some(c) => c,
+            None => break,
+        };
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if at(i + 1) == Some('/') => {
+                while i < n && at(i) != Some('\n') {
+                    i += 1;
+                }
+            }
+            '/' if at(i + 1) == Some('*') => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < n && depth > 0 {
+                    match (at(i), at(i + 1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        (Some('\n'), _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '"' => {
+                let (s, ni, nl) = read_string(&chars, i + 1, line);
+                toks.push(Token {
+                    kind: Tok::Str(s),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if is_raw_string_start(&chars, i) => {
+                let (ni, nl) = read_raw_string(&chars, i, line, &mut toks);
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                let (tok, ni, nl) = read_quote(&chars, i, line);
+                toks.push(Token { kind: tok, line });
+                i = ni;
+                line = nl;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && at(i).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                toks.push(Token {
+                    kind: Tok::Ident(ident),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Consume a numeric literal; '.' continues it only when a
+                // digit follows, so `self.0.method(` and `0..n` split
+                // correctly (tuple-field method calls feed the call graph).
+                i += 1;
+                while i < n {
+                    match at(i) {
+                        Some(d) if d.is_alphanumeric() || d == '_' => i += 1,
+                        Some('.') if at(i + 1).is_some_and(|d| d.is_ascii_digit()) => i += 2,
+                        _ => break,
+                    }
+                }
+                toks.push(Token {
+                    kind: Tok::Num,
+                    line,
+                });
+            }
+            c => {
+                toks.push(Token {
+                    kind: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Reads a `"..."` body starting just after the opening quote. Returns
+/// (contents, next index, next line).
+fn read_string(chars: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut out = String::new();
+    while let Some(c) = chars.get(i).copied() {
+        match c {
+            '\\' => {
+                out.push('\\');
+                if let Some(e) = chars.get(i + 1) {
+                    out.push(*e);
+                    if *e == '\n' {
+                        line += 1;
+                    }
+                }
+                i += 2;
+            }
+            '"' => return (out, i + 1, line),
+            '\n' => {
+                out.push('\n');
+                line += 1;
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    (out, i, line)
+}
+
+/// True when position `i` starts `r"`, `r#`, `b"`, `br"`, or `br#`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    } else if j > i {
+        // b"..." byte string (not raw, but handled by the same reader).
+        return chars.get(j) == Some(&'"');
+    }
+    matches!(chars.get(j), Some('"') | Some('#'))
+}
+
+/// Reads `r#*"..."#*` / `b"..."` forms starting at the `r`/`b`. Pushes one
+/// `Tok::Str`. Returns (next index, next line).
+fn read_raw_string(
+    chars: &[char],
+    mut i: usize,
+    mut line: u32,
+    toks: &mut Vec<Token>,
+) -> (usize, u32) {
+    let start_line = line;
+    let mut raw = false;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        // Not actually a string (`r#foo` raw identifier): emit the ident.
+        let mut ident = String::new();
+        while let Some(c) = chars.get(i).copied() {
+            if c.is_alphanumeric() || c == '_' {
+                ident.push(c);
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        toks.push(Token {
+            kind: Tok::Ident(ident),
+            line: start_line,
+        });
+        return (i, line);
+    }
+    i += 1;
+    let mut out = String::new();
+    while let Some(c) = chars.get(i).copied() {
+        if c == '\n' {
+            line += 1;
+        }
+        if c == '"' {
+            // A raw string closes on `"` followed by `hashes` hashes; a
+            // plain byte string closes immediately (escapes as in strings).
+            if !raw {
+                i += 1;
+                break;
+            }
+            let mut k = 0usize;
+            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                i += 1 + hashes;
+                break;
+            }
+        }
+        if !raw && c == '\\' {
+            out.push('\\');
+            if let Some(e) = chars.get(i + 1) {
+                out.push(*e);
+            }
+            i += 2;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    toks.push(Token {
+        kind: Tok::Str(out),
+        line: start_line,
+    });
+    (i, line)
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal),
+/// starting at the `'`. Returns (token, next index, next line).
+fn read_quote(chars: &[char], i: usize, line: u32) -> (Tok, usize, u32) {
+    match chars.get(i + 1).copied() {
+        Some('\\') => {
+            // Escaped char literal: consume to the closing quote.
+            let mut j = i + 2;
+            let mut nl = line;
+            while let Some(c) = chars.get(j).copied() {
+                if c == '\n' {
+                    nl += 1;
+                }
+                j += 1;
+                if c == '\'' {
+                    break;
+                }
+            }
+            (Tok::Char, j, nl)
+        }
+        Some(c) if chars.get(i + 2) == Some(&'\'') && c != '\'' => (Tok::Char, i + 3, line),
+        Some(c) if c.is_alphabetic() || c == '_' => {
+            // Lifetime: consume identifier characters.
+            let mut j = i + 1;
+            while chars
+                .get(j)
+                .is_some_and(|c| c.is_alphanumeric() || *c == '_')
+            {
+                j += 1;
+            }
+            (Tok::Life, j, line)
+        }
+        _ => (Tok::Punct('\''), i + 1, line),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Items
+// ---------------------------------------------------------------------------
+
+/// Function visibility, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// `pub` (or a `pub trait` method, which is callable by trait users).
+    Pub,
+    /// `pub(crate)` / `pub(super)` / `pub(in ...)`.
+    PubScoped,
+    /// No visibility keyword.
+    Private,
+}
+
+/// Receiver of a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// Free function / associated function without `self`.
+    None,
+    /// `self` / `mut self` (by value).
+    Owned,
+    /// `&self`.
+    Shared,
+    /// `&mut self`.
+    Mut,
+}
+
+impl Receiver {
+    /// Rendered as it appears in a signature.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Receiver::None => "",
+            Receiver::Owned => "self",
+            Receiver::Shared => "&self",
+            Receiver::Mut => "&mut self",
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Called name (for macros the `!` is included, e.g. `panic!`).
+    pub name: String,
+    /// Immediately preceding path qualifier (`Vec` in `Vec::new(`).
+    pub qualifier: Option<String>,
+    /// True for `.name(` method-call syntax.
+    pub is_method: bool,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// One function (free, inherent, or trait method — with or without body).
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub owner: Option<String>,
+    /// Visibility (trait methods count as `Pub`).
+    pub vis: Visibility,
+    /// Receiver mutability.
+    pub receiver: Receiver,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+    /// Calls made directly by this function's body.
+    pub calls: Vec<Call>,
+}
+
+impl FnModel {
+    /// `Type::name` or bare `name` for free functions.
+    pub fn symbol(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// What a special call site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// Heap allocation (`Vec::new`, `to_vec`, `collect`, …).
+    Alloc,
+    /// Lock acquisition or interior-mutability construction.
+    Sync,
+    /// `unwrap` / `expect` / `panic!`.
+    Panic,
+    /// A raw `std::time::Instant` mention.
+    Instant,
+    /// Raw file read (`read_exact`, `read_to_end`, `fs::read`).
+    RawRead,
+}
+
+/// One flagged site with enough context to report and baseline it.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Classification.
+    pub kind: SiteKind,
+    /// The offending token, as written (`Vec::new`, `.lock`, `panic!`).
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// True inside `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+    /// Index into [`FileModel::fns`] of the innermost enclosing function.
+    pub fn_idx: Option<usize>,
+}
+
+/// Everything the rules need to know about one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Whether the file carries `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+    /// All functions, in source order.
+    pub fns: Vec<FnModel>,
+    /// All special call sites, in source order.
+    pub sites: Vec<Site>,
+    /// `Corrupt("...")` message literals: (message, line, in_test).
+    pub corrupt_msgs: Vec<(String, u32, bool)>,
+    /// True for vendored stand-in crates (only SN213 applies).
+    pub vendored: bool,
+}
+
+/// The parsed workspace.
+#[derive(Debug, Clone, Default)]
+pub struct SourceModel {
+    /// One entry per parsed `.rs` file, sorted by path.
+    pub files: Vec<FileModel>,
+}
+
+const ALLOC_METHODS: &[&str] = &["to_vec", "collect", "to_string", "to_owned"];
+const ALLOC_QUALIFIED: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "from"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+];
+const ALLOC_MACROS: &[&str] = &["vec!", "format!"];
+const SYNC_TYPES: &[&str] = &["Mutex", "RwLock", "RefCell", "Cell", "Condvar", "OnceLock"];
+const SYNC_METHODS: &[&str] = &["lock", "borrow_mut"];
+const RAW_READ_METHODS: &[&str] = &["read_exact", "read_to_end"];
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "let", "in", "as", "move", "else",
+    "unsafe", "ref", "mut", "box", "dyn", "impl", "where", "Some", "Ok", "Err", "None",
+];
+
+/// What kind of scope a `{` opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    Block,
+    Impl,
+    Trait,
+    Mod,
+    Fn(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Scope {
+    kind: ScopeKind,
+    owner: Option<String>,
+    is_test: bool,
+}
+
+/// Parses one file's tokens into a [`FileModel`]. Total and panic-free.
+pub fn parse_file(path: &str, src: &str) -> FileModel {
+    let toks = tokenize(src);
+    let mut file = FileModel {
+        path: path.to_string(),
+        ..FileModel::default()
+    };
+    let mut stack: Vec<Scope> = Vec::new();
+    // Tokens accumulated since the last item boundary (`;`, `{`, `}`) at
+    // the current nesting level — the "pending item header".
+    let mut pending: Vec<Token> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut i = 0usize;
+    let n = toks.len();
+    while i < n {
+        let Some(t) = toks.get(i) else { break };
+        match &t.kind {
+            Tok::Punct('#') => {
+                // Attribute: `#[...]` or inner `#![...]`.
+                let inner = matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('!')));
+                let open = i + 1 + usize::from(inner);
+                if matches!(toks.get(open).map(|t| &t.kind), Some(Tok::Punct('['))) {
+                    let close = match_bracket(&toks, open);
+                    let attr = &toks[open + 1..close.min(n)];
+                    if inner && attr_is(attr, "forbid", "unsafe_code") {
+                        file.has_forbid_unsafe = true;
+                    }
+                    if attr_is(attr, "cfg", "test") || attr_names(attr, "test") {
+                        pending_test_attr = true;
+                    }
+                    i = close.saturating_add(1);
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Punct('{') => {
+                let in_test = pending_test_attr || stack.iter().any(|s| s.is_test);
+                let scope = classify_header(&pending, &mut file, in_test, &stack, t.line);
+                stack.push(scope);
+                pending.clear();
+                pending_test_attr = false;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                stack.pop();
+                pending.clear();
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                // A bodiless `fn` (trait required method) still matters.
+                if pending.iter().any(|p| p.kind == Tok::Ident("fn".into())) {
+                    let in_test = pending_test_attr || stack.iter().any(|s| s.is_test);
+                    record_fn(&pending, &mut file, in_test, &stack);
+                    pending_test_attr = false;
+                }
+                pending.clear();
+                i += 1;
+            }
+            _ => {
+                scan_site(&toks, i, &mut file, &stack);
+                pending.push(t.clone());
+                i += 1;
+            }
+        }
+    }
+    file
+}
+
+/// True when the attribute tokens are `name(arg)` (possibly with more
+/// arguments, e.g. `cfg(all(test, ...))` matches ("cfg", "test")).
+/// `cfg(not(...))` never matches: that is live-only code.
+fn attr_is(attr: &[Token], name: &str, arg: &str) -> bool {
+    let has_name = matches!(attr.first().map(|t| &t.kind), Some(Tok::Ident(s)) if s == name);
+    has_name
+        && !attr
+            .iter()
+            .any(|t| matches!(&t.kind, Tok::Ident(s) if s == "not"))
+        && attr
+            .iter()
+            .skip(1)
+            .any(|t| matches!(&t.kind, Tok::Ident(s) if s == arg))
+}
+
+/// True when the attribute is exactly the single identifier `name`.
+fn attr_names(attr: &[Token], name: &str) -> bool {
+    attr.len() == 1 && matches!(attr.first().map(|t| &t.kind), Some(Tok::Ident(s)) if s == name)
+}
+
+/// Index of the `]` matching the `[` at `open` (or `toks.len()`).
+fn match_bracket(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while let Some(t) = toks.get(i) {
+        match t.kind {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Decides what scope a `{` opens from the pending header tokens, and
+/// records a function if the header is a `fn` signature.
+fn classify_header(
+    pending: &[Token],
+    file: &mut FileModel,
+    in_test: bool,
+    stack: &[Scope],
+    line: u32,
+) -> Scope {
+    let has = |kw: &str| {
+        pending
+            .iter()
+            .any(|t| matches!(&t.kind, Tok::Ident(s) if s == kw))
+    };
+    let owner = stack.iter().rev().find_map(|s| s.owner.clone());
+    if has("fn") {
+        let idx = record_fn(pending, file, in_test, stack);
+        return Scope {
+            kind: ScopeKind::Fn(idx),
+            owner,
+            is_test: in_test,
+        };
+    }
+    if has("impl") {
+        let name = impl_type_name(pending);
+        return Scope {
+            kind: ScopeKind::Impl,
+            owner: name,
+            is_test: in_test,
+        };
+    }
+    if has("trait") {
+        let name = ident_after(pending, "trait");
+        return Scope {
+            kind: ScopeKind::Trait,
+            owner: name,
+            is_test: in_test,
+        };
+    }
+    if has("mod") {
+        return Scope {
+            kind: ScopeKind::Mod,
+            owner: None,
+            is_test: in_test,
+        };
+    }
+    let _ = line;
+    Scope {
+        kind: ScopeKind::Block,
+        owner,
+        is_test: in_test,
+    }
+}
+
+/// The identifier right after keyword `kw` in `pending`.
+fn ident_after(pending: &[Token], kw: &str) -> Option<String> {
+    let pos = pending
+        .iter()
+        .position(|t| matches!(&t.kind, Tok::Ident(s) if s == kw))?;
+    pending[pos + 1..].iter().find_map(|t| match &t.kind {
+        Tok::Ident(s) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+/// The self type of an `impl` header: `impl Foo` → `Foo`,
+/// `impl Trait for Foo` → `Foo`, generics skipped.
+fn impl_type_name(pending: &[Token]) -> Option<String> {
+    let pos = pending
+        .iter()
+        .position(|t| matches!(&t.kind, Tok::Ident(s) if s == "impl"))?;
+    let rest = &pending[pos + 1..];
+    // Skip a leading balanced `<...>` generic parameter list.
+    let mut i = 0usize;
+    if matches!(rest.first().map(|t| &t.kind), Some(Tok::Punct('<'))) {
+        let mut depth = 0i64;
+        while let Some(t) = rest.get(i) {
+            match t.kind {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let after_for = rest[i.min(rest.len())..]
+        .iter()
+        .position(|t| matches!(&t.kind, Tok::Ident(s) if s == "for"))
+        .map(|p| i + p + 1);
+    let from = after_for.unwrap_or(i);
+    rest.get(from..).and_then(|r| {
+        r.iter().find_map(|t| match &t.kind {
+            Tok::Ident(s) if s != "for" => Some(s.clone()),
+            _ => None,
+        })
+    })
+}
+
+/// Records a function from its header tokens; returns its index.
+fn record_fn(pending: &[Token], file: &mut FileModel, in_test: bool, stack: &[Scope]) -> usize {
+    let fn_pos = pending
+        .iter()
+        .position(|t| matches!(&t.kind, Tok::Ident(s) if s == "fn"))
+        .unwrap_or(0);
+    let line = pending.get(fn_pos).map_or(0, |t| t.line);
+    let name = pending[fn_pos + 1..]
+        .iter()
+        .find_map(|t| match &t.kind {
+            Tok::Ident(s) => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let in_trait = stack
+        .last()
+        .is_some_and(|s| matches!(s.kind, ScopeKind::Trait));
+    let vis = {
+        let pub_pos = pending[..fn_pos]
+            .iter()
+            .position(|t| matches!(&t.kind, Tok::Ident(s) if s == "pub"));
+        match pub_pos {
+            Some(p) => {
+                if matches!(pending.get(p + 1).map(|t| &t.kind), Some(Tok::Punct('('))) {
+                    Visibility::PubScoped
+                } else {
+                    Visibility::Pub
+                }
+            }
+            None if in_trait => Visibility::Pub,
+            None => Visibility::Private,
+        }
+    };
+    let receiver = parse_receiver(&pending[fn_pos..]);
+    let owner = stack.iter().rev().find_map(|s| s.owner.clone());
+    file.fns.push(FnModel {
+        name,
+        owner,
+        vis,
+        receiver,
+        line,
+        in_test,
+        calls: Vec::new(),
+    });
+    file.fns.len() - 1
+}
+
+/// Receiver from the tokens of `fn name(...)`: inspects the first
+/// parameter slot inside the parens.
+fn parse_receiver(sig: &[Token]) -> Receiver {
+    let open = match sig.iter().position(|t| matches!(t.kind, Tok::Punct('('))) {
+        Some(p) => p,
+        None => return Receiver::None,
+    };
+    // First parameter: tokens until the first `,` or `)` at depth 1.
+    let mut first: Vec<&Tok> = Vec::new();
+    let mut depth = 0i64;
+    for t in &sig[open..] {
+        match &t.kind {
+            Tok::Punct('(') => {
+                depth += 1;
+                if depth == 1 {
+                    continue;
+                }
+            }
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+            Tok::Punct(',') if depth == 1 => break,
+            _ => {}
+        }
+        if depth >= 1 {
+            first.push(&t.kind);
+        }
+    }
+    let is = |t: &&Tok, s: &str| matches!(t, Tok::Ident(x) if x == s);
+    let has_self = first.iter().any(|t| is(t, "self"));
+    if !has_self {
+        return Receiver::None;
+    }
+    let has_amp = first.iter().any(|t| matches!(t, Tok::Punct('&')));
+    let has_mut = first.iter().any(|t| is(t, "mut"));
+    match (has_amp, has_mut) {
+        (true, true) => Receiver::Mut,
+        (true, false) => Receiver::Shared,
+        (false, _) => Receiver::Owned,
+    }
+}
+
+/// Looks at token `i` and records call edges and special sites.
+fn scan_site(toks: &[Token], i: usize, file: &mut FileModel, stack: &[Scope]) {
+    let Some(t) = toks.get(i) else { return };
+    let Tok::Ident(name) = &t.kind else {
+        return;
+    };
+    let in_test = stack.iter().any(|s| s.is_test);
+    let fn_idx = stack.iter().rev().find_map(|s| match s.kind {
+        ScopeKind::Fn(idx) => Some(idx),
+        _ => None,
+    });
+    // `Instant` counts when used as a path qualifier (`Instant::now()` et
+    // al.) — the raw-timing pattern. A bare mention (imports, an enum
+    // variant that happens to share the name) is not a timing call.
+    if name == "Instant"
+        && matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct(':')))
+        && matches!(toks.get(i + 2).map(|t| &t.kind), Some(Tok::Punct(':')))
+        && matches!(toks.get(i + 3).map(|t| &t.kind), Some(Tok::Ident(_)))
+    {
+        file.sites.push(Site {
+            kind: SiteKind::Instant,
+            what: "Instant".to_string(),
+            line: t.line,
+            in_test,
+            fn_idx,
+        });
+    }
+    // `Corrupt("...")` message literal.
+    if name == "Corrupt" {
+        if let (Some(Tok::Punct('(')), Some(Tok::Str(msg))) = (
+            toks.get(i + 1).map(|t| &t.kind),
+            toks.get(i + 2).map(|t| &t.kind),
+        ) {
+            file.corrupt_msgs.push((msg.clone(), t.line, in_test));
+        }
+    }
+    // Call detection: `name(`, `name!(`/`name![`/`name!{`, with optional
+    // `.`-method or `Qual::` prefixes.
+    let next = toks.get(i + 1).map(|t| &t.kind);
+    let is_macro = matches!(next, Some(Tok::Punct('!')))
+        && matches!(
+            toks.get(i + 2).map(|t| &t.kind),
+            Some(Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{'))
+        );
+    let is_call = matches!(next, Some(Tok::Punct('(')));
+    if !is_call && !is_macro {
+        return;
+    }
+    if KEYWORDS.contains(&name.as_str()) {
+        return;
+    }
+    let prev = i.checked_sub(1).and_then(|p| toks.get(p)).map(|t| &t.kind);
+    let is_method = matches!(prev, Some(Tok::Punct('.')));
+    let qualifier = if matches!(prev, Some(Tok::Punct(':')))
+        && matches!(
+            i.checked_sub(2).and_then(|p| toks.get(p)).map(|t| &t.kind),
+            Some(Tok::Punct(':'))
+        ) {
+        i.checked_sub(3)
+            .and_then(|p| toks.get(p))
+            .and_then(|t| match &t.kind {
+                Tok::Ident(q) => Some(q.clone()),
+                _ => None,
+            })
+    } else {
+        None
+    };
+    let mac_name = if is_macro {
+        format!("{name}!")
+    } else {
+        name.clone()
+    };
+    let call = Call {
+        name: mac_name.clone(),
+        qualifier: qualifier.clone(),
+        is_method,
+        line: t.line,
+    };
+    if let Some(idx) = fn_idx {
+        if let Some(f) = file.fns.get_mut(idx) {
+            f.calls.push(call);
+        }
+    }
+    // Classify special sites.
+    let site = |kind: SiteKind, what: String| Site {
+        kind,
+        what,
+        line: t.line,
+        in_test,
+        fn_idx,
+    };
+    if is_macro {
+        if mac_name == "panic!" {
+            file.sites.push(site(SiteKind::Panic, mac_name));
+        } else if ALLOC_MACROS.contains(&mac_name.as_str()) {
+            file.sites.push(site(SiteKind::Alloc, mac_name));
+        }
+        return;
+    }
+    if is_method {
+        if name == "unwrap" || name == "expect" {
+            file.sites.push(site(SiteKind::Panic, format!(".{name}")));
+        } else if ALLOC_METHODS.contains(&name.as_str()) {
+            file.sites.push(site(SiteKind::Alloc, format!(".{name}")));
+        } else if SYNC_METHODS.contains(&name.as_str()) {
+            file.sites.push(site(SiteKind::Sync, format!(".{name}")));
+        } else if RAW_READ_METHODS.contains(&name.as_str()) {
+            file.sites.push(site(SiteKind::RawRead, format!(".{name}")));
+        }
+        return;
+    }
+    if let Some(q) = &qualifier {
+        let pair = (q.as_str(), name.as_str());
+        if ALLOC_QUALIFIED.contains(&pair) {
+            file.sites
+                .push(site(SiteKind::Alloc, format!("{q}::{name}")));
+        } else if SYNC_TYPES.contains(&q.as_str()) || q.starts_with("Atomic") {
+            file.sites
+                .push(site(SiteKind::Sync, format!("{q}::{name}")));
+        } else if pair == ("fs", "read") {
+            file.sites
+                .push(site(SiteKind::RawRead, "fs::read".to_string()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk
+// ---------------------------------------------------------------------------
+
+/// Parses the workspace rooted at `root`: `src/`, `examples/`, and every
+/// `crates/*/src` tree, plus `vendor/*/src/lib.rs` crate roots (marked
+/// [`FileModel::vendored`]; only the `forbid(unsafe_code)` rule applies to
+/// them). Integration-test trees (`crates/*/tests`, `tests/`) are not
+/// modeled — they may panic and allocate freely. Returns an error string
+/// when `root` has no `crates/` directory at all.
+pub fn parse_workspace(root: &Path) -> Result<SourceModel, String> {
+    let mut files = Vec::new();
+    let mut paths: Vec<std::path::PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut paths);
+    collect_rs(&root.join("examples"), &mut paths);
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates).map_err(|e| format!("{}: {e}", crates.display()))?;
+    for e in entries.flatten() {
+        collect_rs(&e.path().join("src"), &mut paths);
+    }
+    paths.sort();
+    for p in &paths {
+        let Ok(src) = std::fs::read_to_string(p) else {
+            continue;
+        };
+        files.push(parse_file(&rel(root, p), &src));
+    }
+    if let Ok(vendors) = std::fs::read_dir(root.join("vendor")) {
+        let mut vendor_roots: Vec<std::path::PathBuf> = vendors
+            .flatten()
+            .map(|e| e.path().join("src/lib.rs"))
+            .filter(|p| p.is_file())
+            .collect();
+        vendor_roots.sort();
+        for p in &vendor_roots {
+            let Ok(src) = std::fs::read_to_string(p) else {
+                continue;
+            };
+            let mut f = parse_file(&rel(root, p), &src);
+            f.vendored = true;
+            files.push(f);
+        }
+    }
+    Ok(SourceModel { files })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Workspace-relative display path with forward slashes.
+pub fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .display()
+        .to_string()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_basics() {
+        let toks = tokenize("fn a() { b.c(1); } // x\n\"s\"");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, ["fn", "a", "b", "c"]);
+        assert!(toks.iter().any(|t| t.kind == Tok::Str("s".into())));
+    }
+
+    #[test]
+    fn tuple_field_method_call_splits() {
+        let f = parse_file(
+            "x.rs",
+            "fn f(&mut self) { self.0.out_neighbors_into(p, out); }",
+        );
+        assert!(f.fns[0]
+            .calls
+            .iter()
+            .any(|c| c.name == "out_neighbors_into" && c.is_method));
+    }
+
+    #[test]
+    fn receiver_and_visibility() {
+        let f = parse_file(
+            "x.rs",
+            "impl Foo { pub fn a(&mut self) {} fn b(&self) {} pub(crate) fn c(self) {} }\n\
+             pub fn free(x: u32) {}",
+        );
+        let by_name = |n: &str| f.fns.iter().find(|m| m.name == n).unwrap();
+        assert_eq!(by_name("a").receiver, Receiver::Mut);
+        assert_eq!(by_name("a").vis, Visibility::Pub);
+        assert_eq!(by_name("a").owner.as_deref(), Some("Foo"));
+        assert_eq!(by_name("b").receiver, Receiver::Shared);
+        assert_eq!(by_name("b").vis, Visibility::Private);
+        assert_eq!(by_name("c").receiver, Receiver::Owned);
+        assert_eq!(by_name("c").vis, Visibility::PubScoped);
+        assert_eq!(by_name("free").receiver, Receiver::None);
+        assert_eq!(by_name("free").owner, None);
+    }
+
+    #[test]
+    fn trait_methods_and_bodiless_fns() {
+        let f = parse_file(
+            "x.rs",
+            "pub trait T { fn req(&mut self, p: u32) -> u32; fn opt(&self) {} }",
+        );
+        let req = f.fns.iter().find(|m| m.name == "req").unwrap();
+        assert_eq!(req.receiver, Receiver::Mut);
+        assert_eq!(req.vis, Visibility::Pub);
+        assert_eq!(req.owner.as_deref(), Some("T"));
+    }
+
+    #[test]
+    fn impl_trait_for_type_owner() {
+        let f = parse_file(
+            "x.rs",
+            "impl<'a> GraphRep for SNodeRep<'a> { fn go(&mut self) { self.cache.get(k); } }",
+        );
+        let go = f.fns.iter().find(|m| m.name == "go").unwrap();
+        assert_eq!(go.owner.as_deref(), Some("SNodeRep"));
+        assert!(go.calls.iter().any(|c| c.name == "get" && c.is_method));
+    }
+
+    #[test]
+    fn cfg_test_is_excluded() {
+        let f = parse_file(
+            "x.rs",
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }",
+        );
+        let panics: Vec<bool> = f
+            .sites
+            .iter()
+            .filter(|s| s.kind == SiteKind::Panic)
+            .map(|s| s.in_test)
+            .collect();
+        assert_eq!(panics, [false, true]);
+    }
+
+    #[test]
+    fn sites_classified() {
+        let f = parse_file(
+            "x.rs",
+            "fn f() { let v = Vec::new(); let m = Mutex::new(0); m.lock(); \
+             r.read_exact(&mut b); std::fs::read(p); let t = Instant::now(); \
+             Err(SNodeError::Corrupt(\"bad magic\")) }",
+        );
+        let kinds: Vec<SiteKind> = f.sites.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SiteKind::Alloc));
+        assert!(kinds.contains(&SiteKind::Sync));
+        assert!(kinds.contains(&SiteKind::RawRead));
+        assert!(kinds.contains(&SiteKind::Instant));
+        assert_eq!(f.corrupt_msgs.len(), 1);
+        assert_eq!(f.corrupt_msgs[0].0, "bad magic");
+        assert_eq!(
+            f.sites
+                .iter()
+                .filter(|s| s.kind == SiteKind::RawRead)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn forbid_unsafe_inner_attr() {
+        assert!(parse_file("x.rs", "#![forbid(unsafe_code)]\nfn a() {}").has_forbid_unsafe);
+        assert!(!parse_file("x.rs", "fn a() {}").has_forbid_unsafe);
+    }
+
+    #[test]
+    fn raw_strings_and_chars_do_not_confuse() {
+        let f = parse_file(
+            "x.rs",
+            "fn f() { let s = r#\"panic!( .unwrap( \"#; let c = '\\n'; let l: &'static str = \"x\"; }",
+        );
+        assert!(f.sites.iter().all(|s| s.kind != SiteKind::Panic));
+    }
+}

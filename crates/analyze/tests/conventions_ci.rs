@@ -1,5 +1,7 @@
-//! Runs the `conventions` source lint as part of the test suite, so
-//! `cargo test` enforces the workspace rules without extra CI plumbing.
+//! Runs the `conventions` wrapper (SN210–SN214 via `wg-lint`) as part of
+//! the test suite, so `cargo test` enforces the workspace rules without
+//! extra CI plumbing — and pins the wrapper's exit-code and `--json`
+//! contract.
 
 #[test]
 fn conventions_lint_passes() {
@@ -8,7 +10,55 @@ fn conventions_lint_passes() {
         .expect("run conventions binary");
     assert!(
         out.status.success(),
-        "conventions lint failed:\n{}",
+        "conventions lint failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
         String::from_utf8_lossy(&out.stderr)
     );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.starts_with("conventions: ok"),
+        "unexpected output: {text}"
+    );
+}
+
+#[test]
+fn conventions_json_reports_zero_findings() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_conventions"))
+        .arg("--json")
+        .output()
+        .expect("run conventions binary");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("\"findings\":0"),
+        "expected clean tree: {text}"
+    );
+    assert!(
+        text.contains("\"SN210\":0"),
+        "JSON must carry per-code counts: {text}"
+    );
+}
+
+#[test]
+fn conventions_exits_2_on_unreadable_root() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_conventions"))
+        .args(["--root", "/nonexistent/workspace/path"])
+        .output()
+        .expect("run conventions binary");
+    assert_eq!(out.status.code(), Some(2), "fatal errors must exit 2");
+}
+
+#[test]
+fn conventions_exits_1_on_violations() {
+    // The lint fixture workspace has one deliberate violation per rule.
+    let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badws");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_conventions"))
+        .args(["--root", fixture.to_str().expect("utf8 path")])
+        .output()
+        .expect("run conventions binary");
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let text = String::from_utf8_lossy(&out.stderr);
+    for code in ["SN210", "SN211", "SN212", "SN213", "SN214"] {
+        assert!(text.contains(code), "missing {code} in:\n{text}");
+    }
 }

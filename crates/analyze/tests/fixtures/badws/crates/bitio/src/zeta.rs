@@ -1,0 +1,22 @@
+pub fn read_zeta(bits: &[u8]) -> Vec<u8> {
+    let out: Vec<u8> = bits.iter().copied().collect();
+    if out.is_empty() {
+        panic!("empty zeta stream");
+    }
+    out
+}
+
+pub fn read_file_header(mut r: impl std::io::Read) -> std::time::Duration {
+    let started = Instant::now();
+    let mut buf = [0u8; 4];
+    let _ = r.read_exact(&mut buf);
+    started.elapsed()
+}
+
+pub fn corrupt_a() -> SNodeError {
+    SNodeError::Corrupt("duplicate message fixture")
+}
+
+pub fn corrupt_b() -> SNodeError {
+    SNodeError::Corrupt("duplicate message fixture")
+}

@@ -1,0 +1,24 @@
+use parking_lot::Mutex;
+
+pub struct GraphCache {
+    memo: Mutex<u32>,
+}
+
+impl GraphCache {
+    pub fn get(&mut self, k: u32) -> u32 {
+        let _guard = self.memo.lock();
+        k
+    }
+}
+
+pub struct Snapshot;
+
+impl Snapshot {
+    pub fn get(&self, k: u32) -> u32 {
+        k
+    }
+}
+
+pub fn fresh() -> GraphCache {
+    GraphCache { memo: Mutex::new(0) }
+}

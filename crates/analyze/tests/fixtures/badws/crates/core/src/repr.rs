@@ -1,0 +1,11 @@
+pub struct SNode {
+    lists: Vec<u32>,
+}
+
+impl SNode {
+    pub fn out_neighbors_into(&mut self, p: u32, out: &mut Vec<u32>) {
+        let scratch: Vec<u32> = Vec::new();
+        out.push(self.lists.first().copied().unwrap());
+        out.push(scratch.len() as u32 + p);
+    }
+}

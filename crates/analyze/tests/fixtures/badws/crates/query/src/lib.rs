@@ -1,0 +1,11 @@
+#![forbid(unsafe_code)]
+
+pub struct Engine {
+    nav: u32,
+}
+
+impl Engine {
+    pub fn run(&mut self, p: u32) -> u32 {
+        self.get(p) + self.nav
+    }
+}

@@ -1,0 +1,268 @@
+//! SN2xx rule coverage: fixture-based tests (one known-bad snippet per
+//! diagnostic, asserting exact code/file/line), tokenizer fuzz, and a
+//! self-check against the live workspace pinning that the analysis sees
+//! the known exclusivity chains.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use wg_analyze::lint::{self, LintCode, LintReport};
+use wg_analyze::model;
+
+/// `crates/analyze/tests/fixtures/badws` — a miniature workspace with one
+/// deliberate violation per SN2xx rule.
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badws")
+}
+
+/// The real workspace root (two levels above this crate's manifest).
+fn live_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn fixture_report() -> LintReport {
+    lint::lint_workspace(&fixture_root()).expect("fixture workspace parses")
+}
+
+/// (file, line) pairs for `code`, sorted.
+fn spans(report: &LintReport, code: LintCode) -> Vec<(String, u32)> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.code == code)
+        .map(|f| (f.file.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn sn200_flags_each_reachable_mut_method_once() {
+    let r = fixture_report();
+    assert_eq!(
+        spans(&r, LintCode::MutEscape),
+        vec![
+            ("crates/core/src/cache.rs".into(), 8),
+            ("crates/core/src/repr.rs".into(), 6),
+            ("crates/query/src/lib.rs".into(), 8),
+        ]
+    );
+}
+
+#[test]
+fn sn200_worklist_is_depth_ordered_with_witnesses() {
+    let r = fixture_report();
+    let syms: Vec<&str> = r.worklist.iter().map(|w| w.symbol.as_str()).collect();
+    assert_eq!(
+        syms,
+        vec![
+            "SNode::out_neighbors_into",
+            "Engine::run",
+            "GraphCache::get"
+        ]
+    );
+    assert_eq!(r.worklist[0].depth, 0);
+    assert_eq!(r.worklist[0].via, "-");
+    assert_eq!(r.worklist[2].depth, 1);
+    assert_eq!(r.worklist[2].via, "Engine::run");
+}
+
+#[test]
+fn sn201_flags_lock_and_interior_mutability_sites() {
+    let r = fixture_report();
+    assert_eq!(
+        spans(&r, LintCode::SyncOutsideAllowlist),
+        vec![
+            ("crates/core/src/cache.rs".into(), 9),
+            ("crates/core/src/cache.rs".into(), 23),
+        ]
+    );
+}
+
+#[test]
+fn sn202_flags_allocations_in_zero_alloc_paths() {
+    let r = fixture_report();
+    assert_eq!(
+        spans(&r, LintCode::AllocInZeroAllocPath),
+        vec![
+            ("crates/bitio/src/zeta.rs".into(), 2),
+            ("crates/core/src/repr.rs".into(), 7),
+        ]
+    );
+}
+
+#[test]
+fn sn203_flags_mut_api_with_shared_twin() {
+    let r = fixture_report();
+    let found = spans(&r, LintCode::MutShadowsShared);
+    assert_eq!(found, vec![("crates/core/src/cache.rs".into(), 8)]);
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.code == LintCode::MutShadowsShared)
+        .expect("SN203 present");
+    assert_eq!(f.symbol, "GraphCache::get");
+    assert!(f.message.contains("Snapshot::get"), "{}", f.message);
+}
+
+#[test]
+fn sn210_flags_decode_path_panics() {
+    let r = fixture_report();
+    assert_eq!(
+        spans(&r, LintCode::DecodePathPanic),
+        vec![
+            ("crates/bitio/src/zeta.rs".into(), 4),
+            ("crates/core/src/repr.rs".into(), 8),
+        ]
+    );
+}
+
+#[test]
+fn sn211_flags_raw_instant_usage() {
+    let r = fixture_report();
+    assert_eq!(
+        spans(&r, LintCode::RawInstant),
+        vec![("crates/bitio/src/zeta.rs".into(), 10)]
+    );
+}
+
+#[test]
+fn sn212_flags_raw_reads() {
+    let r = fixture_report();
+    assert_eq!(
+        spans(&r, LintCode::RawRead),
+        vec![("crates/bitio/src/zeta.rs".into(), 12)]
+    );
+}
+
+#[test]
+fn sn213_flags_missing_forbid_unsafe() {
+    let r = fixture_report();
+    assert_eq!(
+        spans(&r, LintCode::MissingForbidUnsafe),
+        vec![("src/lib.rs".into(), 1)]
+    );
+}
+
+#[test]
+fn sn214_flags_duplicate_corrupt_messages() {
+    let r = fixture_report();
+    assert_eq!(
+        spans(&r, LintCode::DuplicateCorruptMessage),
+        vec![("crates/bitio/src/zeta.rs".into(), 21)]
+    );
+    let f = r
+        .findings
+        .iter()
+        .find(|f| f.code == LintCode::DuplicateCorruptMessage)
+        .expect("SN214 present");
+    assert!(f.message.contains("zeta.rs:17"), "{}", f.message);
+}
+
+#[test]
+fn json_report_baselines_itself() {
+    let r = fixture_report();
+    assert!(!r.findings.is_empty());
+    let keys = lint::baseline_keys(&r.to_json());
+    assert!(lint::new_findings(&r, &keys).is_empty());
+    // Dropping one key exposes exactly the findings that carried it.
+    let mut partial = keys.clone();
+    let removed = partial.pop_first().expect("non-empty");
+    let fresh = lint::new_findings(&r, &partial);
+    assert!(fresh.iter().all(|f| f.key() == removed));
+    assert!(!fresh.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Self-check against the live workspace
+// ---------------------------------------------------------------------------
+
+#[test]
+fn live_worklist_names_graph_cache_and_buffer_pool() {
+    let r = lint::lint_workspace(&live_root()).expect("live workspace parses");
+    assert!(!r.worklist.is_empty(), "SN200 worklist must be non-empty");
+    let syms: Vec<&str> = r.worklist.iter().map(|w| w.symbol.as_str()).collect();
+    assert!(
+        syms.iter().any(|s| s.starts_with("GraphCache::")),
+        "worklist must include the GraphCache chain: {syms:?}"
+    );
+    assert!(
+        syms.iter().any(|s| s.starts_with("BufferPool::")),
+        "worklist must include the buffer-pool chain: {syms:?}"
+    );
+    // Depth-ordered: the refactor starts at the entry points.
+    assert!(r.worklist.windows(2).all(|w| w[0].depth <= w[1].depth));
+}
+
+#[test]
+fn live_tree_passes_rehosted_conventions_rules() {
+    let r = lint::lint_workspace(&live_root()).expect("live workspace parses");
+    for code in [
+        LintCode::DecodePathPanic,
+        LintCode::RawInstant,
+        LintCode::RawRead,
+        LintCode::MissingForbidUnsafe,
+        LintCode::DuplicateCorruptMessage,
+    ] {
+        let hits = spans(&r, code);
+        assert!(
+            hits.is_empty(),
+            "legacy rule {} must stay clean on the live tree: {hits:?}",
+            code.as_str()
+        );
+    }
+}
+
+#[test]
+fn live_baseline_file_tolerates_current_findings() {
+    let path = live_root().join("LINT_baseline.json");
+    let text = std::fs::read_to_string(&path).expect("LINT_baseline.json is committed");
+    let keys = lint::baseline_keys(&text);
+    let r = lint::lint_workspace(&live_root()).expect("live workspace parses");
+    let fresh = lint::new_findings(&r, &keys);
+    assert!(
+        fresh.is_empty(),
+        "findings not in LINT_baseline.json (regenerate with `wgr lint --json > LINT_baseline.json`): {:?}",
+        fresh.iter().map(|f| f.key()).collect::<Vec<_>>()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer fuzz: never panic, on anything
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tokenizer_never_panics_on_byte_soup(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let toks = model::tokenize(&text);
+        // Parsing the token stream into a file model must not panic either.
+        let file = model::parse_file("soup.rs", &text);
+        let _ = (toks.len(), file.fns.len(), file.sites.len());
+    }
+
+    #[test]
+    fn tokenizer_never_panics_on_rust_like_soup(
+        seed in any::<u64>(),
+        len in 0usize..64,
+    ) {
+        // Splice fragments that exercise every tokenizer state machine.
+        const FRAGMENTS: &[&str] = &[
+            "fn ", "impl ", "&mut self", "\"str", "r#\"raw\"#", "'c'", "'a ",
+            "//", "/*", "*/", "#[cfg(test)]", "{", "}", "(", ")", "0.5",
+            "x.0.y(", "::", "!", ";", "mod ", "pub ", "Corrupt(", "\\",
+        ];
+        let mut s = String::new();
+        let mut state = seed | 1;
+        for _ in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.push_str(FRAGMENTS[(state >> 33) as usize % FRAGMENTS.len()]);
+        }
+        let _ = model::tokenize(&s);
+        let _ = model::parse_file("soup.rs", &s);
+    }
+}

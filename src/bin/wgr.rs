@@ -48,9 +48,10 @@ fn main() {
         Some("fsck") => cmd_fsck(&args[2..]),
         Some("corrupt") => cmd_corrupt(&args[2..]),
         Some("bench") => cmd_bench(&args[2..]),
+        Some("lint") => cmd_lint(&args[2..]),
         _ => {
             eprintln!(
-                "usage: wgr <gen|build|query|stats|links|domain|top|verify|check|fsck|corrupt|bench> [options]\n\
+                "usage: wgr <gen|build|query|stats|links|domain|top|verify|check|fsck|corrupt|bench|lint> [options]\n\
                  \n\
                  gen    --pages N [--seed N] --out DIR      generate a synthetic corpus\n\
                  build  --corpus DIR --out DIR [--threads N] build the S-Node representation\n\
@@ -72,6 +73,9 @@ fn main() {
                  bench  [--pages N] [--seed N] [--threads 1,2,4] [--iters N] [--quick]\n\
                  \x20      [--out FILE] [--query-out FILE]    build benchmark → BENCH_build.json\n\
                  \x20                                          + query benchmark → BENCH_query.json\n\
+                 lint   [--root DIR] [--json] [--deny warn] [--baseline FILE]\n\
+                 \x20                                          SN2xx source lints over the workspace;\n\
+                 \x20                                          exit 0 clean/baselined, 1 denied, 2 fatal\n\
                  \n\
                  build and query also accept --metrics[=json] and --trace FILE"
             );
@@ -617,6 +621,77 @@ fn cmd_check(args: &[String]) -> i32 {
             }
             2
         }
+    }
+}
+
+/// `wgr lint [--root DIR] [--json] [--deny warn] [--baseline FILE]` — the
+/// SN2xx source-model analyzer (`wg-lint`): models every workspace `.rs`
+/// file and reports shared-state-readiness diagnostics, including the
+/// SN200 mutability-escape worklist that drives the wg-serve refactor.
+/// With `--baseline`, findings whose stable key appears in the baseline
+/// JSON are tolerated and only *new* findings count. Exit 0 when clean or
+/// fully baselined, 1 when countable findings exist and `--deny warn` was
+/// given, 2 on fatal errors (unreadable workspace or baseline).
+fn cmd_lint(args: &[String]) -> i32 {
+    let root = opt(args, "--root")
+        .map_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")), PathBuf::from);
+    let json = args.iter().any(|a| a == "--json");
+    let deny_warn = opt(args, "--deny").is_some_and(|v| v == "warn" || v == "warnings");
+    let baseline = match opt(args, "--baseline") {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => Some(webgraph_repr::analyze::lint::baseline_keys(&text)),
+            Err(e) => {
+                eprintln!("fatal: cannot read baseline {path}: {e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let report = match webgraph_repr::analyze::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            if json {
+                println!(
+                    "{{\"fatal\":\"{}\"}}",
+                    e.replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            } else {
+                eprintln!("fatal: {e}");
+            }
+            return 2;
+        }
+    };
+    let empty = std::collections::BTreeSet::new();
+    let fresh =
+        webgraph_repr::analyze::lint::new_findings(&report, baseline.as_ref().unwrap_or(&empty));
+    let countable = if baseline.is_some() {
+        fresh.len()
+    } else {
+        report.num_findings()
+    };
+    // Reports are long and routinely piped into `head`; a closed pipe must
+    // not abort the exit code.
+    let mut out = std::io::stdout().lock();
+    if json {
+        let _ = writeln!(out, "{}", report.to_json());
+    } else {
+        let _ = writeln!(out, "{report}");
+        if baseline.is_some() {
+            if fresh.is_empty() {
+                let _ = writeln!(out, "baseline: all findings tolerated, none new");
+            } else {
+                let _ = writeln!(out, "baseline: {} NEW finding(s):", fresh.len());
+                for f in &fresh {
+                    let _ = writeln!(out, "  NEW {f}");
+                }
+            }
+        }
+    }
+    let _ = out.flush();
+    if deny_warn && countable > 0 {
+        1
+    } else {
+        0
     }
 }
 
