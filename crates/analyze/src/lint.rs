@@ -38,15 +38,74 @@ use std::path::Path;
 
 /// The public query surface: every `pub fn` in these trees is an SN200
 /// entry point.
-const ENTRY_FILE_PREFIXES: &[&str] = &["crates/query/src/"];
+const ENTRY_FILE_PREFIXES: &[&str] = &["crates/query/src/", "crates/serve/src/"];
 
 /// Navigation entry points by name in these files (the core read path;
 /// `nav.rs` is listed ahead of the planned split out of `repr.rs`).
 const ENTRY_NAV_FILES: &[&str] = &["crates/core/src/repr.rs", "crates/core/src/nav.rs"];
 const ENTRY_NAV_NAMES: &[&str] = &["out_neighbors", "out_neighbors_into", "out_neighbors_batch"];
 
-/// The one module allowed to own locks and interior mutability (SN201).
-const SYNC_ALLOW_PREFIXES: &[&str] = &["crates/obs/src/"];
+/// Construction barrier for the SN200 walk: functions with these names
+/// build, open, or generate state *before* any request is served, so the
+/// steady-state read path never runs them. They are neither entry points
+/// nor traversed — a `&mut self` reachable only through construction is
+/// setup, not a serving-time exclusivity hazard.
+const CONSTRUCTION_NAMES: &[&str] = &[
+    "build",
+    "build_with_layout",
+    "create",
+    "create_files",
+    "open",
+    "open_existing",
+    "open_with_budget",
+    "open_transpose",
+    "open_degraded",
+    "open_mode",
+    "discover",
+    "generate",
+    // Store population: `BTree::insert` / `HeapFile::insert` fill the
+    // relational scheme before serving begins (write-once, read-many).
+    // Barring the name also cuts the false edges every `HashMap::insert`
+    // call would otherwise add to the name-resolved graph.
+    "insert",
+];
+
+/// `&mut self` owners exempt from SN200 reporting: per-call local *value*
+/// types (readers, cursors, builders) constructed inside a request and
+/// never shared across threads. Exclusive access to a stack-local value is
+/// not exclusive access to the representation.
+const MUT_VALUE_OWNERS: &[&str] = &[
+    "BitReader",
+    "BitWriter",
+    "Cursor",
+    "Cur",
+    "Nav",
+    "LocatorLayout",
+    "Rng",
+    "GraphBuilder",
+    "IndexFileWriter",
+    // One wg-serve client owns one socket; connections are never shared.
+    "Client",
+];
+
+/// `&mut self` owners that live *inside* a shared-state lock: `Pager` is a
+/// field of `PoolInner`, which only exists behind `BufferPool`'s mutex, so
+/// every serving-time call (flush/clear housekeeping) already holds the
+/// pool lock. Exclusivity is provided by the lock, not demanded of the
+/// caller.
+const MUT_LOCKED_OWNERS: &[&str] = &["Pager"];
+
+/// Modules allowed to own locks and interior mutability (SN201): the
+/// metrics registry plus the shared-read-path state (sharded caches,
+/// scratch pools, buffer pool, degradation bookkeeping, the server).
+const SYNC_ALLOW_PREFIXES: &[&str] = &[
+    "crates/obs/src/",
+    "crates/core/src/cache.rs",
+    "crates/core/src/repr.rs",
+    "crates/store/src/buffer.rs",
+    "crates/query/src/reps.rs",
+    "crates/serve/src/",
+];
 
 /// Declared zero-alloc functions by name (SN202), anywhere in the tree.
 const ZERO_ALLOC_NAMES: &[&str] = &[
@@ -93,8 +152,11 @@ const DECODE_PATH_EXCLUDE: &[&str] = &[
 /// Only `crates/obs` may touch `std::time::Instant` directly (SN211).
 const INSTANT_ALLOW_PREFIXES: &[&str] = &["crates/obs/src/"];
 
-/// Only `crates/fault` (the I/O shim) may issue raw reads (SN212).
-const RAW_READ_ALLOW_PREFIXES: &[&str] = &["crates/fault/src/"];
+/// Only `crates/fault` (the I/O shim) may issue raw *storage* reads
+/// (SN212). `crates/serve` reads sockets, not files: wg-fault models disk
+/// faults, while a broken peer is ordinary network failure handled by the
+/// protocol layer, so the serve crate is exempt.
+const RAW_READ_ALLOW_PREFIXES: &[&str] = &["crates/fault/src/", "crates/serve/src/"];
 
 // ---------------------------------------------------------------------------
 // Codes and findings
@@ -421,7 +483,7 @@ fn rule_mut_escape(model: &SourceModel, findings: &mut Vec<LintFinding>) -> Vec<
                 && starts_with_any(&file.path, ENTRY_FILE_PREFIXES))
                 || (ENTRY_NAV_FILES.contains(&file.path.as_str())
                     && ENTRY_NAV_NAMES.contains(&m.name.as_str()));
-            if is_entry {
+            if is_entry && !CONSTRUCTION_NAMES.contains(&m.name.as_str()) {
                 entries.push(node);
             }
         }
@@ -456,6 +518,11 @@ fn rule_mut_escape(model: &SourceModel, findings: &mut Vec<LintFinding>) -> Vec<
                 if v == u || depth.contains_key(&v) {
                     continue;
                 }
+                // Construction barrier: build/open/discover style calls run
+                // before serving, so the walk stops at them.
+                if fn_at(model, v).is_some_and(|t| CONSTRUCTION_NAMES.contains(&t.name.as_str())) {
+                    continue;
+                }
                 depth.insert(v, d + 1);
                 parent.insert(v, u);
                 queue.push_back(v);
@@ -463,10 +530,19 @@ fn rule_mut_escape(model: &SourceModel, findings: &mut Vec<LintFinding>) -> Vec<
         }
     }
 
-    // Collect reached &mut self methods.
+    // Collect reached &mut self methods, minus per-call local value types:
+    // exclusivity over a stack-local reader/cursor/builder never blocks a
+    // concurrent request.
     let mut reached: Vec<(Node, u32)> = depth
         .iter()
-        .filter(|(&n, _)| fn_at(model, n).is_some_and(|m| m.receiver == Receiver::Mut))
+        .filter(|(&n, _)| {
+            fn_at(model, n).is_some_and(|m| {
+                m.receiver == Receiver::Mut
+                    && !m.owner.as_deref().is_some_and(|o| {
+                        MUT_VALUE_OWNERS.contains(&o) || MUT_LOCKED_OWNERS.contains(&o)
+                    })
+            })
+        })
         .map(|(&n, &d)| (n, d))
         .collect();
     reached.sort_by_key(|&((fi, mi), d)| {
@@ -596,6 +672,16 @@ fn rule_mut_shadows_shared(model: &SourceModel, findings: &mut Vec<LintFinding>)
         }
         for m in &file.fns {
             if m.in_test || m.receiver != Receiver::Mut || m.vis != Visibility::Pub {
+                continue;
+            }
+            // Intentional exclusivity is not a shadow: build-side writers
+            // (construction names), per-call value types, and lock-guarded
+            // interiors keep `&mut self` by design.
+            if CONSTRUCTION_NAMES.contains(&m.name.as_str())
+                || m.owner.as_deref().is_some_and(|o| {
+                    MUT_VALUE_OWNERS.contains(&o) || MUT_LOCKED_OWNERS.contains(&o)
+                })
+            {
                 continue;
             }
             let Some(twins) = shared_by_name.get(m.name.as_str()) else {
@@ -874,8 +960,10 @@ mod tests {
 
     #[test]
     fn baseline_round_trip() {
+        // disk.rs: not in SYNC_ALLOW_PREFIXES (cache.rs now is — it holds
+        // the sharded shared-read caches).
         let m = model_of(&[(
-            "crates/core/src/cache.rs",
+            "crates/core/src/disk.rs",
             "impl C { fn f(&mut self) { let m = Mutex::new(0); m.lock(); } }",
         )]);
         let r = lint_model(&m);

@@ -1,0 +1,17 @@
+use std::sync::Mutex;
+
+pub struct DiskQueue {
+    inner: Mutex<u32>,
+}
+
+impl DiskQueue {
+    pub fn push_slot(&self, v: u32) {
+        if let Ok(mut g) = self.inner.lock() {
+            *g = v;
+        }
+    }
+}
+
+pub fn fresh_queue() -> DiskQueue {
+    DiskQueue { inner: Mutex::new(0) }
+}

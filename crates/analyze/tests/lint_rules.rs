@@ -72,11 +72,13 @@ fn sn200_worklist_is_depth_ordered_with_witnesses() {
 #[test]
 fn sn201_flags_lock_and_interior_mutability_sites() {
     let r = fixture_report();
+    // cache.rs also holds sync sites, but it is allowlisted now: it is
+    // one of the sanctioned shared-read-path modules. disk.rs is not.
     assert_eq!(
         spans(&r, LintCode::SyncOutsideAllowlist),
         vec![
-            ("crates/core/src/cache.rs".into(), 9),
-            ("crates/core/src/cache.rs".into(), 23),
+            ("crates/core/src/disk.rs".into(), 9),
+            ("crates/core/src/disk.rs".into(), 16),
         ]
     );
 }
@@ -179,20 +181,39 @@ fn json_report_baselines_itself() {
 // Self-check against the live workspace
 // ---------------------------------------------------------------------------
 
+/// The shared-read-path refactor's exit criterion, held for good: the
+/// SN200 worklist shrank from 75 (seed) to the handful of lock-mediated
+/// residuals below, and CI must fail if it ever grows past 10 again.
 #[test]
-fn live_worklist_names_graph_cache_and_buffer_pool() {
+fn live_worklist_stays_within_shared_read_budget() {
     let r = lint::lint_workspace(&live_root()).expect("live workspace parses");
-    assert!(!r.worklist.is_empty(), "SN200 worklist must be non-empty");
     let syms: Vec<&str> = r.worklist.iter().map(|w| w.symbol.as_str()).collect();
     assert!(
-        syms.iter().any(|s| s.starts_with("GraphCache::")),
-        "worklist must include the GraphCache chain: {syms:?}"
+        r.worklist.len() <= 10,
+        "SN200 worklist regrew past the shared-read budget ({} > 10): {syms:?}",
+        r.worklist.len()
     );
+    // The pre-refactor chains are gone: GraphCache and BufferPool now
+    // serve navigation under `&self`.
     assert!(
-        syms.iter().any(|s| s.starts_with("BufferPool::")),
-        "worklist must include the buffer-pool chain: {syms:?}"
+        !syms
+            .iter()
+            .any(|s| s.starts_with("GraphCache::") || s.starts_with("BufferPool::")),
+        "shared-state chains must stay off the worklist: {syms:?}"
     );
-    // Depth-ordered: the refactor starts at the entry points.
+    // What remains is the known lock-mediated residue: memo `put`s called
+    // under cache/scratch locks and the quarantine bookkeeping behind its
+    // RwLock. Anything else is a new exclusivity hazard.
+    for w in &r.worklist {
+        assert!(
+            w.symbol.ends_with("::put") || w.symbol.starts_with("DegradeState::"),
+            "unexpected SN200 worklist entry {} ({}:{})",
+            w.symbol,
+            w.file,
+            w.line
+        );
+    }
+    // Depth-ordered: the report reads entry-points-first.
     assert!(r.worklist.windows(2).all(|w| w[0].depth <= w[1].depth));
 }
 

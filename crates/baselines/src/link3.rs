@@ -194,7 +194,7 @@ pub struct Link3DiskStore {
     offsets: Vec<u64>,
     bit_len: u64,
     num_pages: u32,
-    reads: std::cell::Cell<u64>,
+    reads: std::sync::atomic::AtomicU64,
 }
 
 impl Link3DiskStore {
@@ -216,7 +216,7 @@ impl Link3DiskStore {
             offsets: offsets.to_vec(),
             bit_len,
             num_pages: mem.num_pages(),
-            reads: std::cell::Cell::new(0),
+            reads: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -226,13 +226,13 @@ impl Link3DiskStore {
     }
 
     /// No user-level cache to clear (direct reads).
-    pub fn clear_cache(&mut self) -> Result<()> {
+    pub fn clear_cache(&self) -> Result<()> {
         Ok(())
     }
 
     /// Positioned reads performed.
     pub fn read_count(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Random access via one positioned read per page visit.
@@ -243,44 +243,40 @@ impl Link3DiskStore {
     /// hundred adjacent bytes. One read fetches all of it; paying a seek
     /// per chain hop would mis-model a region the disk head covers in a
     /// single transfer.
-    pub fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    pub fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         let num_pages = self.num_pages;
-        let offsets = std::mem::take(&mut self.offsets);
-        let result = (|| {
-            if p >= num_pages {
-                return Err(BaselineError::Corrupt(
-                    "link3 buffered page id out of range",
-                ));
-            }
-            let stream_bytes = self.bit_len.div_ceil(8) as usize;
-            let first_page = p.saturating_sub(WINDOW * MAX_CHAIN);
-            let start_byte = (offsets[first_page as usize] / 8) as usize;
-            // Window past p's own record start; grows on the rare overrun.
-            let own = (offsets[p as usize] / 8) as usize;
-            let mut end_byte = (own + 1024).min(stream_bytes);
-            loop {
-                let mut scratch = vec![0u8; end_byte - start_byte];
-                self.read_at(&mut scratch, start_byte as u64)?;
-                let local_bit_len =
-                    (self.bit_len - start_byte as u64 * 8).min(scratch.len() as u64 * 8);
-                let attempt = decode_page(p, num_pages, &offsets, |off, f| {
-                    let mut r = BitReader::with_bit_len(&scratch, local_bit_len);
-                    r.seek(off - start_byte as u64 * 8)?;
-                    f(&mut r)
-                });
-                match attempt {
-                    Ok(v) => return Ok(v),
-                    Err(BaselineError::Bits(wg_bitio::BitError::UnexpectedEof { .. }))
-                        if end_byte < stream_bytes =>
-                    {
-                        end_byte = (end_byte * 2).min(stream_bytes);
-                    }
-                    Err(e) => return Err(e),
+        let offsets = &self.offsets;
+        if p >= num_pages {
+            return Err(BaselineError::Corrupt(
+                "link3 buffered page id out of range",
+            ));
+        }
+        let stream_bytes = self.bit_len.div_ceil(8) as usize;
+        let first_page = p.saturating_sub(WINDOW * MAX_CHAIN);
+        let start_byte = (offsets[first_page as usize] / 8) as usize;
+        // Window past p's own record start; grows on the rare overrun.
+        let own = (offsets[p as usize] / 8) as usize;
+        let mut end_byte = (own + 1024).min(stream_bytes);
+        loop {
+            let mut scratch = vec![0u8; end_byte - start_byte];
+            self.read_at(&mut scratch, start_byte as u64)?;
+            let local_bit_len =
+                (self.bit_len - start_byte as u64 * 8).min(scratch.len() as u64 * 8);
+            let attempt = decode_page(p, num_pages, offsets, |off, f| {
+                let mut r = BitReader::with_bit_len(&scratch, local_bit_len);
+                r.seek(off - start_byte as u64 * 8)?;
+                f(&mut r)
+            });
+            match attempt {
+                Ok(v) => return Ok(v),
+                Err(BaselineError::Bits(wg_bitio::BitError::UnexpectedEof { .. }))
+                    if end_byte < stream_bytes =>
+                {
+                    end_byte = (end_byte * 2).min(stream_bytes);
                 }
+                Err(e) => return Err(e),
             }
-        })();
-        self.offsets = offsets;
-        result
+        }
     }
 
     /// One positioned read through the canonical shim (portable, short
@@ -288,7 +284,8 @@ impl Link3DiskStore {
     fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<()> {
         wg_fault::read_exact_at(&self.file, buf, offset)?;
         wg_store::diskmodel::charge_read(self.stream_id, offset, buf.len());
-        self.reads.set(self.reads.get() + 1);
+        self.reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Ok(())
     }
 }
@@ -549,7 +546,7 @@ mod tests {
         let mut path = std::env::temp_dir();
         path.push(format!("wg_link3_disk_{}", std::process::id()));
         let g = localish_graph(400);
-        let mut store = Link3DiskStore::create(&path, &g, 32 * 1024).unwrap();
+        let store = Link3DiskStore::create(&path, &g, 32 * 1024).unwrap();
         for p in (0..g.num_nodes()).rev() {
             assert_eq!(store.out_neighbors(p).unwrap(), g.neighbors(p), "page {p}");
         }
@@ -562,7 +559,7 @@ mod tests {
         let mut path = std::env::temp_dir();
         path.push(format!("wg_link3_cold_{}", std::process::id()));
         let g = localish_graph(100);
-        let mut store = Link3DiskStore::create(&path, &g, 16 * 1024).unwrap();
+        let store = Link3DiskStore::create(&path, &g, 16 * 1024).unwrap();
         store.out_neighbors(0).unwrap();
         let before = store.read_count();
         store.clear_cache().unwrap();

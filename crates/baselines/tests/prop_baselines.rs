@@ -53,7 +53,7 @@ proptest! {
             std::process::id(),
             seed
         ));
-        let mut store = Link3DiskStore::create(&path, &g, 64 * 1024).unwrap();
+        let store = Link3DiskStore::create(&path, &g, 64 * 1024).unwrap();
         // Random access order.
         let mut order: Vec<u32> = (0..g.num_nodes()).collect();
         let mut s = seed;

@@ -476,7 +476,9 @@ pub struct IndexFileReader {
     /// Stream ids (one per index file) for simulated-disk seek accounting.
     streams: Vec<u64>,
     /// Positioned reads performed (physical I/O instrumentation).
-    reads: std::cell::Cell<u64>,
+    /// Atomic (not `Cell`) so the reader stays `Sync` for shared-handle
+    /// concurrent navigation.
+    reads: std::sync::atomic::AtomicU64,
     counters: Option<DiskCounters>,
 }
 
@@ -502,7 +504,7 @@ impl IndexFileReader {
         Ok(Self {
             files,
             streams,
-            reads: std::cell::Cell::new(0),
+            reads: std::sync::atomic::AtomicU64::new(0),
             counters: DiskCounters::auto(),
         })
     }
@@ -515,7 +517,8 @@ impl IndexFileReader {
         let mut buf = vec![0u8; loc.byte_len as usize];
         wg_fault::read_exact_at(f, &mut buf, loc.offset)?;
         wg_store::diskmodel::charge_read(self.streams[loc.file as usize], loc.offset, buf.len());
-        self.reads.set(self.reads.get() + 1);
+        self.reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if let Some(c) = &self.counters {
             c.graph_reads.inc();
             c.bytes_read.add(loc.byte_len);
@@ -526,7 +529,7 @@ impl IndexFileReader {
 
     /// Physical graph reads performed.
     pub fn read_count(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

@@ -17,6 +17,7 @@ use crate::integrity::{IntegrityCounters, IntegrityManifest};
 use crate::refenc::{ListsIndex, Universe};
 use crate::subgraphs::SuperedgeIndex;
 use crate::{Result, SNodeError};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
 use std::path::Path;
 use std::sync::Arc;
@@ -156,13 +157,22 @@ struct BatchScratch {
 }
 
 /// Disk-backed S-Node representation with a memory-budgeted graph cache.
+///
+/// The handle is `Sync`: everything decoded at open (`meta`, `blob_base`,
+/// the manifest) is immutable, and all query-time mutation lives in the
+/// sharded [`GraphCache`], the per-graph list memos, the scratch-buffer
+/// pool, and the lock-guarded quarantine state — so any number of threads
+/// can navigate one shared handle through `&self` (DESIGN.md §5f).
 #[derive(Debug)]
 pub struct SNode {
     meta: SNodeMeta,
     files: IndexFileReader,
     cache: GraphCache,
     nav: Option<NavCounters>,
-    scratch: BatchScratch,
+    /// Pool of reusable batch buffers: a navigation call pops one (or
+    /// starts fresh), runs, and returns it, so the steady state of N
+    /// concurrent readers holds N warm scratches and allocates nothing.
+    scratch: Mutex<Vec<BatchScratch>>,
     /// Per-blob CRCs and file sums from `sums.bin`; `None` for v1
     /// directories (readable, unverified).
     manifest: Option<IntegrityManifest>,
@@ -170,7 +180,7 @@ pub struct SNode {
     /// graph; superedge `k` of `s` is blob `blob_base[s] + 1 + k`.
     blob_base: Vec<u64>,
     integrity: IntegrityCounters,
-    degrade: Option<DegradeState>,
+    degrade: Option<RwLock<DegradeState>>,
     retries_at_open: u64,
 }
 
@@ -239,11 +249,11 @@ impl SNode {
             files,
             cache: GraphCache::new(cache_budget_bytes),
             nav: NavCounters::auto(),
-            scratch: BatchScratch::default(),
+            scratch: Mutex::new(Vec::new()),
             manifest,
             blob_base,
             integrity,
-            degrade: degrade.then(DegradeState::new),
+            degrade: degrade.then(|| RwLock::new(DegradeState::new())),
             retries_at_open: wg_fault::retries_performed(),
         })
     }
@@ -254,11 +264,14 @@ impl SNode {
     pub fn degraded(&self) -> DegradedReport {
         let retries = wg_fault::retries_performed().saturating_sub(self.retries_at_open);
         match &self.degrade {
-            Some(d) => DegradedReport {
-                quarantined_supernodes: d.quarantined_sn.len() as u64,
-                skipped_edges: d.skipped_parts,
-                retries,
-            },
+            Some(d) => {
+                let d = d.read();
+                DegradedReport {
+                    quarantined_supernodes: d.quarantined_sn.len() as u64,
+                    skipped_edges: d.skipped_parts,
+                    retries,
+                }
+            }
             None => DegradedReport {
                 retries,
                 ..DegradedReport::default()
@@ -325,7 +338,7 @@ impl SNode {
     /// exactly the paper's observation that "the adjacency list of a page
     /// is partitioned across an intranode graph and a set of one or more
     /// superedge graphs".
-    pub fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    pub fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         let mut out = Vec::new();
         self.out_neighbors_into(p, &mut out)?;
         Ok(out)
@@ -334,7 +347,7 @@ impl SNode {
     /// Zero-alloc variant of [`SNode::out_neighbors`]: clears `out` and
     /// fills it with the sorted adjacency list of `p`, reusing the
     /// handle's internal decode buffers.
-    pub fn out_neighbors_into(&mut self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
+    pub fn out_neighbors_into(&self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
         out.clear();
         let pages = [p];
         self.batch_inner(&pages, &mut |_, list| out.extend_from_slice(list), false)
@@ -347,7 +360,7 @@ impl SNode {
     /// so callers with order-sensitive accumulation (Q1's f64 weights)
     /// observe the same sequence as a scalar loop.
     pub fn out_neighbors_batch(
-        &mut self,
+        &self,
         pages: &[PageId],
         visit: &mut dyn FnMut(PageId, &[PageId]),
     ) -> Result<()> {
@@ -355,19 +368,19 @@ impl SNode {
     }
 
     fn batch_inner(
-        &mut self,
+        &self,
         pages: &[PageId],
         visit: &mut dyn FnMut(PageId, &[PageId]),
         count_batched: bool,
     ) -> Result<()> {
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut scratch = self.scratch.lock().pop().unwrap_or_default();
         let r = self.batch_run(pages, visit, count_batched, &mut scratch);
-        self.scratch = scratch;
+        self.scratch.lock().push(scratch);
         r
     }
 
     fn batch_run(
-        &mut self,
+        &self,
         pages: &[PageId],
         visit: &mut dyn FnMut(PageId, &[PageId]),
         count_batched: bool,
@@ -474,18 +487,18 @@ impl SNode {
     }
 
     /// Clears the decoded-graph cache (cold start) and resets statistics.
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.cache.clear();
         self.cache.reset_stats();
     }
 
     /// Enables cache event logging.
-    pub fn enable_cache_log(&mut self) {
+    pub fn enable_cache_log(&self) {
         self.cache.enable_log();
     }
 
     /// Drains the cache event log.
-    pub fn take_cache_log(&mut self) -> Vec<CacheEvent> {
+    pub fn take_cache_log(&self) -> Vec<CacheEvent> {
         self.cache.take_log()
     }
 
@@ -509,10 +522,11 @@ impl SNode {
 
     /// In degraded mode records the quarantine and succeeds; in strict
     /// mode propagates the failure.
-    fn quarantine(&mut self, q: Quarantine, e: SNodeError) -> Result<()> {
-        let Some(d) = &mut self.degrade else {
+    fn quarantine(&self, q: Quarantine, e: SNodeError) -> Result<()> {
+        let Some(d) = &self.degrade else {
             return Err(e);
         };
+        let mut d = d.write();
         match q {
             Quarantine::Intra(s) => {
                 d.quarantined_intra.insert(s);
@@ -526,17 +540,17 @@ impl SNode {
         Ok(())
     }
 
-    fn note_skip(&mut self) {
-        if let Some(d) = &mut self.degrade {
-            d.skip();
+    fn note_skip(&self) {
+        if let Some(d) = &self.degrade {
+            d.write().skip();
         }
     }
 
     /// `Ok(None)` means the graph is quarantined (degraded mode only);
     /// the caller counts the skipped part per access.
-    fn intranode(&mut self, s: u32) -> Result<Option<Arc<CachedGraph>>> {
+    fn intranode(&self, s: u32) -> Result<Option<Arc<CachedGraph>>> {
         if let Some(d) = &self.degrade {
-            if d.quarantined_intra.contains(&s) {
+            if d.read().quarantined_intra.contains(&s) {
                 return Ok(None);
             }
         }
@@ -564,9 +578,9 @@ impl SNode {
     }
 
     /// `Ok(None)` means the graph is quarantined (degraded mode only).
-    fn superedge(&mut self, s: u32, edge_idx: u32, j: u32) -> Result<Option<Arc<CachedGraph>>> {
+    fn superedge(&self, s: u32, edge_idx: u32, j: u32) -> Result<Option<Arc<CachedGraph>>> {
         if let Some(d) = &self.degrade {
-            if d.quarantined_super.contains(&(s, j)) {
+            if d.read().quarantined_super.contains(&(s, j)) {
                 return Ok(None);
             }
         }
@@ -801,7 +815,7 @@ mod tests {
     #[test]
     fn disk_backed_adjacency_matches_source() {
         let (dir, graph, renum, _) = build_repo("disk", 120);
-        let mut snode = SNode::open(&dir, 1 << 20).unwrap();
+        let snode = SNode::open(&dir, 1 << 20).unwrap();
         for new_id in 0..graph.num_nodes() {
             assert_eq!(
                 snode.out_neighbors(new_id).unwrap(),
@@ -831,7 +845,7 @@ mod tests {
     fn tiny_cache_still_answers_correctly() {
         let (dir, graph, renum, _) = build_repo("tinycache", 90);
         // A cache of ~1KB forces constant load/unload churn.
-        let mut snode = SNode::open(&dir, 1024).unwrap();
+        let snode = SNode::open(&dir, 1024).unwrap();
         for new_id in (0..graph.num_nodes()).rev() {
             assert_eq!(
                 snode.out_neighbors(new_id).unwrap(),
@@ -845,7 +859,7 @@ mod tests {
     #[test]
     fn cache_hits_on_locality() {
         let (dir, graph, _renum, _) = build_repo("local", 100);
-        let mut snode = SNode::open(&dir, 8 << 20).unwrap();
+        let snode = SNode::open(&dir, 8 << 20).unwrap();
         // Two passes over the same supernode's pages: second pass all hits.
         let r = snode.page_range(0);
         for p in r.clone() {
@@ -891,7 +905,7 @@ mod tests {
     #[test]
     fn clean_directory_verifies_with_zero_failures() {
         let (dir, graph, renum, _) = build_repo("cleancrc", 80);
-        let mut snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
+        let snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
         assert!(snode.verifies_checksums());
         for p in 0..graph.num_nodes() {
             assert_eq!(
@@ -910,7 +924,7 @@ mod tests {
     fn strict_open_surfaces_a_single_bit_flip() {
         let (dir, graph, _renum, _) = build_repo("strictcrc", 80);
         flip_first_index_byte(&dir);
-        let mut snode = SNode::open(&dir, 1 << 20).unwrap();
+        let snode = SNode::open(&dir, 1 << 20).unwrap();
         let err = (0..graph.num_nodes()).find_map(|p| snode.out_neighbors(p).err());
         assert!(err.is_some(), "strict mode must surface the flip");
         std::fs::remove_dir_all(&dir).ok();
@@ -920,7 +934,7 @@ mod tests {
     fn degraded_open_quarantines_and_answers_partially() {
         let (dir, graph, renum, _) = build_repo("degrade", 80);
         flip_first_index_byte(&dir);
-        let mut snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
+        let snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
         for p in 0..graph.num_nodes() {
             let got = snode.out_neighbors(p).unwrap();
             let expect = expected_neighbors(&graph, &renum, p);
@@ -947,7 +961,7 @@ mod tests {
     fn manifestless_directory_stays_readable() {
         let (dir, graph, renum, _) = build_repo("v1compat", 60);
         std::fs::remove_file(dir.join(crate::integrity::SUMS_FILE)).unwrap();
-        let mut snode = SNode::open(&dir, 1 << 20).unwrap();
+        let snode = SNode::open(&dir, 1 << 20).unwrap();
         assert!(!snode.verifies_checksums());
         for p in 0..graph.num_nodes() {
             assert_eq!(
@@ -962,7 +976,7 @@ mod tests {
     #[test]
     fn cache_log_shows_loaded_graph_counts() {
         let (dir, _graph, _renum, _) = build_repo("log", 100);
-        let mut snode = SNode::open(&dir, 8 << 20).unwrap();
+        let snode = SNode::open(&dir, 8 << 20).unwrap();
         snode.enable_cache_log();
         // One page's adjacency touches its intranode graph and its
         // supernode's out-superedge graphs, nothing else.

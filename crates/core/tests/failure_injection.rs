@@ -49,7 +49,7 @@ fn bit_flipped_meta_never_panics() {
         std::fs::write(&meta, &bytes).unwrap();
         match SNode::open(&dir, 1 << 20) {
             Err(_) => {}
-            Ok(mut snode) => {
+            Ok(snode) => {
                 for p in (0..num_pages.min(snode.num_pages())).step_by(97) {
                     let _ = snode.out_neighbors(p); // must not panic
                 }
@@ -78,7 +78,7 @@ fn truncated_index_file_errors_on_access() {
     // region must error, not panic.
     match SNode::open(&dir, 1 << 20) {
         Err(_) => {}
-        Ok(mut snode) => {
+        Ok(snode) => {
             let mut saw_error = false;
             for p in 0..num_pages {
                 if snode.out_neighbors(p).is_err() {
@@ -106,7 +106,7 @@ fn corrupted_index_payload_is_detected_or_decodes_to_something() {
         let mut bytes = original.clone();
         bytes[pos] ^= 0xFF;
         std::fs::write(&idx, &bytes).unwrap();
-        let Ok(mut snode) = SNode::open(&dir, 1 << 20) else {
+        let Ok(snode) = SNode::open(&dir, 1 << 20) else {
             continue;
         };
         for p in (0..num_pages).step_by(41) {

@@ -63,17 +63,23 @@ pub type Result<T> = std::result::Result<T, QueryError>;
 /// time — the paper's reported metric — is exactly the wall-clock time
 /// spent inside this trait's methods. Implementations for the transpose
 /// graph expose backlinks through the same method.
-pub trait GraphRep {
+///
+/// Every method takes `&self`: representations are shared read handles
+/// (DESIGN.md §5f), so one opened scheme can serve any number of threads
+/// concurrently. The `Send + Sync` supertraits make `Arc<dyn GraphRep>`
+/// the natural server-side handle; per-call mutability (caches, scratch
+/// buffers, counters) lives behind each scheme's own interior locks.
+pub trait GraphRep: Send + Sync {
     /// Human-readable scheme name (for reports).
     fn scheme_name(&self) -> &'static str;
 
     /// The sorted adjacency list of `p`.
-    fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>>;
+    fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>>;
 
     /// Fills `out` with the sorted adjacency list of `p`, reusing the
     /// caller's buffer. The default delegates to [`GraphRep::out_neighbors`];
     /// schemes with an allocation-free path override it.
-    fn out_neighbors_into(&mut self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
+    fn out_neighbors_into(&self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
         out.clear();
         out.extend(self.out_neighbors(p)?);
         Ok(())
@@ -85,7 +91,7 @@ pub trait GraphRep {
     /// per-page access counters; S-Node overrides it with frontier
     /// batching (one graph lookup per supernode per batch, §3.4).
     fn out_neighbors_batch(
-        &mut self,
+        &self,
         pages: &[PageId],
         visit: &mut dyn FnMut(PageId, &[PageId]),
     ) -> Result<()> {
@@ -98,7 +104,7 @@ pub trait GraphRep {
     }
 
     /// Drops any caches so the next query runs cold.
-    fn reset(&mut self) -> Result<()>;
+    fn reset(&self) -> Result<()>;
 
     /// Degradation summary for schemes with graceful degradation (damaged
     /// graphs quarantined, answers partial); `None` for schemes without a

@@ -146,17 +146,17 @@ pub fn run_observed(
     scheme: Scheme,
     workload: &Workload,
 ) -> Result<WorkloadReport> {
-    let mut fwd = set.open(scheme)?;
-    let mut back = set.open_transpose(scheme)?;
+    let fwd = set.open(scheme)?;
+    let back = set.open_transpose(scheme)?;
     let queries = vec![
-        observe("q1", || query1(env, fwd.as_mut(), &workload.q1))?,
-        observe("q2", || query2(env, fwd.as_mut(), &workload.q2))?,
+        observe("q1", || query1(env, fwd.as_ref(), &workload.q1))?,
+        observe("q2", || query2(env, fwd.as_ref(), &workload.q2))?,
         observe("q3", || {
-            query3(env, fwd.as_mut(), back.as_mut(), &workload.q3)
+            query3(env, fwd.as_ref(), back.as_ref(), &workload.q3)
         })?,
-        observe("q4", || query4(env, back.as_mut(), &workload.q4))?,
-        observe("q5", || query5(env, fwd.as_mut(), &workload.q5))?,
-        observe("q6", || query6(env, fwd.as_mut(), &workload.q6))?,
+        observe("q4", || query4(env, back.as_ref(), &workload.q4))?,
+        observe("q5", || query5(env, fwd.as_ref(), &workload.q5))?,
+        observe("q6", || query6(env, fwd.as_ref(), &workload.q6))?,
     ];
     let degraded = match (fwd.degraded(), back.degraded()) {
         (Some(f), Some(b)) => Some(wg_snode::DegradedReport {

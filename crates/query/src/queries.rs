@@ -49,14 +49,16 @@ pub struct QueryOutput {
     pub nav: NavStats,
 }
 
-/// Timed wrapper around a [`GraphRep`].
+/// Timed wrapper around a [`GraphRep`]. Holds a shared borrow — the
+/// representation itself is `&self` throughout; only the per-query
+/// stopwatch accounting lives here, owned by the caller.
 struct Nav<'a> {
-    rep: &'a mut dyn GraphRep,
+    rep: &'a dyn GraphRep,
     stats: NavStats,
 }
 
 impl<'a> Nav<'a> {
-    fn new(rep: &'a mut dyn GraphRep) -> Self {
+    fn new(rep: &'a dyn GraphRep) -> Self {
         Self {
             rep,
             stats: NavStats::default(),
@@ -103,7 +105,7 @@ pub struct Q1Params {
 /// Runs Query 1: weight the phrase pages of the home domain by normalised
 /// PageRank, follow their out-links, and score every other `.tld` domain by
 /// the summed weight of the pages pointing into it.
-pub fn query1(env: QueryEnv<'_>, rep: &mut dyn GraphRep, q: &Q1Params) -> Result<QueryOutput> {
+pub fn query1(env: QueryEnv<'_>, rep: &dyn GraphRep, q: &Q1Params) -> Result<QueryOutput> {
     let s: Vec<PageId> = env
         .domains
         .filter_to_domain(env.text.pages_with_phrase(q.phrase), q.source_domain);
@@ -165,7 +167,7 @@ pub struct Q2Params {
 /// phrases; `C2` = links from audience pages into the comic's site;
 /// popularity = `C1 + C2`. The hand-crafted plan walks the audience
 /// domain's adjacency lists once, counting links into every site.
-pub fn query2(env: QueryEnv<'_>, rep: &mut dyn GraphRep, q: &Q2Params) -> Result<QueryOutput> {
+pub fn query2(env: QueryEnv<'_>, rep: &dyn GraphRep, q: &Q2Params) -> Result<QueryOutput> {
     let audience = env.domains.pages_of(q.audience_domain);
 
     // C1 per comic via postings intersections (no navigation).
@@ -226,8 +228,8 @@ pub struct Q3Params {
 /// row per base-set page (score 0).
 pub fn query3(
     env: QueryEnv<'_>,
-    fwd: &mut dyn GraphRep,
-    back: &mut dyn GraphRep,
+    fwd: &dyn GraphRep,
+    back: &dyn GraphRep,
     q: &Q3Params,
 ) -> Result<QueryOutput> {
     let mut roots = env
@@ -269,7 +271,7 @@ pub struct Q4Params {
 /// Runs Query 4: per university, rank its phrase pages by the number of
 /// incoming links from outside the page's domain (transpose navigation).
 /// Rows are `(university_index << 32 | page, external in-degree)`.
-pub fn query4(env: QueryEnv<'_>, back: &mut dyn GraphRep, q: &Q4Params) -> Result<QueryOutput> {
+pub fn query4(env: QueryEnv<'_>, back: &dyn GraphRep, q: &Q4Params) -> Result<QueryOutput> {
     let mut nav = Nav::new(back);
     let mut rows = Vec::new();
     for (ui, &u) in q.universities.iter().enumerate() {
@@ -310,7 +312,7 @@ pub struct Q5Params {
 /// Runs Query 5: compute the graph induced by the phrase set `S` (walking
 /// each member's out-links and keeping those landing back inside `S`),
 /// rank members by induced in-degree, output the top `k` `.tld` pages.
-pub fn query5(env: QueryEnv<'_>, rep: &mut dyn GraphRep, q: &Q5Params) -> Result<QueryOutput> {
+pub fn query5(env: QueryEnv<'_>, rep: &dyn GraphRep, q: &Q5Params) -> Result<QueryOutput> {
     let s = env.text.pages_with_phrase(q.phrase);
     let mut counts: HashMap<PageId, u64> = HashMap::new();
     let mut nav = Nav::new(rep);
@@ -354,7 +356,7 @@ pub struct Q6Params {
 
 /// Runs Query 6: `R` = pages outside both domains pointed to by at least
 /// one phrase page of each; rank by total incoming links from `S1 ∪ S2`.
-pub fn query6(env: QueryEnv<'_>, rep: &mut dyn GraphRep, q: &Q6Params) -> Result<QueryOutput> {
+pub fn query6(env: QueryEnv<'_>, rep: &dyn GraphRep, q: &Q6Params) -> Result<QueryOutput> {
     let phrase_pages = env.text.pages_with_phrase(q.phrase);
     let s1 = env.domains.filter_to_domain(phrase_pages, q.domain1);
     let s2 = env.domains.filter_to_domain(phrase_pages, q.domain2);
@@ -582,15 +584,15 @@ mod tests {
             pagerank: &f.pagerank,
             domains: &f.domains,
         };
-        let mut fwd = f.set.open(scheme).unwrap();
-        let mut back = f.set.open_transpose(scheme).unwrap();
+        let fwd = f.set.open(scheme).unwrap();
+        let back = f.set.open_transpose(scheme).unwrap();
         vec![
-            query1(env, fwd.as_mut(), &f.workload.q1).unwrap(),
-            query2(env, fwd.as_mut(), &f.workload.q2).unwrap(),
-            query3(env, fwd.as_mut(), back.as_mut(), &f.workload.q3).unwrap(),
-            query4(env, back.as_mut(), &f.workload.q4).unwrap(),
-            query5(env, fwd.as_mut(), &f.workload.q5).unwrap(),
-            query6(env, fwd.as_mut(), &f.workload.q6).unwrap(),
+            query1(env, fwd.as_ref(), &f.workload.q1).unwrap(),
+            query2(env, fwd.as_ref(), &f.workload.q2).unwrap(),
+            query3(env, fwd.as_ref(), back.as_ref(), &f.workload.q3).unwrap(),
+            query4(env, back.as_ref(), &f.workload.q4).unwrap(),
+            query5(env, fwd.as_ref(), &f.workload.q5).unwrap(),
+            query6(env, fwd.as_ref(), &f.workload.q6).unwrap(),
         ]
     }
 
@@ -629,8 +631,8 @@ mod tests {
             pagerank: &f.pagerank,
             domains: &f.domains,
         };
-        let mut rep = f.set.open(Scheme::SNode).unwrap();
-        let out = query1(env, rep.as_mut(), &f.workload.q1).unwrap();
+        let rep = f.set.open(Scheme::SNode).unwrap();
+        let out = query1(env, rep.as_ref(), &f.workload.q1).unwrap();
         // Each source page contributes ≤ its normalised weight to each
         // domain, so no domain can exceed 1.0 total.
         for &(_, w) in &out.rows {
@@ -650,9 +652,9 @@ mod tests {
             pagerank: &f.pagerank,
             domains: &f.domains,
         };
-        let mut fwd = f.set.open(Scheme::Files).unwrap();
-        let mut back = f.set.open_transpose(Scheme::Files).unwrap();
-        let out = query3(env, fwd.as_mut(), back.as_mut(), &f.workload.q3).unwrap();
+        let fwd = f.set.open(Scheme::Files).unwrap();
+        let back = f.set.open_transpose(Scheme::Files).unwrap();
+        let out = query3(env, fwd.as_ref(), back.as_ref(), &f.workload.q3).unwrap();
         let base: Vec<u32> = out.rows.iter().map(|&(k, _)| k as u32).collect();
         let roots = f
             .pagerank
@@ -677,8 +679,8 @@ mod tests {
             pagerank: &f.pagerank,
             domains: &f.domains,
         };
-        let mut rep = f.set.open(Scheme::Files).unwrap();
-        let out = query5(env, rep.as_mut(), &f.workload.q5).unwrap();
+        let rep = f.set.open(Scheme::Files).unwrap();
+        let out = query5(env, rep.as_ref(), &f.workload.q5).unwrap();
         let s = f.text.pages_with_phrase(f.workload.q5.phrase);
         for &(key, score) in &out.rows {
             let p = key as u32;
@@ -700,8 +702,8 @@ mod tests {
             pagerank: &f.pagerank,
             domains: &f.domains,
         };
-        let mut rep = f.set.open(Scheme::Files).unwrap();
-        let out = query6(env, rep.as_mut(), &f.workload.q6).unwrap();
+        let rep = f.set.open(Scheme::Files).unwrap();
+        let out = query6(env, rep.as_ref(), &f.workload.q6).unwrap();
         for &(key, score) in &out.rows {
             let p = key as u32;
             let d = f.domains.domain_of(p);

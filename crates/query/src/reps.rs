@@ -55,20 +55,20 @@ impl GraphRep for SNodeRep {
     fn scheme_name(&self) -> &'static str {
         Scheme::SNode.name()
     }
-    fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         self.0.out_neighbors(p).map_err(rep_err)
     }
-    fn out_neighbors_into(&mut self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
+    fn out_neighbors_into(&self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
         self.0.out_neighbors_into(p, out).map_err(rep_err)
     }
     fn out_neighbors_batch(
-        &mut self,
+        &self,
         pages: &[PageId],
         visit: &mut dyn FnMut(PageId, &[PageId]),
     ) -> Result<()> {
         self.0.out_neighbors_batch(pages, visit).map_err(rep_err)
     }
-    fn reset(&mut self) -> Result<()> {
+    fn reset(&self) -> Result<()> {
         self.0.clear_cache();
         Ok(())
     }
@@ -84,10 +84,10 @@ impl GraphRep for RelationalRep {
     fn scheme_name(&self) -> &'static str {
         Scheme::Relational.name()
     }
-    fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         self.0.out_neighbors(p).map_err(rep_err)
     }
-    fn reset(&mut self) -> Result<()> {
+    fn reset(&self) -> Result<()> {
         self.0.clear_cache().map_err(rep_err)
     }
 }
@@ -99,10 +99,10 @@ impl GraphRep for FilesRep {
     fn scheme_name(&self) -> &'static str {
         Scheme::Files.name()
     }
-    fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         self.0.out_neighbors(p).map_err(rep_err)
     }
-    fn reset(&mut self) -> Result<()> {
+    fn reset(&self) -> Result<()> {
         // No user-level cache; the OS page cache is outside the budget in
         // the paper's setup too.
         Ok(())
@@ -116,10 +116,10 @@ impl GraphRep for Link3Rep {
     fn scheme_name(&self) -> &'static str {
         Scheme::Link3.name()
     }
-    fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         self.0.out_neighbors(p).map_err(rep_err)
     }
-    fn reset(&mut self) -> Result<()> {
+    fn reset(&self) -> Result<()> {
         self.0.clear_cache().map_err(rep_err)
     }
 }
@@ -295,8 +295,7 @@ impl SchemeSet {
                     return Ok(Box::new(TranslatedSNodeRep {
                         inner,
                         renum,
-                        internal_pages: Vec::new(),
-                        translated: Vec::new(),
+                        scratch: parking_lot::Mutex::new(Vec::new()),
                     }));
                 } else {
                     SNode::open_degraded(&self.root.join("snode"), budget).map_err(rep_err)?
@@ -346,60 +345,80 @@ impl SchemeSet {
 struct TranslatedSNodeRep {
     inner: SNode,
     renum: Renumbering,
-    /// Reused translation buffers for the zero-alloc paths.
+    /// Pool of reused translation buffers for the zero-alloc paths; a
+    /// pool (not a single slot) so concurrent callers each borrow their
+    /// own scratch instead of serialising on one buffer.
+    scratch: parking_lot::Mutex<Vec<TranslateScratch>>,
+}
+
+#[derive(Default)]
+struct TranslateScratch {
     internal_pages: Vec<PageId>,
     translated: Vec<PageId>,
+}
+
+impl TranslatedSNodeRep {
+    /// Borrows a scratch buffer from the pool for the duration of `f`.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut TranslateScratch) -> R) -> R {
+        let mut scratch = self.scratch.lock().pop().unwrap_or_default();
+        let r = f(&mut scratch);
+        self.scratch.lock().push(scratch);
+        r
+    }
 }
 
 impl GraphRep for TranslatedSNodeRep {
     fn scheme_name(&self) -> &'static str {
         Scheme::SNode.name()
     }
-    fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         let mut out = Vec::new();
         self.out_neighbors_into(p, &mut out)?;
         Ok(out)
     }
-    fn out_neighbors_into(&mut self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
+    fn out_neighbors_into(&self, p: PageId, out: &mut Vec<PageId>) -> Result<()> {
         let internal = self.renum.new_of_old[p as usize];
-        self.inner
-            .out_neighbors_into(internal, &mut self.translated)
-            .map_err(rep_err)?;
-        out.clear();
-        out.extend(
-            self.translated
-                .iter()
-                .map(|&t| self.renum.old_of_new[t as usize]),
-        );
-        out.sort_unstable();
-        Ok(())
+        self.with_scratch(|scratch| {
+            self.inner
+                .out_neighbors_into(internal, &mut scratch.translated)
+                .map_err(rep_err)?;
+            out.clear();
+            out.extend(
+                scratch
+                    .translated
+                    .iter()
+                    .map(|&t| self.renum.old_of_new[t as usize]),
+            );
+            out.sort_unstable();
+            Ok(())
+        })
     }
     fn out_neighbors_batch(
-        &mut self,
+        &self,
         pages: &[PageId],
         visit: &mut dyn FnMut(PageId, &[PageId]),
     ) -> Result<()> {
-        self.internal_pages.clear();
-        self.internal_pages
-            .extend(pages.iter().map(|&p| self.renum.new_of_old[p as usize]));
-        let renum = &self.renum;
-        let translated = &mut self.translated;
-        // The inner batch visits in input order, so `idx` walks `pages`.
-        let mut idx = 0usize;
-        let internal_pages = std::mem::take(&mut self.internal_pages);
-        let res = self
-            .inner
-            .out_neighbors_batch(&internal_pages, &mut |_, list| {
-                translated.clear();
-                translated.extend(list.iter().map(|&t| renum.old_of_new[t as usize]));
-                translated.sort_unstable();
-                visit(pages[idx], translated);
-                idx += 1;
-            });
-        self.internal_pages = internal_pages;
-        res.map_err(rep_err)
+        self.with_scratch(|scratch| {
+            scratch.internal_pages.clear();
+            scratch
+                .internal_pages
+                .extend(pages.iter().map(|&p| self.renum.new_of_old[p as usize]));
+            let renum = &self.renum;
+            let translated = &mut scratch.translated;
+            // The inner batch visits in input order, so `idx` walks `pages`.
+            let mut idx = 0usize;
+            self.inner
+                .out_neighbors_batch(&scratch.internal_pages, &mut |_, list| {
+                    translated.clear();
+                    translated.extend(list.iter().map(|&t| renum.old_of_new[t as usize]));
+                    translated.sort_unstable();
+                    visit(pages[idx], translated);
+                    idx += 1;
+                })
+                .map_err(rep_err)
+        })
     }
-    fn reset(&mut self) -> Result<()> {
+    fn reset(&self) -> Result<()> {
         self.inner.clear_cache();
         Ok(())
     }
@@ -445,7 +464,7 @@ mod tests {
         .unwrap();
 
         for scheme in Scheme::ALL {
-            let mut rep = set.open(scheme).unwrap();
+            let rep = set.open(scheme).unwrap();
             for p in (0..set.graph.num_nodes()).step_by(23) {
                 assert_eq!(
                     rep.out_neighbors(p).unwrap(),
@@ -454,7 +473,7 @@ mod tests {
                     scheme.name()
                 );
             }
-            let mut rep_t = set.open_transpose(scheme).unwrap();
+            let rep_t = set.open_transpose(scheme).unwrap();
             for p in (0..set.graph.num_nodes()).step_by(31) {
                 assert_eq!(
                     rep_t.out_neighbors(p).unwrap(),
@@ -494,7 +513,7 @@ mod tests {
         )
         .unwrap();
         for scheme in Scheme::ALL {
-            let mut rep = set.open(scheme).unwrap();
+            let rep = set.open(scheme).unwrap();
             rep.out_neighbors(0).unwrap();
             rep.reset().unwrap();
             rep.reset().unwrap();

@@ -27,11 +27,11 @@ impl GraphRep for Scalarized {
         self.0.scheme_name()
     }
 
-    fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         self.0.out_neighbors(p)
     }
 
-    fn reset(&mut self) -> Result<()> {
+    fn reset(&self) -> Result<()> {
         self.0.reset()
     }
 }
@@ -93,12 +93,12 @@ fn run_all(f: &Fx, scalar: bool) -> Vec<QueryOutput> {
         back = Box::new(Scalarized(back));
     }
     vec![
-        query1(env, fwd.as_mut(), &f.workload.q1).unwrap(),
-        query2(env, fwd.as_mut(), &f.workload.q2).unwrap(),
-        query3(env, fwd.as_mut(), back.as_mut(), &f.workload.q3).unwrap(),
-        query4(env, back.as_mut(), &f.workload.q4).unwrap(),
-        query5(env, fwd.as_mut(), &f.workload.q5).unwrap(),
-        query6(env, fwd.as_mut(), &f.workload.q6).unwrap(),
+        query1(env, fwd.as_ref(), &f.workload.q1).unwrap(),
+        query2(env, fwd.as_ref(), &f.workload.q2).unwrap(),
+        query3(env, fwd.as_ref(), back.as_ref(), &f.workload.q3).unwrap(),
+        query4(env, back.as_ref(), &f.workload.q4).unwrap(),
+        query5(env, fwd.as_ref(), &f.workload.q5).unwrap(),
+        query6(env, fwd.as_ref(), &f.workload.q6).unwrap(),
     ]
 }
 

@@ -54,7 +54,7 @@ enum Node {
 
 impl BTree {
     /// Creates a new empty tree whose pages live in `pool`'s file.
-    pub fn create(mut pool: BufferPool) -> Result<Self> {
+    pub fn create(pool: BufferPool) -> Result<Self> {
         let meta = pool.allocate()?;
         debug_assert_eq!(meta, 0, "meta page must be page 0");
         let root = pool.allocate()?;
@@ -62,7 +62,7 @@ impl BTree {
             entries: Vec::new(),
             next: NO_PAGE,
         };
-        write_node(&mut pool, root, &node)?;
+        write_node(&pool, root, &node)?;
         let mut tree = Self {
             pool,
             root,
@@ -74,7 +74,7 @@ impl BTree {
     }
 
     /// Reopens a tree previously built in `pool`'s file.
-    pub fn open(mut pool: BufferPool) -> Result<Self> {
+    pub fn open(pool: BufferPool) -> Result<Self> {
         let (root, height, len) =
             pool.with_page(0, |p| (read_u32(p, 4), read_u32(p, 8), read_u64(p, 12)))?;
         let magic = pool.with_page(0, |p| read_u32(p, 0))?;
@@ -104,14 +104,10 @@ impl BTree {
         self.height
     }
 
-    /// The buffer pool (for stats inspection).
+    /// The buffer pool (stats inspection, flush/clear between runs — the
+    /// pool API is `&self` throughout).
     pub fn pool(&self) -> &BufferPool {
         &self.pool
-    }
-
-    /// Mutable buffer pool access (e.g. to clear the cache between runs).
-    pub fn pool_mut(&mut self) -> &mut BufferPool {
-        &mut self.pool
     }
 
     /// Inserts `key → value`, replacing any existing value (upsert).
@@ -133,7 +129,7 @@ impl BTree {
                     keys: vec![sep],
                     children: vec![self.root, right],
                 };
-                write_node(&mut self.pool, new_root, &node)?;
+                write_node(&self.pool, new_root, &node)?;
                 self.root = new_root;
                 self.height += 1;
                 if !replaced {
@@ -144,8 +140,9 @@ impl BTree {
         self.write_meta()
     }
 
-    /// Looks up `key`.
-    pub fn get(&mut self, key: u64) -> Result<Option<u64>> {
+    /// Looks up `key`. Shared-receiver: the descent only reads pages, and
+    /// the pool serialises frame access internally.
+    pub fn get(&self, key: u64) -> Result<Option<u64>> {
         let mut page = self.root;
         loop {
             enum Step {
@@ -168,7 +165,7 @@ impl BTree {
     }
 
     /// Visits all pairs with `key ∈ [lo, hi]` in ascending key order.
-    pub fn range(&mut self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) -> Result<()> {
+    pub fn range(&self, lo: u64, hi: u64, mut f: impl FnMut(u64, u64)) -> Result<()> {
         // Descend to the leaf containing lo.
         let mut page = self.root;
         loop {
@@ -226,7 +223,7 @@ impl BTree {
         let node_type = self.pool.with_page(page, |p| p[0])?;
         match node_type {
             TYPE_LEAF => {
-                let mut node = read_node(&mut self.pool, page)?;
+                let mut node = read_node(&self.pool, page)?;
                 let Node::Leaf { entries, next } = &mut node else {
                     unreachable!()
                 };
@@ -241,7 +238,7 @@ impl BTree {
                     }
                 };
                 if entries.len() <= LEAF_CAP {
-                    write_node(&mut self.pool, page, &node)?;
+                    write_node(&self.pool, page, &node)?;
                     return Ok(InsertResult::Done { replaced });
                 }
                 // Split the leaf.
@@ -254,8 +251,8 @@ impl BTree {
                     next: *next,
                 };
                 *next = right_page;
-                write_node(&mut self.pool, right_page, &right)?;
-                write_node(&mut self.pool, page, &node)?;
+                write_node(&self.pool, right_page, &right)?;
+                write_node(&self.pool, page, &node)?;
                 Ok(InsertResult::Split {
                     sep,
                     right: right_page,
@@ -273,7 +270,7 @@ impl BTree {
                 else {
                     return Ok(res);
                 };
-                let mut node = read_node(&mut self.pool, page)?;
+                let mut node = read_node(&self.pool, page)?;
                 let Node::Internal { keys, children } = &mut node else {
                     unreachable!()
                 };
@@ -281,7 +278,7 @@ impl BTree {
                 keys.insert(pos, sep);
                 children.insert(pos + 1, right);
                 if keys.len() <= INTERNAL_CAP {
-                    write_node(&mut self.pool, page, &node)?;
+                    write_node(&self.pool, page, &node)?;
                     return Ok(InsertResult::Done { replaced });
                 }
                 // Split the internal node; the middle key moves up.
@@ -295,8 +292,8 @@ impl BTree {
                     keys: right_keys,
                     children: right_children,
                 };
-                write_node(&mut self.pool, right_page, &right_node)?;
-                write_node(&mut self.pool, page, &node)?;
+                write_node(&self.pool, right_page, &right_node)?;
+                write_node(&self.pool, page, &node)?;
                 Ok(InsertResult::Split {
                     sep: up,
                     right: right_page,
@@ -321,7 +318,7 @@ enum InsertResult {
 
 // --- Page (de)serialisation --------------------------------------------------
 
-fn read_node(pool: &mut BufferPool, page: PageNo) -> Result<Node> {
+fn read_node(pool: &BufferPool, page: PageNo) -> Result<Node> {
     pool.with_page(page, |p| match p[0] {
         TYPE_LEAF => {
             let count = read_u16(p, 2) as usize;
@@ -349,7 +346,7 @@ fn read_node(pool: &mut BufferPool, page: PageNo) -> Result<Node> {
     })?
 }
 
-fn write_node(pool: &mut BufferPool, page: PageNo, node: &Node) -> Result<()> {
+fn write_node(pool: &BufferPool, page: PageNo, node: &Node) -> Result<()> {
     pool.with_page_mut(page, |p| {
         p.fill(0);
         match node {
@@ -571,11 +568,11 @@ mod tests {
             for k in 0..2_000u64 {
                 t.insert(k, k + 1).unwrap();
             }
-            t.pool_mut().flush().unwrap();
+            t.pool().flush().unwrap();
         }
         let pager = Pager::open(&path).unwrap();
         let pool = BufferPool::new(pager, 32 * PAGE_SIZE);
-        let mut t = BTree::open(pool).unwrap();
+        let t = BTree::open(pool).unwrap();
         assert_eq!(t.len(), 2_000);
         assert_eq!(t.get(1234).unwrap(), Some(1235));
         std::fs::remove_file(&path).ok();

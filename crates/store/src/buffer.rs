@@ -6,14 +6,20 @@
 //! whole pages, evicts with the clock algorithm, and exposes hit/miss
 //! counters.
 //!
-//! The pool is single-writer (an exclusive `&mut` API) — query execution in
-//! this workspace is deterministic and single-threaded, so the complexity
-//! of latching individual frames would buy nothing. Statistics live in
-//! shared [`wg_obs::CacheMetrics`] counters (the same struct the core
-//! graph cache uses), registered as `store.buffer.*` under `--metrics`.
+//! The pool is the storage layer's interior-mutability boundary for the
+//! shared read path (DESIGN.md §5f): frames, the page map, the clock hand
+//! and the pager all live behind one mutex, so every access API takes
+//! `&self` and a pool can sit inside a shared, `Sync` store handle.
+//! Page-granular latching was considered and rejected — the pool fronts a
+//! *single* file whose closures copy a few bytes out per call, so the
+//! critical section is tiny and one lock per pool keeps the eviction and
+//! dirty-write-back invariants trivially atomic. Statistics live in shared
+//! [`wg_obs::CacheMetrics`] counters (the same struct the core graph cache
+//! uses), registered as `store.buffer.*` under `--metrics`.
 
 use crate::pager::{PageNo, Pager};
 use crate::{Result, PAGE_SIZE};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Cache hit/miss statistics: a point-in-time view over the pool's
@@ -31,6 +37,13 @@ pub struct CacheStats {
 /// A fixed-budget page cache in front of a [`Pager`].
 #[derive(Debug)]
 pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    metrics: wg_obs::CacheMetrics,
+}
+
+/// The mutable state: everything the clock algorithm touches.
+#[derive(Debug)]
+struct PoolInner {
     pager: Pager,
     /// Frame storage; each frame holds exactly one page.
     frames: Vec<Frame>,
@@ -38,7 +51,6 @@ pub struct BufferPool {
     map: HashMap<PageNo, usize>,
     /// Clock hand for second-chance eviction.
     hand: usize,
-    metrics: wg_obs::CacheMetrics,
 }
 
 #[derive(Debug)]
@@ -68,17 +80,19 @@ impl BufferPool {
     pub fn new(pager: Pager, budget_bytes: usize) -> Self {
         let capacity = (budget_bytes / PAGE_SIZE).max(1);
         Self {
-            pager,
-            frames: (0..capacity).map(|_| Frame::empty()).collect(),
-            map: HashMap::with_capacity(capacity),
-            hand: 0,
+            inner: Mutex::new(PoolInner {
+                pager,
+                frames: (0..capacity).map(|_| Frame::empty()).collect(),
+                map: HashMap::with_capacity(capacity),
+                hand: 0,
+            }),
             metrics: wg_obs::CacheMetrics::auto("store.buffer"),
         }
     }
 
     /// Number of frames in the pool.
     pub fn capacity(&self) -> usize {
-        self.frames.len()
+        self.inner.lock().frames.len()
     }
 
     /// Cache statistics so far (a view over the obs counters).
@@ -95,68 +109,77 @@ impl BufferPool {
         self.metrics.reset();
     }
 
-    /// Direct access to the underlying pager (e.g. for allocation).
-    pub fn pager_mut(&mut self) -> &mut Pager {
-        &mut self.pager
+    /// Number of pages in the underlying file.
+    pub fn num_disk_pages(&self) -> PageNo {
+        self.inner.lock().pager.num_pages()
     }
 
     /// Allocates a fresh page (bypasses the cache; the new page is all
     /// zeros on disk and becomes cached on first touch).
-    pub fn allocate(&mut self) -> Result<PageNo> {
-        self.pager.allocate()
+    pub fn allocate(&self) -> Result<PageNo> {
+        self.inner.lock().pager.allocate()
     }
 
-    /// Reads page `no` through the cache and passes it to `f`.
-    pub fn with_page<R>(&mut self, no: PageNo, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
-        let idx = self.fetch(no)?;
-        self.frames[idx].referenced = true;
-        Ok(f(&self.frames[idx].data))
+    /// Reads page `no` through the cache and passes it to `f`. The closure
+    /// runs under the pool lock — it must not call back into the pool.
+    pub fn with_page<R>(&self, no: PageNo, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        let mut inner = self.inner.lock();
+        let idx = inner.fetch(no, &self.metrics)?;
+        inner.frames[idx].referenced = true;
+        Ok(f(&inner.frames[idx].data))
     }
 
     /// Reads page `no` through the cache, lets `f` mutate it, and marks the
-    /// frame dirty.
+    /// frame dirty. The closure runs under the pool lock.
     pub fn with_page_mut<R>(
-        &mut self,
+        &self,
         no: PageNo,
         f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
     ) -> Result<R> {
-        let idx = self.fetch(no)?;
-        self.frames[idx].referenced = true;
-        self.frames[idx].dirty = true;
-        Ok(f(&mut self.frames[idx].data))
+        let mut inner = self.inner.lock();
+        let idx = inner.fetch(no, &self.metrics)?;
+        inner.frames[idx].referenced = true;
+        inner.frames[idx].dirty = true;
+        Ok(f(&mut inner.frames[idx].data))
     }
 
     /// Writes all dirty frames back and syncs the file.
-    pub fn flush(&mut self) -> Result<()> {
-        for idx in 0..self.frames.len() {
-            if self.frames[idx].occupied && self.frames[idx].dirty {
-                self.pager
-                    .write_page(self.frames[idx].page_no, &self.frames[idx].data)?;
-                self.frames[idx].dirty = false;
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        for idx in 0..inner.frames.len() {
+            if inner.frames[idx].occupied && inner.frames[idx].dirty {
+                let no = inner.frames[idx].page_no;
+                // Split-borrow through the struct: frame data and pager.
+                let PoolInner { pager, frames, .. } = &mut *inner;
+                pager.write_page(no, &frames[idx].data)?;
+                inner.frames[idx].dirty = false;
             }
         }
-        self.pager.sync()
+        inner.pager.sync()
     }
 
     /// Drops every cached page (writing dirty ones back first). Used by the
     /// experiments to cold-start a query run.
-    pub fn clear(&mut self) -> Result<()> {
+    pub fn clear(&self) -> Result<()> {
         self.flush()?;
-        for f in &mut self.frames {
+        let mut inner = self.inner.lock();
+        for f in &mut inner.frames {
             f.occupied = false;
             f.referenced = false;
         }
-        self.map.clear();
+        inner.map.clear();
         Ok(())
     }
+}
 
+impl PoolInner {
     /// Ensures `no` is resident and returns its frame index.
-    fn fetch(&mut self, no: PageNo) -> Result<usize> {
+    fn fetch(&mut self, no: PageNo, metrics: &wg_obs::CacheMetrics) -> Result<usize> {
         if let Some(&idx) = self.map.get(&no) {
-            self.metrics.hits.inc();
+            metrics.hits.inc();
             return Ok(idx);
         }
-        self.metrics.misses.inc();
+        metrics.misses.inc();
         let idx = self.victim()?;
         if self.frames[idx].occupied {
             if self.frames[idx].dirty {
@@ -164,10 +187,10 @@ impl BufferPool {
                     .write_page(self.frames[idx].page_no, &self.frames[idx].data)?;
             }
             self.map.remove(&self.frames[idx].page_no);
-            self.metrics.evictions.inc();
+            metrics.evictions.inc();
         }
         self.pager.read_page(no, &mut self.frames[idx].data)?;
-        self.metrics.bytes_loaded.add(PAGE_SIZE as u64);
+        metrics.bytes_loaded.add(PAGE_SIZE as u64);
         self.frames[idx].page_no = no;
         self.frames[idx].occupied = true;
         self.frames[idx].dirty = false;
@@ -216,7 +239,7 @@ mod tests {
 
     #[test]
     fn hits_after_first_access() {
-        let (mut pool, path) = pool("hits", 4, 4);
+        let (pool, path) = pool("hits", 4, 4);
         pool.with_page(2, |p| assert_eq!(p[0], 2)).unwrap();
         pool.with_page(2, |p| assert_eq!(p[0], 2)).unwrap();
         let s = pool.stats();
@@ -227,7 +250,7 @@ mod tests {
 
     #[test]
     fn eviction_under_pressure() {
-        let (mut pool, path) = pool("evict", 10, 2);
+        let (pool, path) = pool("evict", 10, 2);
         for no in 0..10u32 {
             pool.with_page(no, |p| assert_eq!(p[0], no as u8)).unwrap();
         }
@@ -239,7 +262,7 @@ mod tests {
 
     #[test]
     fn dirty_pages_survive_eviction() {
-        let (mut pool, path) = pool("dirty", 5, 1);
+        let (pool, path) = pool("dirty", 5, 1);
         pool.with_page_mut(0, |p| p[100] = 42).unwrap();
         // Touch other pages to force eviction of page 0.
         for no in 1..5u32 {
@@ -251,11 +274,11 @@ mod tests {
 
     #[test]
     fn flush_persists_to_pager() {
-        let (mut pool, path) = pool("flush", 2, 2);
+        let (pool, path) = pool("flush", 2, 2);
         pool.with_page_mut(1, |p| p[7] = 9).unwrap();
         pool.flush().unwrap();
         // Bypass the pool and read through a fresh pager.
-        let mut pager = Pager::open(&path).unwrap();
+        let pager = Pager::open(&path).unwrap();
         let mut page = [0u8; PAGE_SIZE];
         pager.read_page(1, &mut page).unwrap();
         assert_eq!(page[7], 9);
@@ -264,7 +287,7 @@ mod tests {
 
     #[test]
     fn clear_cold_starts_the_cache() {
-        let (mut pool, path) = pool("clear", 3, 3);
+        let (pool, path) = pool("clear", 3, 3);
         for no in 0..3u32 {
             pool.with_page(no, |_| ()).unwrap();
         }
@@ -277,7 +300,7 @@ mod tests {
 
     #[test]
     fn frequently_used_pages_survive_clock_sweep() {
-        let (mut pool, path) = pool("clock", 6, 3);
+        let (pool, path) = pool("clock", 6, 3);
         // Keep page 0 hot while streaming through the rest.
         for no in 1..6u32 {
             pool.with_page(0, |_| ()).unwrap();
@@ -291,11 +314,31 @@ mod tests {
 
     #[test]
     fn budget_below_one_page_still_works() {
-        let (mut pool, path) = pool("tiny", 3, 0);
+        let (pool, path) = pool("tiny", 3, 0);
         assert_eq!(pool.capacity(), 1);
         for no in 0..3u32 {
             pool.with_page(no, |p| assert_eq!(p[0], no as u8)).unwrap();
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_pool() {
+        let (pool, path) = pool("conc", 8, 4);
+        let pool = std::sync::Arc::new(pool);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = std::sync::Arc::clone(&pool);
+                s.spawn(move || {
+                    for round in 0..50u32 {
+                        let no = round % 8;
+                        pool.with_page(no, |p| assert_eq!(p[0], no as u8)).unwrap();
+                    }
+                });
+            }
+        });
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 4 * 50);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -75,14 +75,9 @@ impl HeapFile {
         }
     }
 
-    /// The underlying buffer pool.
+    /// The underlying buffer pool (all pool access APIs are `&self`).
     pub fn pool(&self) -> &BufferPool {
         &self.pool
-    }
-
-    /// Mutable pool access (flush/clear between experiment runs).
-    pub fn pool_mut(&mut self) -> &mut BufferPool {
-        &mut self.pool
     }
 
     /// Appends a row, returning its location.
@@ -98,8 +93,9 @@ impl HeapFile {
         }
     }
 
-    /// Reads a row back.
-    pub fn read(&mut self, ptr: RowPtr) -> Result<Vec<u8>> {
+    /// Reads a row back. Shared-receiver: reads go through the pool's
+    /// internal lock, so concurrent readers can share one heap handle.
+    pub fn read(&self, ptr: RowPtr) -> Result<Vec<u8>> {
         enum Row {
             Inline(Vec<u8>),
             Overflow { total: u32, first: PageNo },
@@ -199,7 +195,7 @@ impl HeapFile {
         Ok((data.len() as u32, pages[0]))
     }
 
-    fn read_overflow(&mut self, total: u32, first: PageNo) -> Result<Vec<u8>> {
+    fn read_overflow(&self, total: u32, first: PageNo) -> Result<Vec<u8>> {
         let mut out = Vec::with_capacity(total as usize);
         let mut page = first;
         while out.len() < total as usize {

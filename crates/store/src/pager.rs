@@ -124,8 +124,10 @@ impl Pager {
         Ok(no)
     }
 
-    /// Reads page `no` into `buf`.
-    pub fn read_page(&mut self, no: PageNo, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+    /// Reads page `no` into `buf`. Shared-receiver: the read is positioned
+    /// (no seek on the shared file cursor), so concurrent readers through
+    /// one pager are safe.
+    pub fn read_page(&self, no: PageNo, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
         if no >= self.num_pages {
             return Err(StoreError::Corrupt("read past end of paged file"));
         }
@@ -209,7 +211,7 @@ mod tests {
             pager.write_page(p, &page).unwrap();
             pager.sync().unwrap();
         }
-        let mut pager = Pager::open(&path).unwrap();
+        let pager = Pager::open(&path).unwrap();
         assert_eq!(pager.num_pages(), 1);
         let mut back = [0u8; PAGE_SIZE];
         pager.read_page(0, &mut back).unwrap();
@@ -220,7 +222,7 @@ mod tests {
     #[test]
     fn out_of_range_read_is_error() {
         let path = temp_path("oor");
-        let mut pager = Pager::create(&path).unwrap();
+        let pager = Pager::create(&path).unwrap();
         let mut buf = [0u8; PAGE_SIZE];
         assert!(pager.read_page(0, &mut buf).is_err());
         std::fs::remove_file(&path).ok();

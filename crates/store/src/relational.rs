@@ -126,8 +126,9 @@ impl RelationalGraphStore {
         })
     }
 
-    /// The adjacency list of `p` (index lookup + row fetch).
-    pub fn out_neighbors(&mut self, p: PageId) -> Result<Vec<PageId>> {
+    /// The adjacency list of `p` (index lookup + row fetch). Shared-receiver:
+    /// both structures read through `&self` buffer pools.
+    pub fn out_neighbors(&self, p: PageId) -> Result<Vec<PageId>> {
         let Some(ptr) = self.pageid_index.get(u64::from(p))? else {
             return Err(StoreError::Corrupt("page id missing from index"));
         };
@@ -136,7 +137,7 @@ impl RelationalGraphStore {
     }
 
     /// All pages in `domain`, via composite-index range scan.
-    pub fn pages_in_domain(&mut self, domain: u32) -> Result<Vec<PageId>> {
+    pub fn pages_in_domain(&self, domain: u32) -> Result<Vec<PageId>> {
         let mut out = Vec::new();
         self.domain_index.range(
             domain_key(domain, 0),
@@ -147,17 +148,17 @@ impl RelationalGraphStore {
     }
 
     /// Flushes all dirty pages.
-    pub fn flush(&mut self) -> Result<()> {
-        self.rows.pool_mut().flush()?;
-        self.pageid_index.pool_mut().flush()?;
-        self.domain_index.pool_mut().flush()
+    pub fn flush(&self) -> Result<()> {
+        self.rows.pool().flush()?;
+        self.pageid_index.pool().flush()?;
+        self.domain_index.pool().flush()
     }
 
     /// Drops all cached pages, cold-starting the next query run.
-    pub fn clear_cache(&mut self) -> Result<()> {
-        self.rows.pool_mut().clear()?;
-        self.pageid_index.pool_mut().clear()?;
-        self.domain_index.pool_mut().clear()
+    pub fn clear_cache(&self) -> Result<()> {
+        self.rows.pool().clear()?;
+        self.pageid_index.pool().clear()?;
+        self.domain_index.pool().clear()
     }
 
     /// Combined cache statistics across heap + indexes.
@@ -173,11 +174,11 @@ impl RelationalGraphStore {
     }
 
     /// Total bytes of the on-disk files.
-    pub fn disk_bytes(&mut self) -> u64 {
+    pub fn disk_bytes(&self) -> u64 {
         use crate::PAGE_SIZE;
-        let pages = u64::from(self.rows.pool_mut().pager_mut().num_pages())
-            + u64::from(self.pageid_index.pool_mut().pager_mut().num_pages())
-            + u64::from(self.domain_index.pool_mut().pager_mut().num_pages());
+        let pages = u64::from(self.rows.pool().num_disk_pages())
+            + u64::from(self.pageid_index.pool().num_disk_pages())
+            + u64::from(self.domain_index.pool().num_disk_pages());
         pages * PAGE_SIZE as u64
     }
 }
@@ -248,7 +249,7 @@ mod tests {
     fn adjacency_round_trips() {
         let dir = temp_dir("adj");
         let (g, doms) = sample_graph();
-        let mut store = RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
+        let store = RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
         for p in 0..g.num_nodes() {
             assert_eq!(store.out_neighbors(p).unwrap(), g.neighbors(p), "page {p}");
         }
@@ -259,7 +260,7 @@ mod tests {
     fn domain_scan_returns_members_sorted() {
         let dir = temp_dir("dom");
         let (g, doms) = sample_graph();
-        let mut store = RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
+        let store = RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
         assert_eq!(store.pages_in_domain(0).unwrap(), vec![0, 1]);
         assert_eq!(store.pages_in_domain(1).unwrap(), vec![2, 3, 4]);
         assert_eq!(store.pages_in_domain(2).unwrap(), vec![5]);
@@ -274,7 +275,7 @@ mod tests {
         {
             RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
         }
-        let mut store = RelationalGraphStore::open(&dir, 1 << 20).unwrap();
+        let store = RelationalGraphStore::open(&dir, 1 << 20).unwrap();
         for p in 0..g.num_nodes() {
             assert_eq!(store.out_neighbors(p).unwrap(), g.neighbors(p));
         }
@@ -291,7 +292,7 @@ mod tests {
         let edges = (0..n).flat_map(|u| (1..=10u32).map(move |k| (u, (u + k * 37) % n)));
         let g = Graph::from_edges(n, edges);
         let doms: Vec<u32> = (0..n).map(|p| p % 13).collect();
-        let mut store = RelationalGraphStore::build(&dir, &g, &doms, 64 * 1024).unwrap();
+        let store = RelationalGraphStore::build(&dir, &g, &doms, 64 * 1024).unwrap();
         for p in (0..n).step_by(173) {
             assert_eq!(store.out_neighbors(p).unwrap(), g.neighbors(p));
         }
@@ -306,7 +307,7 @@ mod tests {
     fn clear_cache_forces_cold_reads() {
         let dir = temp_dir("cold");
         let (g, doms) = sample_graph();
-        let mut store = RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
+        let store = RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
         store.out_neighbors(0).unwrap();
         store.clear_cache().unwrap();
         let before = store.cache_stats();
@@ -324,7 +325,7 @@ mod tests {
         let edges = (1..n).map(|t| (0u32, t));
         let g = Graph::from_edges(n, edges);
         let doms = vec![0u32; n as usize];
-        let mut store = RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
+        let store = RelationalGraphStore::build(&dir, &g, &doms, 1 << 20).unwrap();
         let nb = store.out_neighbors(0).unwrap();
         assert_eq!(nb.len(), 5_000);
         assert_eq!(nb, g.neighbors(0));

@@ -38,7 +38,7 @@ fn main() {
     );
 
     // 3. Open it with a 1 MiB decoded-graph budget and look around.
-    let mut snode = SNode::open(&dir, 1 << 20).expect("open");
+    let snode = SNode::open(&dir, 1 << 20).expect("open");
 
     // Pick the first page of the first .edu domain and walk its links.
     let edu = corpus.domains_with_tld("edu")[0];

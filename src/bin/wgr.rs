@@ -22,15 +22,17 @@
 
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Arc;
 use webgraph_repr::corpus::textio::{read_corpus, write_corpus};
 use webgraph_repr::corpus::{Corpus, CorpusConfig};
 use webgraph_repr::fault::{FaultPlan, FaultSpec};
 use webgraph_repr::graph::pagerank::{pagerank, top_ranked, PageRankConfig};
 use webgraph_repr::obs;
-use webgraph_repr::query::obsrun::{run_observed, WorkloadReport};
+use webgraph_repr::query::obsrun::{fingerprint_rows, run_observed, WorkloadReport};
 use webgraph_repr::query::queries::{QueryEnv, Workload};
 use webgraph_repr::query::reps::SchemeSet;
 use webgraph_repr::query::{DomainTable, PageRankIndex, Scheme, TextIndex};
+use webgraph_repr::serve::{Client, ServeConfig, ServeContext, Server, Status as ServeStatus};
 use webgraph_repr::snode::{build_snode, Renumbering, RepoInput, SNode, SNodeConfig};
 
 fn main() {
@@ -48,6 +50,7 @@ fn main() {
         Some("fsck") => cmd_fsck(&args[2..]),
         Some("corrupt") => cmd_corrupt(&args[2..]),
         Some("bench") => cmd_bench(&args[2..]),
+        Some("serve") => cmd_serve(&args[2..]),
         Some("lint") => cmd_lint(&args[2..]),
         _ => {
             eprintln!(
@@ -73,6 +76,13 @@ fn main() {
                  bench  [--pages N] [--seed N] [--threads 1,2,4] [--iters N] [--quick]\n\
                  \x20      [--out FILE] [--query-out FILE]    build benchmark → BENCH_build.json\n\
                  \x20                                          + query benchmark → BENCH_query.json\n\
+                 \x20      [--serve [--clients N] [--serve-out FILE]]\n\
+                 \x20                                          concurrent-service benchmark instead:\n\
+                 \x20                                          N clients → BENCH_serve.json\n\
+                 serve  DIR [--port P] [--workers N] [--queue N] [--scheme NAME]\n\
+                 \x20      [--reps DIR] [--reuse] [--smoke N] serve Q1-6 + out_neighbors over TCP;\n\
+                 \x20                                          --smoke runs an N-client burst and\n\
+                 \x20                                          exits 0 clean / 3 degraded / 2 errors\n\
                  lint   [--root DIR] [--json] [--deny warn] [--baseline FILE]\n\
                  \x20                                          SN2xx source lints over the workspace;\n\
                  \x20                                          exit 0 clean/baselined, 1 denied, 2 fatal\n\
@@ -111,7 +121,7 @@ fn positional(args: &[String]) -> Option<String> {
             let boolean = a.contains('=')
                 || matches!(
                     a,
-                    "--json" | "--quick" | "--metrics" | "--reuse" | "--repair"
+                    "--json" | "--quick" | "--metrics" | "--reuse" | "--repair" | "--serve"
                 );
             i += if boolean { 1 } else { 2 };
         } else {
@@ -478,7 +488,7 @@ fn cmd_stats(args: &[String]) -> i32 {
 fn cmd_links(args: &[String]) -> i32 {
     let repo = PathBuf::from(req(args, "--repo"));
     let page: u32 = req(args, "--page").parse().expect("--page number");
-    let mut snode = SNode::open(&repo, 1 << 20).expect("open repo");
+    let snode = SNode::open(&repo, 1 << 20).expect("open repo");
     if page >= snode.num_pages() {
         eprintln!("page {page} out of range (repo has {})", snode.num_pages());
         return 1;
@@ -867,6 +877,20 @@ fn cmd_bench(args: &[String]) -> i32 {
         s.parse().expect("--pages number")
     });
     let seed: u64 = opt(args, "--seed").map_or(42, |s| s.parse().expect("--seed number"));
+    // `--serve`: benchmark the concurrent query service instead of the
+    // builder — many clients against one shared representation.
+    if args.iter().any(|a| a == "--serve") {
+        let clients: usize = opt(args, "--clients").map_or(if quick { 16 } else { 100 }, |s| {
+            s.parse().expect("--clients number")
+        });
+        let sout =
+            PathBuf::from(opt(args, "--serve-out").unwrap_or_else(|| "BENCH_serve.json".into()));
+        let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
+        let scratch = std::env::temp_dir().join(format!("wgr_bench_serve_{}", std::process::id()));
+        let code = bench_serve(&corpus, &scratch, pages, seed, clients, &sout, args);
+        std::fs::remove_dir_all(&scratch).ok();
+        return code;
+    }
     let iters: usize = opt(args, "--iters").map_or(if quick { 1 } else { 3 }, |s| {
         s.parse().expect("--iters number")
     });
@@ -1063,6 +1087,413 @@ fn bench_query(
         return 1;
     }
     0
+}
+
+/// Builds the serve context (representations + auxiliary indexes) for a
+/// corpus, the way `wgr serve` and `wgr bench --serve` share it. The
+/// returned fingerprints are the single-threaded Q1–6 reference every
+/// concurrent answer must reproduce.
+fn build_serve_context(
+    corpus: &Corpus,
+    set: &SchemeSet,
+    scheme: Scheme,
+) -> Result<(Arc<ServeContext>, [u64; 6]), String> {
+    let text = TextIndex::build(corpus, &set.renumbering);
+    let pagerank = PageRankIndex::build(&corpus.graph, &set.renumbering);
+    let domains = DomainTable::build(corpus, &set.renumbering);
+    let workload = Workload::discover(&text, &domains);
+    let fwd = set
+        .open(scheme)
+        .map_err(|e| format!("open {}: {e}", scheme.name()))?;
+    let back = set
+        .open_transpose(scheme)
+        .map_err(|e| format!("open {} transpose: {e}", scheme.name()))?;
+    let ctx = Arc::new(ServeContext {
+        text,
+        pagerank,
+        domains,
+        workload,
+        fwd,
+        back,
+        num_pages: set.graph.num_nodes(),
+    });
+    let mut reference = [0u64; 6];
+    for (i, r) in reference.iter_mut().enumerate() {
+        let out = ctx
+            .run_query(i as u8 + 1)
+            .map_err(|e| format!("reference q{}: {e}", i + 1))?;
+        *r = fingerprint_rows(&out.rows);
+    }
+    Ok((ctx, reference))
+}
+
+/// `wgr bench --serve` — multi-client latency/throughput benchmark of the
+/// concurrent query service on the standard bench corpus. Every client
+/// runs the Q1–6 workload cycle plus raw navigation over one *shared*
+/// decoded representation; per-query fingerprints are written as decimal
+/// u64s so CI can cross-check them against the committed
+/// `BENCH_query.json` (same corpus, same FNV-1a).
+fn bench_serve(
+    corpus: &Corpus,
+    scratch: &std::path::Path,
+    pages: u32,
+    seed: u64,
+    clients: usize,
+    out: &std::path::Path,
+    args: &[String],
+) -> i32 {
+    const ROUNDS: usize = 2; // Q1–6 cycles per client
+    const NAVS: usize = 8; // raw out_neighbors calls per client
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let set = SchemeSet::build(
+        &scratch.join("serveset"),
+        &urls,
+        &domains,
+        &corpus.graph,
+        &SNodeConfig::default(),
+        1 << 20,
+    )
+    .expect("build scheme set");
+    let (ctx, reference) = build_serve_context(corpus, &set, Scheme::SNode).expect("serve context");
+    let num_pages = ctx.num_pages;
+
+    let workers: usize = opt(args, "--workers").map_or_else(
+        || std::thread::available_parallelism().map_or(4, |n| n.get().max(2)),
+        |s| s.parse().expect("--workers number"),
+    );
+    let cfg = ServeConfig {
+        workers,
+        // Every client may be parked in the queue at once; refusals would
+        // benchmark the backpressure path, not the read path.
+        queue_cap: clients.max(256),
+        port: 0,
+    };
+    let server = Server::start(Arc::clone(&ctx), &cfg).expect("start server");
+    let port = server.port();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients * (ROUNDS * 6 + NAVS));
+    let mut mismatches = 0u64;
+    let mut degraded = 0u64;
+    let mut errors = 0u64;
+    let wall = obs::Stopwatch::start();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let reference = &reference;
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(ROUNDS * 6 + NAVS);
+                    let (mut mm, mut dg, mut er) = (0u64, 0u64, 0u64);
+                    let Ok(mut cl) = Client::connect(port) else {
+                        return (lats, mm, dg, 1u64);
+                    };
+                    for _ in 0..ROUNDS {
+                        for n in 1..=6u8 {
+                            let sw = obs::Stopwatch::start();
+                            match cl.query(n) {
+                                Ok(reply) => {
+                                    lats.push(sw.elapsed().as_nanos() as u64);
+                                    mm += u64::from(
+                                        reply.fingerprint != reference[usize::from(n) - 1],
+                                    );
+                                    dg += u64::from(reply.status == ServeStatus::Degraded);
+                                }
+                                Err(_) => er += 1,
+                            }
+                        }
+                    }
+                    for k in 0..NAVS {
+                        let p = ((c * 7919 + k * 104_729) % num_pages as usize) as u32;
+                        let sw = obs::Stopwatch::start();
+                        match cl.out_neighbors(p) {
+                            Ok(_) => lats.push(sw.elapsed().as_nanos() as u64),
+                            Err(_) => er += 1,
+                        }
+                    }
+                    (lats, mm, dg, er)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (l, mm, dg, er) = h.join().expect("client thread");
+            latencies.extend(l);
+            mismatches += mm;
+            degraded += dg;
+            errors += er;
+        }
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx] as f64 / 1e6
+    };
+    let total = latencies.len() as u64;
+    let throughput = if wall_secs > 0.0 {
+        total as f64 / wall_secs
+    } else {
+        0.0
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"wgr serve\",\n");
+    json.push_str(&format!("  \"pages\": {pages},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(&format!("  \"requests\": {total},\n"));
+    json.push_str(&format!("  \"errors\": {errors},\n"));
+    json.push_str(&format!("  \"fingerprint_mismatches\": {mismatches},\n"));
+    json.push_str(&format!("  \"degraded_responses\": {degraded},\n"));
+    json.push_str(&format!(
+        "  \"overloaded\": {},\n",
+        stats.overloaded.load(std::sync::atomic::Ordering::Relaxed)
+    ));
+    json.push_str(&format!("  \"wall_secs\": {wall_secs:.6},\n"));
+    json.push_str(&format!("  \"throughput_rps\": {throughput:.1},\n"));
+    json.push_str(&format!(
+        "  \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"max\": {:.3}}},\n",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        pct(1.0)
+    ));
+    json.push_str("  \"fingerprints\": {\n");
+    for (i, fp) in reference.iter().enumerate() {
+        let sep = if i + 1 < reference.len() { "," } else { "" };
+        json.push_str(&format!("    \"q{}\": {fp}{sep}\n", i + 1));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(out, &json).expect("write serve bench json");
+    println!("wrote {}", out.display());
+    eprintln!(
+        "serve bench: {clients} clients × {} req = {total} in {wall_secs:.3}s \
+         ({throughput:.0} req/s), p50 {:.3} ms, p99 {:.3} ms",
+        ROUNDS * 6 + NAVS,
+        pct(0.50),
+        pct(0.99),
+    );
+    if errors > 0 || mismatches > 0 {
+        eprintln!(
+            "FAILED: {errors} request error(s), {mismatches} fingerprint mismatch(es) \
+             under concurrency"
+        );
+        return 1;
+    }
+    if degraded > 0 {
+        return 3;
+    }
+    0
+}
+
+/// `wgr serve DIR` — builds (or, with `--reps`/`--reuse`, reopens) the
+/// query representations for the corpus at `DIR` and serves the observed
+/// Q1–6 workload plus raw `out_neighbors` navigation over TCP (frame
+/// format: `wg_serve::proto`). One decoded representation is shared by all
+/// workers. `--smoke N` runs an in-process N-client burst against the live
+/// server and exits by the wg-fault contract: 0 clean, 3 degraded answers,
+/// 2 errors.
+fn cmd_serve(args: &[String]) -> i32 {
+    let Some(corpus_dir) = positional(args).or_else(|| opt(args, "--corpus")) else {
+        eprintln!(
+            "usage: wgr serve DIR [--port P] [--workers N] [--queue N] [--scheme NAME]\n\
+             \x20                [--budget BYTES] [--reps DIR] [--reuse] [--smoke N]"
+        );
+        return 2;
+    };
+    let budget: usize =
+        opt(args, "--budget").map_or(1 << 20, |s| s.parse().expect("--budget bytes"));
+    let port: u16 = opt(args, "--port").map_or(0, |s| s.parse().expect("--port number"));
+    let scheme = match opt(args, "--scheme").as_deref() {
+        None => Scheme::SNode,
+        Some(name) => match Scheme::ALL.iter().copied().find(|s| s.name() == name) {
+            Some(s) => s,
+            None => {
+                eprintln!(
+                    "unknown scheme {name}; expected {}",
+                    Scheme::ALL.map(|s| s.name()).join(", ")
+                );
+                return 2;
+            }
+        },
+    };
+    let corpus = match read_corpus(&PathBuf::from(&corpus_dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot read corpus at {corpus_dir}: {e}");
+            return 2;
+        }
+    };
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let reuse = args.iter().any(|a| a == "--reuse");
+    let (root, scratch) = match opt(args, "--reps") {
+        Some(d) => (PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("wgr_serve_{}", std::process::id())),
+            true,
+        ),
+    };
+    let set = if reuse {
+        if scratch {
+            eprintln!("--reuse requires --reps DIR (a previously built representation root)");
+            return 2;
+        }
+        match SchemeSet::open_existing(&root, &corpus.graph, budget) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open representations at {}: {e}", root.display());
+                return 2;
+            }
+        }
+    } else {
+        match SchemeSet::build(
+            &root,
+            &urls,
+            &domains,
+            &corpus.graph,
+            &SNodeConfig::default(),
+            budget,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot build representations under {}: {e}", root.display());
+                return 2;
+            }
+        }
+    };
+    let (ctx, reference) = match build_serve_context(&corpus, &set, scheme) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cannot start service: {e}");
+            if scratch {
+                std::fs::remove_dir_all(&root).ok();
+            }
+            return 2;
+        }
+    };
+    let cfg = ServeConfig {
+        workers: opt(args, "--workers").map_or_else(
+            || std::thread::available_parallelism().map_or(4, |n| n.get().max(2)),
+            |s| s.parse().expect("--workers number"),
+        ),
+        queue_cap: opt(args, "--queue").map_or(256, |s| s.parse().expect("--queue number")),
+        port,
+    };
+    let server = match Server::start(Arc::clone(&ctx), &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+            if scratch {
+                std::fs::remove_dir_all(&root).ok();
+            }
+            return 2;
+        }
+    };
+    println!(
+        "serving {} on 127.0.0.1:{} ({} workers, queue {})",
+        scheme.name(),
+        server.port(),
+        cfg.workers,
+        cfg.queue_cap
+    );
+
+    if let Some(n) = opt(args, "--smoke") {
+        let n: usize = n.parse().expect("--smoke number");
+        let code = serve_smoke(server.port(), n, &reference, ctx.num_pages);
+        let stats = server.shutdown();
+        eprintln!(
+            "smoke: {} connection(s), {} request(s), {} degraded, {} error(s), {} refused",
+            stats.connections.load(std::sync::atomic::Ordering::Relaxed),
+            stats.requests.load(std::sync::atomic::Ordering::Relaxed),
+            stats.degraded.load(std::sync::atomic::Ordering::Relaxed),
+            stats.errors.load(std::sync::atomic::Ordering::Relaxed),
+            stats.overloaded.load(std::sync::atomic::Ordering::Relaxed),
+        );
+        if scratch {
+            std::fs::remove_dir_all(&root).ok();
+        }
+        return code;
+    }
+    // Serve until the process is killed. (With a scratch representation
+    // the temp directory lives as long as the server does.)
+    loop {
+        std::thread::park();
+    }
+}
+
+/// In-process client burst for `wgr serve --smoke N`: every client pings,
+/// runs Q1–6 twice checking fingerprints against the single-threaded
+/// reference, and walks a few adjacency lists. Returns the worst exit
+/// code seen: 0 clean, 3 degraded answers, 2 errors or drifted answers.
+fn serve_smoke(port: u16, clients: usize, reference: &[u64; 6], num_pages: u32) -> i32 {
+    let mut mismatches = 0u64;
+    let mut degraded = 0u64;
+    let mut errors = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let (mut mm, mut dg, mut er) = (0u64, 0u64, 0u64);
+                    let Ok(mut cl) = Client::connect(port) else {
+                        return (mm, dg, 1u64);
+                    };
+                    match cl.ping() {
+                        Ok(ServeStatus::Ok) => {}
+                        Ok(ServeStatus::Degraded) => dg += 1,
+                        _ => er += 1,
+                    }
+                    for _ in 0..2 {
+                        for n in 1..=6u8 {
+                            match cl.query(n) {
+                                Ok(reply) => {
+                                    mm += u64::from(
+                                        reply.fingerprint != reference[usize::from(n) - 1],
+                                    );
+                                    dg += u64::from(reply.status == ServeStatus::Degraded);
+                                }
+                                Err(_) => er += 1,
+                            }
+                        }
+                    }
+                    for k in 0..4usize {
+                        let p = ((c * 7919 + k * 104_729) % num_pages as usize) as u32;
+                        match cl.out_neighbors(p) {
+                            Ok((ServeStatus::Degraded, _)) => dg += 1,
+                            Ok(_) => {}
+                            Err(_) => er += 1,
+                        }
+                    }
+                    (mm, dg, er)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mm, dg, er) = h.join().expect("smoke client thread");
+            mismatches += mm;
+            degraded += dg;
+            errors += er;
+        }
+    });
+    if errors > 0 || mismatches > 0 {
+        eprintln!("smoke FAILED: {errors} error(s), {mismatches} fingerprint mismatch(es)");
+        2
+    } else if degraded > 0 {
+        eprintln!("smoke: degraded answers (quarantined supernodes)");
+        3
+    } else {
+        println!("smoke ok: {clients} concurrent clients, byte-identical answers");
+        0
+    }
 }
 
 /// FNV-1a over (file name, file bytes) of every file in `dir`, in sorted

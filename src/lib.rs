@@ -17,5 +17,6 @@ pub use wg_fault as fault;
 pub use wg_graph as graph;
 pub use wg_obs as obs;
 pub use wg_query as query;
+pub use wg_serve as serve;
 pub use wg_snode as snode;
 pub use wg_store as store;

@@ -99,7 +99,7 @@ fn full_pipeline_schemes_agree_on_all_six_queries() {
 fn every_scheme_reconstructs_the_renumbered_graph() {
     let p = pipeline("recon", 1_200, 5);
     for scheme in Scheme::ALL {
-        let mut fwd = p.set.open(scheme).expect("open");
+        let fwd = p.set.open(scheme).expect("open");
         for page in (0..p.set.graph.num_nodes()).step_by(37) {
             assert_eq!(
                 fwd.out_neighbors(page).expect("navigate"),
@@ -115,7 +115,7 @@ fn every_scheme_reconstructs_the_renumbered_graph() {
 fn transpose_representations_agree_with_backlinks() {
     let p = pipeline("backlinks", 1_000, 17);
     for scheme in Scheme::ALL {
-        let mut back = p.set.open_transpose(scheme).expect("open transpose");
+        let back = p.set.open_transpose(scheme).expect("open transpose");
         for page in (0..p.set.graph.num_nodes()).step_by(53) {
             assert_eq!(
                 back.out_neighbors(page).expect("navigate"),

@@ -101,13 +101,13 @@ proptest! {
 
         // Strict open: error or clean walk — never a panic, and never a
         // clean verdict over damaged checksummed bytes.
-        if let Ok(mut snode) = SNode::open(&dir, 1 << 20) {
+        if let Ok(snode) = SNode::open(&dir, 1 << 20) {
             for p in (0..*num_pages).step_by(13) {
                 let _ = snode.out_neighbors(p);
             }
         }
         // Degraded open: damaged graphs quarantine, the rest answers.
-        if let Ok(mut snode) = SNode::open_degraded(&dir, 1 << 20) {
+        if let Ok(snode) = SNode::open_degraded(&dir, 1 << 20) {
             for p in 0..*num_pages {
                 let _ = snode.out_neighbors(p);
             }
@@ -134,7 +134,7 @@ fn degraded_answers_are_accurate() {
     let dir = temp_dir("accuracy");
     copy_dir(pristine_dir, &dir);
 
-    let mut truth = SNode::open(&dir, 1 << 20).unwrap();
+    let truth = SNode::open(&dir, 1 << 20).unwrap();
     let expected: Vec<Vec<u32>> = (0..*num_pages)
         .map(|p| truth.out_neighbors(p).unwrap())
         .collect();
@@ -160,7 +160,7 @@ fn degraded_answers_are_accurate() {
         .unwrap();
     plan.apply_to_dir(&dir).unwrap();
 
-    let mut snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
+    let snode = SNode::open_degraded(&dir, 1 << 20).unwrap();
     let mut wrong_answers = 0u64;
     let mut shortened = 0u64;
     for p in 0..*num_pages {
