@@ -202,11 +202,16 @@ fn live_worklist_stays_within_shared_read_budget() {
         "shared-state chains must stay off the worklist: {syms:?}"
     );
     // What remains is the known lock-mediated residue: memo `put`s called
-    // under cache/scratch locks and the quarantine bookkeeping behind its
-    // RwLock. Anything else is a new exclusivity hazard.
+    // under cache/scratch locks, the quarantine bookkeeping behind its
+    // RwLock, and `HistData` — an owned by-value telemetry aggregate whose
+    // `&mut self` is plain value mutation, not shared-state exclusivity
+    // (the name-based call graph links it through `Histogram::record`).
+    // Anything else is a new exclusivity hazard.
     for w in &r.worklist {
         assert!(
-            w.symbol.ends_with("::put") || w.symbol.starts_with("DegradeState::"),
+            w.symbol.ends_with("::put")
+                || w.symbol.starts_with("DegradeState::")
+                || w.symbol.starts_with("HistData::"),
             "unexpected SN200 worklist entry {} ({}:{})",
             w.symbol,
             w.file,

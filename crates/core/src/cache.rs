@@ -10,9 +10,47 @@
 
 use crate::refenc::{DecodeMemo, ListsIndex};
 use crate::subgraphs::SuperedgeIndex;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use wg_obs::{
+    stage_add, stage_sample, telemetry_enabled, LockMetrics, Stage, Stopwatch, SAMPLE_SCALE,
+};
+
+/// Shared wait/hold accounting for every decoded-list memo mutex: the
+/// memos are per-graph and churn with the cache, so one process-wide
+/// group (registered as `core.nav.memo_lock` under `--metrics`) keeps
+/// their contention observable without per-graph registry traffic.
+fn memo_lock_metrics() -> &'static LockMetrics {
+    static MEMO_LOCK: OnceLock<LockMetrics> = OnceLock::new();
+    MEMO_LOCK.get_or_init(|| LockMetrics::auto("core.nav.memo_lock"))
+}
+
+/// Point-in-time contention profile of the shared memo-mutex group.
+pub fn memo_lock_stats() -> wg_obs::LockStats {
+    memo_lock_metrics().stats()
+}
+
+/// Telemetry-aware memo acquisition: free when telemetry is off (one
+/// relaxed load); when on, counts the acquisition, detects contention via
+/// `try_lock`, and attributes blocked time to [`Stage::ShardLock`].
+fn lock_memo(memo: &Mutex<ListMemo>) -> MutexGuard<'_, ListMemo> {
+    if !telemetry_enabled() {
+        return memo.lock();
+    }
+    let lm = memo_lock_metrics();
+    lm.acquisitions.inc();
+    if let Some(g) = memo.try_lock() {
+        return g;
+    }
+    lm.contended.inc();
+    let sw = Stopwatch::start();
+    let g = memo.lock();
+    let ns = sw.elapsed_ns();
+    lm.wait_ns.add(ns);
+    stage_add(Stage::ShardLock, ns);
+    g
+}
 
 /// Bounded memo of decoded lists, attached to an encoded cached graph.
 ///
@@ -274,13 +312,23 @@ impl CachedGraph {
                 memo,
                 ..
             } => {
-                let mut memo = memo.lock();
+                let mut memo = lock_memo(memo);
                 if let Some(v) = memo.get(local) {
+                    // Memo hit: a copy, no decode — not worth a clock pair
+                    // to attribute (the overhead would dwarf the work).
                     out.extend_from_slice(v);
-                    return Ok(());
+                } else {
+                    // Sampled: per-list decode is the hottest query path.
+                    let sw = stage_sample();
+                    let list = index.decode_list_with_memo(data, *bit_len, local, &mut *memo)?;
+                    out.extend_from_slice(&list);
+                    if let Some(sw) = sw {
+                        stage_add(
+                            Stage::ListDecode,
+                            sw.elapsed_ns().saturating_mul(SAMPLE_SCALE),
+                        );
+                    }
                 }
-                let list = index.decode_list_with_memo(data, *bit_len, local, &mut *memo)?;
-                out.extend_from_slice(&list);
                 Ok(())
             }
             CachedGraph::EncodedSuper {
@@ -291,7 +339,8 @@ impl CachedGraph {
                 memo,
                 ..
             } => {
-                let mut memo = memo.lock();
+                let mut memo = lock_memo(memo);
+                let sw = stage_sample();
                 let list = index.targets_of_with_memo(
                     data,
                     *bit_len,
@@ -300,6 +349,12 @@ impl CachedGraph {
                     &mut *memo,
                 )?;
                 out.extend_from_slice(&list);
+                if let Some(sw) = sw {
+                    stage_add(
+                        Stage::ListDecode,
+                        sw.elapsed_ns().saturating_mul(SAMPLE_SCALE),
+                    );
+                }
                 Ok(())
             }
         }
@@ -387,10 +442,43 @@ pub const DEFAULT_CACHE_SHARDS: usize = 8;
 pub struct GraphCache {
     budget: usize,
     shards: Vec<Mutex<Shard>>,
+    /// Parallel to `shards`: per-shard traffic and lock-contention
+    /// counters feeding the serve heatmap (hit/miss always on; lock
+    /// timing telemetry-gated).
+    shard_tel: Vec<ShardTel>,
     tick: std::sync::atomic::AtomicU64,
     metrics: wg_obs::CacheMetrics,
     /// When `Some`, every load/unload is appended here (the paper's log).
     log: Mutex<Option<Vec<CacheEvent>>>,
+}
+
+/// Per-shard instrumentation: hit/miss split plus the shard mutex's
+/// contention profile. Registered as `core.cache.shard{i}.*` under
+/// `--metrics`.
+#[derive(Debug)]
+struct ShardTel {
+    hits: wg_obs::Counter,
+    misses: wg_obs::Counter,
+    lock: LockMetrics,
+}
+
+impl ShardTel {
+    fn auto(i: usize) -> Self {
+        if wg_obs::metrics_enabled() {
+            let reg = wg_obs::global();
+            ShardTel {
+                hits: reg.counter(&format!("core.cache.shard{i}.hits")),
+                misses: reg.counter(&format!("core.cache.shard{i}.misses")),
+                lock: LockMetrics::registered(reg, &format!("core.cache.shard{i}.lock")),
+            }
+        } else {
+            ShardTel {
+                hits: wg_obs::Counter::new(),
+                misses: wg_obs::Counter::new(),
+                lock: LockMetrics::unregistered(),
+            }
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -404,6 +492,15 @@ struct Shard {
 struct Entry {
     graph: Arc<CachedGraph>,
     last_used: u64,
+}
+
+/// Small-integer → static string for allocation-free trace args (shard
+/// ids; counts beyond the table collapse to one label).
+fn itoa(i: usize) -> &'static str {
+    const NAMES: [&str; 16] = [
+        "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+    ];
+    NAMES.get(i).copied().unwrap_or("16+")
 }
 
 /// FNV-1a over the key's discriminant and fields: the deterministic shard
@@ -449,15 +546,37 @@ impl GraphCache {
                     })
                 })
                 .collect(),
+            shard_tel: (0..n).map(ShardTel::auto).collect(),
             tick: std::sync::atomic::AtomicU64::new(0),
             metrics: wg_obs::CacheMetrics::auto("core.cache"),
             log: Mutex::new(None),
         }
     }
 
-    fn shard_of(&self, key: &GraphKey) -> &Mutex<Shard> {
-        let i = (shard_hash(key) % self.shards.len() as u64) as usize;
-        &self.shards[i]
+    fn shard_index(&self, key: &GraphKey) -> usize {
+        (shard_hash(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Acquires shard `i`'s mutex. Telemetry off: a plain `lock()` after
+    /// one relaxed load. Telemetry on: counts the acquisition, detects
+    /// contention via `try_lock`, records blocked time on the shard's
+    /// [`LockMetrics`], and attributes it to [`Stage::ShardLock`].
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, Shard> {
+        if !telemetry_enabled() {
+            return self.shards[i].lock();
+        }
+        let lm = &self.shard_tel[i].lock;
+        lm.acquisitions.inc();
+        if let Some(g) = self.shards[i].try_lock() {
+            return g;
+        }
+        lm.contended.inc();
+        let sw = Stopwatch::start();
+        let g = self.shards[i].lock();
+        let ns = sw.elapsed_ns();
+        lm.wait_ns.add(ns);
+        stage_add(Stage::ShardLock, ns);
+        g
     }
 
     fn next_tick(&self) -> u64 {
@@ -527,18 +646,33 @@ impl GraphCache {
     /// Looks up a graph, bumping its recency.
     pub fn get(&self, key: GraphKey) -> Option<Arc<CachedGraph>> {
         let tick = self.next_tick();
-        let mut shard = self.shard_of(&key).lock();
-        match shard.map.get_mut(&key) {
+        let i = self.shard_index(&key);
+        let mut shard = self.lock_shard(i);
+        // Sampled: this runs per list access, far too hot for an
+        // unconditional clock pair. One stopwatch serves both hold-time
+        // and stage attribution (the guard drops right after, so lookup
+        // time ≈ hold time), and the sampled value is scaled to estimate
+        // the full population.
+        let sw = stage_sample();
+        let got = match shard.map.get_mut(&key) {
             Some(e) => {
                 e.last_used = tick;
                 self.metrics.hits.inc();
+                self.shard_tel[i].hits.inc();
                 Some(Arc::clone(&e.graph))
             }
             None => {
                 self.metrics.misses.inc();
+                self.shard_tel[i].misses.inc();
                 None
             }
+        };
+        if let Some(sw) = sw {
+            let ns = sw.elapsed_ns().saturating_mul(SAMPLE_SCALE);
+            self.shard_tel[i].lock.hold_ns.add(ns);
+            stage_add(Stage::CacheLookup, ns);
         }
+        got
     }
 
     /// Inserts a freshly decoded graph, evicting LRU entries from its
@@ -550,7 +684,25 @@ impl GraphCache {
         let bytes = graph.bytes();
         self.metrics.bytes_loaded.add(bytes as u64);
         self.log_event(CacheEvent::Load(key));
-        let mut shard = self.shard_of(&key).lock();
+        let i = self.shard_index(&key);
+        if wg_obs::trace_enabled() {
+            // One event per cache load — rare (miss-bounded), and the
+            // shard id arg is what makes FNV routing skew visible on the
+            // trace timeline.
+            let sw = Stopwatch::start();
+            let kind = match key {
+                GraphKey::Intra(_) => "intra",
+                GraphKey::Super(..) => "super",
+            };
+            wg_obs::record_span_args(
+                "core.cache.load",
+                "core",
+                &sw,
+                &[("shard", itoa(i)), ("kind", kind)],
+            );
+        }
+        let mut shard = self.lock_shard(i);
+        let sw = telemetry_enabled().then(Stopwatch::start);
         // Evict until it fits (or nothing is left to evict).
         while shard.used + bytes > shard.budget {
             let Some(victim) = shard
@@ -580,7 +732,38 @@ impl GraphCache {
             shard.used -= p.graph.bytes();
         }
         shard.used += bytes;
+        if let Some(sw) = sw {
+            let ns = sw.elapsed_ns();
+            self.shard_tel[i].lock.hold_ns.add(ns);
+            stage_add(Stage::CacheLookup, ns);
+        }
         arc
+    }
+
+    /// The shard heatmap: per-shard hit/miss traffic, resident entries
+    /// and bytes, and each shard mutex's contention profile. Lock timing
+    /// is only collected while telemetry is enabled; hit/miss counters
+    /// are always on.
+    pub fn shard_telemetry(&self) -> Vec<wg_obs::ShardStat> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let (entries, bytes) = {
+                    let shard = s.lock();
+                    (shard.map.len() as u64, shard.used as u64)
+                };
+                let tel = &self.shard_tel[i];
+                wg_obs::ShardStat {
+                    shard: i,
+                    hits: tel.hits.get(),
+                    misses: tel.misses.get(),
+                    entries,
+                    bytes,
+                    lock: tel.lock.stats(),
+                }
+            })
+            .collect()
     }
 
     /// Drops every cached graph (cold start between experiment runs).
@@ -784,6 +967,43 @@ mod tests {
         // memo of the evicted instance left nothing behind.
         c.insert(GraphKey::Intra(0), chained_encoded_intra());
         assert_eq!(c.used(), used_after_insert);
+    }
+
+    #[test]
+    fn shard_telemetry_reports_per_shard_traffic() {
+        let c = GraphCache::new(1 << 20);
+        c.insert(GraphKey::Intra(0), CachedGraph::new(vec![vec![1]]));
+        assert!(c.get(GraphKey::Intra(0)).is_some());
+        assert!(c.get(GraphKey::Intra(1)).is_none());
+        let tel = c.shard_telemetry();
+        assert_eq!(tel.len(), DEFAULT_CACHE_SHARDS);
+        // Intra(0) routes to shard 4 (the pinned FNV-1a value above).
+        assert_eq!(tel[4].hits, 1);
+        assert_eq!(tel[4].entries, 1);
+        assert!(tel[4].bytes > 0);
+        let split_hits: u64 = tel.iter().map(|s| s.hits).sum();
+        let split_misses: u64 = tel.iter().map(|s| s.misses).sum();
+        assert_eq!(split_hits, c.stats().hits, "per-shard split sums to total");
+        assert_eq!(split_misses, c.stats().misses);
+    }
+
+    #[test]
+    fn shard_lock_telemetry_counts_acquisitions_when_enabled() {
+        wg_obs::set_telemetry_enabled(true);
+        let c = GraphCache::new(1 << 20);
+        c.insert(GraphKey::Intra(3), CachedGraph::new(vec![vec![1]]));
+        assert!(c.get(GraphKey::Intra(3)).is_some());
+        let tel = c.shard_telemetry();
+        let acq: u64 = tel.iter().map(|s| s.lock.acquisitions).sum();
+        assert_eq!(acq, 2, "insert + get each acquire the shard lock once");
+        wg_obs::set_telemetry_enabled(false);
+        assert!(c.get(GraphKey::Intra(3)).is_some());
+        let acq_after: u64 = c
+            .shard_telemetry()
+            .iter()
+            .map(|s| s.lock.acquisitions)
+            .sum();
+        assert_eq!(acq_after, 2, "telemetry off: lock sites cost one load");
     }
 
     #[test]

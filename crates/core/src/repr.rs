@@ -492,6 +492,12 @@ impl SNode {
         self.cache.reset_stats();
     }
 
+    /// The graph cache's per-shard heatmap (see
+    /// [`GraphCache::shard_telemetry`]).
+    pub fn shard_telemetry(&self) -> Vec<wg_obs::ShardStat> {
+        self.cache.shard_telemetry()
+    }
+
     /// Enables cache event logging.
     pub fn enable_cache_log(&self) {
         self.cache.enable_log();
@@ -559,12 +565,18 @@ impl SNode {
             return Ok(Some(g));
         }
         let loc = self.meta.intranode_loc[s as usize];
+        // Miss path: blob read + directory parse is decode work for stage
+        // attribution (the cache's own admission time is CacheLookup).
+        let sw = wg_obs::telemetry_enabled().then(wg_obs::Stopwatch::start);
         let parsed = self
             .load_blob(&loc, self.blob_base[s as usize])
             .and_then(|bytes| {
                 let index = ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount)?;
                 Ok((bytes, index))
             });
+        if let Some(sw) = sw {
+            wg_obs::stage_add(wg_obs::Stage::ListDecode, sw.elapsed_ns());
+        }
         match parsed {
             Ok((bytes, index)) => Ok(Some(self.cache.insert(
                 key,
@@ -592,10 +604,14 @@ impl SNode {
         let blob_idx = self.blob_base[s as usize] + 1 + u64::from(edge_idx);
         let ni = u64::from(self.meta.supernode_size(s));
         let nj = u64::from(self.meta.supernode_size(j));
+        let sw = wg_obs::telemetry_enabled().then(wg_obs::Stopwatch::start);
         let parsed = self.load_blob(&loc, blob_idx).and_then(|bytes| {
             let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
             Ok((bytes, index))
         });
+        if let Some(sw) = sw {
+            wg_obs::stage_add(wg_obs::Stage::ListDecode, sw.elapsed_ns());
+        }
         match parsed {
             Ok((bytes, index)) => Ok(Some(self.cache.insert(
                 key,

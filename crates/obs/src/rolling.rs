@@ -1,0 +1,330 @@
+//! Rolling time-windowed histograms: live percentiles instead of
+//! process-lifetime aggregates.
+//!
+//! A [`RollingHistogram`] is a fixed ring of log2-bucket windows (the same
+//! 65-bucket geometry as [`Histogram`]). Rotation is driven by a **logical
+//! tick** supplied by the caller — e.g. `requests_served / 64` — not by
+//! wall-clock reads, so rotation is deterministic under test and never
+//! costs a clock syscall on the hot path. A sample recorded with window
+//! number `w` lands in ring slot `w % windows`; advancing to a newer
+//! window lazily zeroes the slots it reuses. A snapshot of the live
+//! windows merges into one [`HistData`], whose percentiles are the "last
+//! `windows × tick-period`" view — the live p50/p90/p99 the `Stats` wire
+//! op and `wgr top` render.
+//!
+//! [`Histogram`]: crate::metrics::Histogram
+
+use crate::metrics::{Histogram, HIST_BUCKETS};
+use std::sync::{Mutex, MutexGuard};
+
+/// A mergeable point-in-time histogram: bucket counts plus count/sum.
+///
+/// This is the exchange format between windows, snapshots, and render
+/// layers: [`HistData::merge`] is associative and commutative, so the
+/// merge of per-window (or per-shard, per-op) snapshots equals the
+/// histogram of the union of their samples — the property the proptest in
+/// `tests/rolling.rs` pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistData {
+    /// Number of samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Per-bucket counts (log2 buckets, [`HIST_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistData {
+    /// An empty histogram.
+    pub fn empty() -> Self {
+        HistData {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one sample (used by windows; snapshots are usually built
+    /// from live histograms instead).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Adds `other`'s samples into `self`.
+    pub fn merge(&mut self, other: &HistData) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`), by linear interpolation
+    /// within the log2 bucket containing the target rank. Exact for
+    /// bucket-boundary values; within one bucket width otherwise. 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based, ceil so p100 = max bucket.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = Histogram::bucket_lower_bound(b);
+                let hi = if b <= 1 { lo } else { (lo << 1) - 1 };
+                // Position of the target rank within this bucket.
+                let into = rank - seen; // 1..=c
+                let width = hi - lo;
+                return lo + (width as f64 * into as f64 / c as f64) as u64;
+            }
+            seen += c;
+        }
+        0
+    }
+
+    /// Snapshot of a live [`Histogram`]'s current contents.
+    pub fn of(h: &Histogram) -> Self {
+        HistData {
+            count: h.count(),
+            sum: h.sum(),
+            buckets: (0..HIST_BUCKETS).map(|b| h.bucket_count(b)).collect(),
+        }
+    }
+}
+
+/// One window of the ring: the logical window number it currently holds,
+/// plus its samples.
+#[derive(Debug, Clone)]
+struct Window {
+    window_no: u64,
+    data: HistData,
+}
+
+#[derive(Debug)]
+struct Ring {
+    windows: Vec<Window>,
+    /// Highest window number seen so far.
+    newest: u64,
+    /// Samples rejected because their window had already rotated out.
+    late: u64,
+}
+
+/// A ring of [`HistData`] windows rotated by a caller-supplied logical
+/// tick. See the module docs for the geometry; all methods take `&self`
+/// (one short mutex acquisition each — this is a reporting structure, not
+/// a per-nanosecond hot path; hot paths accumulate into [`Counter`]s or
+/// [`Histogram`]s and feed a rolling histogram per *request*).
+///
+/// [`Counter`]: crate::metrics::Counter
+#[derive(Debug)]
+pub struct RollingHistogram {
+    ring: Mutex<Ring>,
+    num_windows: usize,
+}
+
+/// Locks the ring, recovering from poisoning (the data is plain counters;
+/// a panicked recorder leaves nothing inconsistent worth propagating).
+fn lock_ring(m: &Mutex<Ring>) -> MutexGuard<'_, Ring> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Snapshot of a rolling histogram: the live windows (newest first) and
+/// the count of late-dropped samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollingSnapshot {
+    /// `(window_no, data)` for every window holding samples, newest first.
+    pub windows: Vec<(u64, HistData)>,
+    /// Samples dropped because they arrived for an already-rotated window.
+    pub late: u64,
+}
+
+impl RollingSnapshot {
+    /// All windows merged into one histogram — the "recent activity" view.
+    pub fn merged(&self) -> HistData {
+        let mut out = HistData::empty();
+        for (_, w) in &self.windows {
+            out.merge(w);
+        }
+        out
+    }
+}
+
+impl RollingHistogram {
+    /// A ring of `num_windows` windows (at least 1), starting at logical
+    /// window 0.
+    pub fn new(num_windows: usize) -> Self {
+        let n = num_windows.max(1);
+        RollingHistogram {
+            ring: Mutex::new(Ring {
+                windows: (0..n)
+                    .map(|_| Window {
+                        window_no: 0,
+                        data: HistData::empty(),
+                    })
+                    .collect(),
+                newest: 0,
+                late: 0,
+            }),
+            num_windows: n,
+        }
+    }
+
+    /// Number of windows in the ring.
+    pub fn num_windows(&self) -> usize {
+        self.num_windows
+    }
+
+    /// Rotates forward so `window_no` is live, zeroing every slot the
+    /// rotation reuses. Window numbers are monotone: advancing backwards
+    /// is a no-op.
+    pub fn advance_to(&self, window_no: u64) {
+        let mut r = lock_ring(&self.ring);
+        Self::advance_locked(&mut r, self.num_windows, window_no);
+    }
+
+    fn advance_locked(r: &mut Ring, n: usize, window_no: u64) {
+        if window_no <= r.newest {
+            return;
+        }
+        // Zero only the slots actually reused; a jump of >= n windows
+        // wipes the whole ring exactly once.
+        let steps = (window_no - r.newest).min(n as u64);
+        for w in (window_no + 1 - steps)..=window_no {
+            let slot = (w % n as u64) as usize;
+            r.windows[slot].window_no = w;
+            r.windows[slot].data = HistData::empty();
+        }
+        r.newest = window_no;
+    }
+
+    /// Records `v` into logical window `window_no`, rotating forward if
+    /// `window_no` is newer than anything seen. A sample for a window that
+    /// has already rotated out of the ring is counted as `late` and
+    /// dropped — never smeared into a wrong window.
+    pub fn record(&self, window_no: u64, v: u64) {
+        let mut r = lock_ring(&self.ring);
+        Self::advance_locked(&mut r, self.num_windows, window_no);
+        let slot = (window_no % self.num_windows as u64) as usize;
+        if r.windows[slot].window_no != window_no {
+            r.late += 1;
+            return;
+        }
+        r.windows[slot].data.record(v);
+    }
+
+    /// Point-in-time snapshot: live windows newest-first plus the late
+    /// count. Empty windows are skipped.
+    pub fn snapshot(&self) -> RollingSnapshot {
+        let r = lock_ring(&self.ring);
+        let mut windows: Vec<(u64, HistData)> = r
+            .windows
+            .iter()
+            .filter(|w| w.data.count > 0)
+            .map(|w| (w.window_no, w.data.clone()))
+            .collect();
+        windows.sort_by_key(|w| std::cmp::Reverse(w.0));
+        RollingSnapshot {
+            windows,
+            late: r.late,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_single_bucket_interpolates() {
+        let mut h = HistData::empty();
+        for v in [1u64, 1, 1, 1] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 1);
+        assert_eq!(h.percentile(1.0), 1);
+        assert_eq!(h.mean(), 1);
+    }
+
+    #[test]
+    fn percentile_orders_across_buckets() {
+        let mut h = HistData::empty();
+        // 90 small samples, 10 big ones.
+        for _ in 0..90 {
+            h.record(4);
+        }
+        for _ in 0..10 {
+            h.record(1 << 20);
+        }
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= 7, "p50 in the small bucket, got {p50}");
+        assert!(p99 >= 1 << 19, "p99 in the big bucket, got {p99}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = HistData::empty();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn ring_rotation_reuses_slots() {
+        let r = RollingHistogram::new(2);
+        r.record(0, 10);
+        r.record(1, 20);
+        // Window 2 reuses window 0's slot.
+        r.record(2, 30);
+        let snap = r.snapshot();
+        let nos: Vec<u64> = snap.windows.iter().map(|w| w.0).collect();
+        assert_eq!(nos, vec![2, 1]);
+        assert_eq!(snap.merged().count, 2);
+        assert_eq!(snap.late, 0);
+    }
+
+    #[test]
+    fn late_samples_are_dropped_not_smeared() {
+        let r = RollingHistogram::new(2);
+        r.advance_to(5);
+        r.record(1, 99); // window 1 rotated out long ago
+        let snap = r.snapshot();
+        assert_eq!(snap.late, 1);
+        assert_eq!(snap.merged().count, 0);
+    }
+
+    #[test]
+    fn large_jump_wipes_whole_ring_once() {
+        let r = RollingHistogram::new(4);
+        for w in 0..4u64 {
+            r.record(w, 1);
+        }
+        r.advance_to(1_000_000);
+        assert_eq!(r.snapshot().merged().count, 0);
+        r.record(1_000_000, 7);
+        assert_eq!(r.snapshot().merged().count, 1);
+    }
+}

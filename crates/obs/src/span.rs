@@ -26,27 +26,24 @@ pub fn metrics_enabled() -> bool {
     METRICS_ENABLED.load(Ordering::Relaxed)
 }
 
-/// Microseconds since the process's trace epoch (first use). Trace events
-/// share this epoch so their timestamps are mutually comparable.
-pub(crate) fn now_us() -> u64 {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    let epoch = *EPOCH.get_or_init(Instant::now);
-    Instant::now().duration_since(epoch).as_micros() as u64
-}
+/// The process's trace epoch, anchored by the first timestamp that asks
+/// for it. Trace events share this epoch so their timestamps are mutually
+/// comparable.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
 
-/// A monotonic timer. Construction also notes the trace-epoch-relative
-/// start so a finished span can be placed on the trace timeline.
+/// A monotonic timer. Construction is a single clock read — the
+/// trace-epoch-relative start a trace event needs is derived lazily in
+/// [`Stopwatch::start_us`], so the per-list instrumentation on the decode
+/// path never pays for a timestamp nobody renders.
 #[derive(Debug, Clone, Copy)]
 pub struct Stopwatch {
     start: Instant,
-    start_us: u64,
 }
 
 impl Stopwatch {
     /// Starts timing now.
     pub fn start() -> Self {
         Stopwatch {
-            start_us: now_us(),
             start: Instant::now(),
         }
     }
@@ -62,9 +59,11 @@ impl Stopwatch {
         u64::try_from(n).unwrap_or(u64::MAX)
     }
 
-    /// Trace-epoch-relative start time in microseconds.
+    /// Trace-epoch-relative start time in microseconds (0 for a stopwatch
+    /// started before the first trace timestamp anchored the epoch).
     pub fn start_us(&self) -> u64 {
-        self.start_us
+        let epoch = *EPOCH.get_or_init(|| self.start);
+        self.start.saturating_duration_since(epoch).as_micros() as u64
     }
 }
 
@@ -74,6 +73,13 @@ impl Stopwatch {
 /// elapsed nanoseconds either way, so callers can keep their own
 /// bookkeeping from the same measurement.
 pub fn record_span(name: &str, cat: &str, sw: &Stopwatch) -> u64 {
+    record_span_args(name, cat, sw, &[])
+}
+
+/// [`record_span`], with string args attached to the trace event (e.g.
+/// the serve path's request op-code and cache shard id). Args only cost
+/// when tracing is enabled; the histogram side is identical.
+pub fn record_span_args(name: &str, cat: &str, sw: &Stopwatch, args: &[(&str, &str)]) -> u64 {
     let ns = sw.elapsed_ns();
     if metrics_enabled() {
         crate::registry::global()
@@ -81,7 +87,7 @@ pub fn record_span(name: &str, cat: &str, sw: &Stopwatch) -> u64 {
             .record(ns);
     }
     if crate::trace::trace_enabled() {
-        crate::trace::push_event(name, cat, sw.start_us(), ns / 1_000);
+        crate::trace::push_event_args(name, cat, sw.start_us(), ns / 1_000, args);
     }
     ns
 }
@@ -98,9 +104,9 @@ mod tests {
     }
 
     #[test]
-    fn now_us_monotonic() {
-        let a = now_us();
-        let b = now_us();
-        assert!(b >= a);
+    fn start_us_is_epoch_relative_and_monotonic() {
+        let a = Stopwatch::start();
+        let b = Stopwatch::start();
+        assert!(b.start_us() >= a.start_us());
     }
 }

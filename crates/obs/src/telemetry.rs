@@ -1,0 +1,387 @@
+//! Live-service telemetry: the process-wide telemetry flag, per-request
+//! **stage attribution**, and **lock contention metrics**.
+//!
+//! This is the third instrumentation tier (after always-on instance
+//! counters and `--metrics`-gated shared measurements): fine-grained
+//! timing that only a serving front-end wants, gated on its own flag so a
+//! batch `wgr query` run pays exactly one relaxed bool load per would-be
+//! measurement ([`telemetry_enabled`]) and nothing else.
+//!
+//! # Stage attribution
+//!
+//! A serve worker owns its connection for the connection's lifetime, so a
+//! request is processed start-to-finish on one thread. That makes
+//! thread-local accumulators a complete span context: the worker calls
+//! [`stage_scope_begin`] after reading a request frame, the layers it
+//! calls into ([`crate::Stopwatch`]-time their own critical work and)
+//! report via [`stage_add`], and the worker collects the per-stage totals
+//! with [`stage_scope_end`]. Outside an active scope `stage_add` is a
+//! no-op, so instrumented library code behaves identically under batch
+//! CLI runs.
+//!
+//! The stage taxonomy is fixed (DESIGN.md §5g): admission-queue wait,
+//! shard/pool lock acquisition, cache lookup, list decode, response
+//! write. Stages are disjoint slices of a request's wall time; whatever
+//! they do not cover (index probes, scoring, row sorting) is the
+//! remainder against the end-to-end latency.
+
+use crate::metrics::Counter;
+use crate::span::Stopwatch;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TELEMETRY_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns per-request telemetry (stage attribution, lock timing) on or
+/// off process-wide. The serve front-end raises this; batch commands
+/// leave it down.
+pub fn set_telemetry_enabled(on: bool) {
+    TELEMETRY_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether per-request telemetry is on. One relaxed load — the entire
+/// cost of every instrumentation site when telemetry is off.
+#[inline]
+pub fn telemetry_enabled() -> bool {
+    TELEMETRY_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of request stages.
+pub const NUM_STAGES: usize = 5;
+
+/// One stage of a serve request's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Waiting in the admission queue before a worker claimed the
+    /// connection (attributed to the connection's first request).
+    QueueWait = 0,
+    /// Blocked acquiring a contended lock: GraphCache shard, decoded-list
+    /// memo, or buffer-pool mutex.
+    ShardLock = 1,
+    /// Inside the graph cache: lookup, admission, and eviction work (lock
+    /// wait excluded — that is [`Stage::ShardLock`]).
+    CacheLookup = 2,
+    /// Decoding adjacency lists (memo lock wait excluded) and loading and
+    /// parsing encoded graph blobs on a cache miss.
+    ListDecode = 3,
+    /// Writing the response frame back to the socket.
+    RespWrite = 4,
+}
+
+impl Stage {
+    /// Every stage, in index order.
+    pub const ALL: [Stage; NUM_STAGES] = [
+        Stage::QueueWait,
+        Stage::ShardLock,
+        Stage::CacheLookup,
+        Stage::ListDecode,
+        Stage::RespWrite,
+    ];
+
+    /// Stable snake_case name (slowlog schema, bench JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::ShardLock => "shard_lock",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::ListDecode => "list_decode",
+            Stage::RespWrite => "resp_write",
+        }
+    }
+
+    /// Index into a `[u64; NUM_STAGES]` accumulator.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+thread_local! {
+    static STAGE_NS: Cell<[u64; NUM_STAGES]> = const { Cell::new([0; NUM_STAGES]) };
+    static STAGE_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Opens a stage scope on this thread, zeroing the accumulators.
+/// Subsequent [`stage_add`] calls on this thread accumulate until
+/// [`stage_scope_end`].
+pub fn stage_scope_begin() {
+    STAGE_NS.with(|s| s.set([0; NUM_STAGES]));
+    STAGE_ACTIVE.with(|a| a.set(true));
+}
+
+/// Closes the thread's stage scope and returns the accumulated
+/// nanoseconds per stage (indexed by [`Stage::index`]).
+pub fn stage_scope_end() -> [u64; NUM_STAGES] {
+    STAGE_ACTIVE.with(|a| a.set(false));
+    STAGE_NS.with(|s| s.get())
+}
+
+/// Attributes `ns` nanoseconds to `stage` in the current thread's scope.
+/// No-op (one relaxed load) when telemetry is off; no-op when no scope is
+/// active. Allocation-free, so it is safe on the zero-alloc decode paths.
+#[inline]
+pub fn stage_add(stage: Stage, ns: u64) {
+    if !telemetry_enabled() {
+        return;
+    }
+    if !STAGE_ACTIVE.with(|a| a.get()) {
+        return;
+    }
+    STAGE_NS.with(|s| {
+        let mut v = s.get();
+        v[stage.index()] = v[stage.index()].saturating_add(ns);
+        s.set(v);
+    });
+}
+
+/// Sampling period of [`stage_sample`]: one in this many calls is timed.
+pub const SAMPLE_PERIOD: u32 = 8;
+
+/// Scale factor a sampled duration must be multiplied by before it is
+/// attributed, so sampled sums estimate the full population.
+pub const SAMPLE_SCALE: u64 = SAMPLE_PERIOD as u64;
+
+thread_local! {
+    static SAMPLE_TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Telemetry-gated *sampled* stopwatch for per-list hot paths (cache
+/// lookups, list decodes): returns `Some` on one in [`SAMPLE_PERIOD`]
+/// calls per thread, `None` otherwise (and always `None` with telemetry
+/// off). The caller multiplies the elapsed time by [`SAMPLE_SCALE`]
+/// before attributing it, making the attributed sum an unbiased estimate
+/// of the true stage time while the untimed majority of calls pay only a
+/// thread-local counter bump — these sites run hundreds of times per
+/// request, where an unconditional clock pair would dominate the work
+/// being measured.
+#[inline]
+pub fn stage_sample() -> Option<Stopwatch> {
+    if !telemetry_enabled() {
+        return None;
+    }
+    SAMPLE_TICK.with(|c| {
+        let v = c.get().wrapping_add(1);
+        c.set(v);
+        (v % SAMPLE_PERIOD == 0).then(Stopwatch::start)
+    })
+}
+
+/// Lock acquisition/hold accounting for one mutex (or one family of
+/// mutexes sharing the counters). All updates are telemetry-gated by the
+/// *callers* — when telemetry is off the lock site must not even start a
+/// stopwatch; see [`GraphCache`]'s shard locking for the canonical shape.
+///
+/// [`GraphCache`]: ../wg_snode/index.html
+#[derive(Debug, Clone, Default)]
+pub struct LockMetrics {
+    /// Telemetry-observed acquisitions.
+    pub acquisitions: Counter,
+    /// Acquisitions that found the lock held (`try_lock` failed) and had
+    /// to block.
+    pub contended: Counter,
+    /// Nanoseconds spent blocked on contended acquisitions.
+    pub wait_ns: Counter,
+    /// Nanoseconds the lock was held (measured via [`LockMetrics::held`]).
+    pub hold_ns: Counter,
+}
+
+/// Point-in-time copy of a [`LockMetrics`] group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Telemetry-observed acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that had to block.
+    pub contended: u64,
+    /// Nanoseconds spent blocked.
+    pub wait_ns: u64,
+    /// Nanoseconds held.
+    pub hold_ns: u64,
+}
+
+impl LockMetrics {
+    /// A private, unregistered group.
+    pub fn unregistered() -> Self {
+        Self::default()
+    }
+
+    /// A group registered in `reg` as `{prefix}.acquisitions`,
+    /// `{prefix}.contended`, `{prefix}.wait_ns`, `{prefix}.hold_ns`.
+    pub fn registered(reg: &crate::registry::Registry, prefix: &str) -> Self {
+        Self {
+            acquisitions: reg.counter(&format!("{prefix}.acquisitions")),
+            contended: reg.counter(&format!("{prefix}.contended")),
+            wait_ns: reg.counter(&format!("{prefix}.wait_ns")),
+            hold_ns: reg.counter(&format!("{prefix}.hold_ns")),
+        }
+    }
+
+    /// Registered in the global registry when the metrics flag is up at
+    /// construction time, private otherwise (the [`CacheMetrics::auto`]
+    /// pattern).
+    ///
+    /// [`CacheMetrics::auto`]: crate::metrics::CacheMetrics::auto
+    pub fn auto(prefix: &str) -> Self {
+        if crate::span::metrics_enabled() {
+            Self::registered(crate::registry::global(), prefix)
+        } else {
+            Self::unregistered()
+        }
+    }
+
+    /// Point-in-time copy of the counters.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.get(),
+            contended: self.contended.get(),
+            wait_ns: self.wait_ns.get(),
+            hold_ns: self.hold_ns.get(),
+        }
+    }
+
+    /// Starts a hold-time measurement when telemetry is on; the returned
+    /// timer adds to `hold_ns` on drop. Bind it right after the guard so
+    /// it drops with (just before) the guard at scope end.
+    pub fn held(&self) -> Option<HoldTimer> {
+        telemetry_enabled().then(|| HoldTimer {
+            hold_ns: self.hold_ns.clone(),
+            sw: Stopwatch::start(),
+        })
+    }
+
+    /// Resets all four counters.
+    pub fn reset(&self) {
+        self.acquisitions.reset();
+        self.contended.reset();
+        self.wait_ns.reset();
+        self.hold_ns.reset();
+    }
+}
+
+/// Adds the elapsed time since construction to a lock's `hold_ns` when
+/// dropped. Created by [`LockMetrics::held`].
+#[derive(Debug)]
+pub struct HoldTimer {
+    hold_ns: Counter,
+    sw: Stopwatch,
+}
+
+impl Drop for HoldTimer {
+    fn drop(&mut self) {
+        self.hold_ns.add(self.sw.elapsed_ns());
+    }
+}
+
+/// One row of a shard heatmap: per-shard cache traffic plus the shard
+/// mutex's contention profile. Produced by sharded caches, surfaced over
+/// the serve `Stats` op and in `BENCH_serve.json` so FNV-1a routing skew
+/// is measurable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Lookups satisfied by this shard.
+    pub hits: u64,
+    /// Lookups that missed in this shard.
+    pub misses: u64,
+    /// Graphs currently resident in the shard.
+    pub entries: u64,
+    /// Bytes currently resident in the shard.
+    pub bytes: u64,
+    /// The shard mutex's contention profile.
+    pub lock: LockStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The telemetry flag is process-global, so every flag-dependent
+    // behaviour is exercised in this one test to avoid cross-test
+    // interference under the parallel test runner (same pattern as the
+    // trace ring's lifecycle test).
+    #[test]
+    fn stage_scope_lifecycle() {
+        // Off: stage_add is a no-op even inside a scope.
+        set_telemetry_enabled(false);
+        stage_scope_begin();
+        stage_add(Stage::CacheLookup, 42);
+        assert_eq!(stage_scope_end()[Stage::CacheLookup.index()], 0);
+        let m = LockMetrics::unregistered();
+        assert!(m.held().is_none(), "no hold timer when telemetry is off");
+        assert!(
+            (0..2 * SAMPLE_PERIOD).all(|_| stage_sample().is_none()),
+            "no sampling when telemetry is off"
+        );
+
+        // On: accumulation only while a scope is active.
+        set_telemetry_enabled(true);
+        stage_add(Stage::ListDecode, 100); // no scope: dropped
+        stage_scope_begin();
+        stage_add(Stage::ListDecode, 5);
+        stage_add(Stage::ListDecode, 7);
+        stage_add(Stage::ShardLock, 3);
+        let got = stage_scope_end();
+        assert_eq!(got[Stage::ListDecode.index()], 12);
+        assert_eq!(got[Stage::ShardLock.index()], 3);
+        assert_eq!(got[Stage::QueueWait.index()], 0);
+        stage_add(Stage::RespWrite, 9); // scope closed: dropped
+        stage_scope_begin();
+        assert_eq!(stage_scope_end(), [0; NUM_STAGES], "scopes start zeroed");
+
+        // Sampling: exactly one in SAMPLE_PERIOD calls is timed (the
+        // thread-local tick makes the cadence deterministic per thread).
+        let sampled = (0..2 * SAMPLE_PERIOD)
+            .filter(|_| stage_sample().is_some())
+            .count();
+        assert_eq!(sampled, 2, "1-in-{SAMPLE_PERIOD} sampling cadence");
+
+        // Hold timers record on drop while the flag is up.
+        {
+            let _held = m.held().expect("telemetry on");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let s = m.stats();
+        assert!(s.hold_ns >= 1_000_000, "hold time recorded on drop");
+        assert_eq!(s.acquisitions, 0, "held() does not count acquisitions");
+        set_telemetry_enabled(false);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "queue_wait",
+                "shard_lock",
+                "cache_lookup",
+                "list_decode",
+                "resp_write"
+            ]
+        );
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn lock_metrics_snapshot_copies_counters() {
+        let m = LockMetrics::unregistered();
+        m.acquisitions.add(3);
+        m.contended.inc();
+        m.wait_ns.add(250);
+        m.hold_ns.add(900);
+        let s = m.stats();
+        assert_eq!(
+            s,
+            LockStats {
+                acquisitions: 3,
+                contended: 1,
+                wait_ns: 250,
+                hold_ns: 900,
+            }
+        );
+        m.reset();
+        assert_eq!(m.stats(), LockStats::default());
+    }
+}

@@ -23,6 +23,10 @@ pub struct TraceEvent {
     pub dur_us: u64,
     /// Small per-thread ordinal (not the OS thread id).
     pub tid: u64,
+    /// Chrome trace `args`: string key/value pairs rendered into the
+    /// event's `"args"` object (empty = no args emitted). The serve path
+    /// uses this for the request op-code and the cache shard id.
+    pub args: Vec<(String, String)>,
 }
 
 struct Ring {
@@ -77,16 +81,27 @@ pub fn trace_enabled() -> bool {
     TRACE_ENABLED.load(Ordering::Relaxed)
 }
 
-/// Appends a complete event (called via [`record_span`]).
+/// Appends a complete event carrying string args (called via
+/// [`record_span_args`]).
 ///
-/// [`record_span`]: crate::span::record_span
-pub(crate) fn push_event(name: &str, cat: &str, ts_us: u64, dur_us: u64) {
+/// [`record_span_args`]: crate::span::record_span_args
+pub(crate) fn push_event_args(
+    name: &str,
+    cat: &str,
+    ts_us: u64,
+    dur_us: u64,
+    args: &[(&str, &str)],
+) {
     let ev = TraceEvent {
         name: name.to_string(),
         cat: cat.to_string(),
         ts_us,
         dur_us,
         tid: current_tid(),
+        args: args
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
     };
     let mut r = lock_ring();
     if r.capacity == 0 {
@@ -122,8 +137,24 @@ pub fn trace_to_json(events: &[TraceEvent], dropped: u64) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     for (i, ev) in events.iter().enumerate() {
         let comma = if i + 1 < events.len() { "," } else { "" };
+        let args = if ev.args.is_empty() {
+            String::new()
+        } else {
+            let body: Vec<String> = ev
+                .args
+                .iter()
+                .map(|(k, v)| {
+                    format!(
+                        "\"{}\":\"{}\"",
+                        crate::json_escape(k),
+                        crate::json_escape(v)
+                    )
+                })
+                .collect();
+            format!(",\"args\":{{{}}}", body.join(","))
+        };
         out.push_str(&format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}{comma}\n",
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}{args}}}{comma}\n",
             crate::json_escape(&ev.name),
             crate::json_escape(&ev.cat),
             ev.ts_us,
@@ -155,7 +186,7 @@ mod tests {
         enable_trace(3);
         assert!(trace_enabled());
         for i in 0..5u64 {
-            push_event("ev", "t", i * 10, 1);
+            push_event_args("ev", "t", i * 10, 1, &[]);
         }
         let (events, dropped) = take_trace();
         assert_eq!(events.len(), 3, "bounded at capacity");
@@ -166,6 +197,20 @@ mod tests {
         let json = trace_to_json(&events, dropped);
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("\"droppedEvents\":2"));
+        // Args render as a Chrome trace "args" object; arg-less events
+        // omit the key entirely.
+        push_event_args("req", "serve", 100, 2, &[("op", "q3"), ("shard", "5")]);
+        let (events, _) = take_trace();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].args,
+            vec![
+                ("op".to_string(), "q3".to_string()),
+                ("shard".to_string(), "5".to_string())
+            ]
+        );
+        let json = trace_to_json(&events, 0);
+        assert!(json.contains("\"args\":{\"op\":\"q3\",\"shard\":\"5\"}"));
         enable_trace(0);
         assert!(!trace_enabled());
     }

@@ -1,0 +1,130 @@
+//! Rolling-window histogram contract tests: deterministic rotation under
+//! fixed logical ticks, saturation behaviour, and a proptest that merged
+//! window snapshots equal the histogram of all samples together.
+
+// Test code: unwrap on fixture failure is the desired behaviour.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use wg_obs::{HistData, RollingHistogram};
+
+/// Replays `(window, value)` samples and returns the snapshot's
+/// `(window_no, count)` rows — the observable rotation state.
+fn replay(windows: usize, samples: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let r = RollingHistogram::new(windows);
+    for &(w, v) in samples {
+        r.record(w, v);
+    }
+    r.snapshot()
+        .windows
+        .iter()
+        .map(|(no, d)| (*no, d.count))
+        .collect()
+}
+
+#[test]
+fn rotation_is_deterministic_under_fixed_ticks() {
+    let samples: Vec<(u64, u64)> = (0..200u64).map(|i| (i / 10, i * 3)).collect();
+    let a = replay(4, &samples);
+    let b = replay(4, &samples);
+    assert_eq!(a, b, "same ticks, same samples, same ring state");
+    // Exactly the last 4 windows are live, newest first, 10 samples each.
+    assert_eq!(a, vec![(19, 10), (18, 10), (17, 10), (16, 10)]);
+}
+
+#[test]
+fn advancing_without_samples_expires_old_windows() {
+    let r = RollingHistogram::new(3);
+    r.record(0, 5);
+    r.record(1, 5);
+    assert_eq!(r.snapshot().merged().count, 2);
+    // Idle ticks roll both sample-bearing windows out of the ring.
+    r.advance_to(4);
+    assert_eq!(
+        r.snapshot().merged().count,
+        0,
+        "idle rotation must expire stale windows"
+    );
+}
+
+#[test]
+fn window_numbers_are_monotone() {
+    let r = RollingHistogram::new(4);
+    r.record(10, 1);
+    // A sample for an already-expired window is dropped and counted, not
+    // recorded into someone else's window.
+    r.record(2, 99);
+    let snap = r.snapshot();
+    assert_eq!(snap.late, 1);
+    assert_eq!(snap.merged().count, 1);
+    assert_eq!(snap.merged().sum, 1);
+}
+
+#[test]
+fn sum_saturates_instead_of_wrapping() {
+    let mut h = HistData::empty();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    assert_eq!(h.sum, u64::MAX, "sum saturates");
+    assert_eq!(h.count, 2);
+    // Merging saturated parts saturates too.
+    let mut m = HistData::empty();
+    m.record(u64::MAX);
+    m.merge(&h);
+    assert_eq!(m.sum, u64::MAX);
+    assert_eq!(m.count, 3);
+    // The rolling ring inherits the behaviour.
+    let r = RollingHistogram::new(2);
+    r.record(0, u64::MAX);
+    r.record(0, u64::MAX);
+    assert_eq!(r.snapshot().merged().sum, u64::MAX);
+}
+
+#[test]
+fn percentiles_are_monotone_in_q() {
+    let mut h = HistData::empty();
+    for v in 0..1000u64 {
+        h.record(v * v);
+    }
+    let mut last = 0;
+    for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+        let p = h.percentile(q);
+        assert!(p >= last, "percentile({q}) = {p} < {last}");
+        last = p;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Merged per-window snapshots equal the histogram of the union of
+    /// their samples: recording values window-by-window and merging the
+    /// snapshot must equal recording everything into one `HistData`,
+    /// as long as no window rotated out (ring sized to hold them all).
+    #[test]
+    fn merged_windows_equal_sum_of_parts(
+        per_window in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000, 0..20),
+            1..6,
+        ),
+    ) {
+        let ring = RollingHistogram::new(per_window.len());
+        let mut whole = HistData::empty();
+        for (w, values) in per_window.iter().enumerate() {
+            for &v in values {
+                ring.record(w as u64, v);
+                whole.record(v);
+            }
+        }
+        let snap = ring.snapshot();
+        prop_assert_eq!(snap.late, 0);
+        let merged = snap.merged();
+        prop_assert_eq!(&merged, &whole, "merge must equal union of samples");
+        // Merge is order-independent: fold the windows in reverse.
+        let mut rev = HistData::empty();
+        for (_, d) in snap.windows.iter() {
+            rev.merge(d);
+        }
+        prop_assert_eq!(&rev, &whole);
+    }
+}

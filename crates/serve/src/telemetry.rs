@@ -1,0 +1,436 @@
+//! Live service telemetry: per-op rolling latency windows, per-stage
+//! attribution, shard heatmaps, and a structured slow-query log.
+//!
+//! Everything here is gated on the process-wide
+//! [`wg_obs::telemetry_enabled`] flag, raised by [`Server::start`] from
+//! [`ServeConfig::telemetry`]. With the flag down, the serve path pays one
+//! relaxed atomic load per request and records nothing.
+//!
+//! The design separates *live* from *cumulative* state deliberately:
+//!
+//! * **Live percentiles** come from [`RollingHistogram`]s — a fixed ring
+//!   of log2-bucket windows rotated every [`WINDOW_EVERY`] requests
+//!   (a logical tick, so tests are deterministic), holding [`WINDOWS`]
+//!   windows. `p50/p90/p99` in the snapshot therefore describe *recent*
+//!   traffic, not the whole run.
+//! * **Monotonic counts** (total requests, per-op counts, per-op stage
+//!   nanosecond sums, cumulative stage histograms) never expire, so a
+//!   client polling [`ServeTelemetry::snapshot_json`] can assert they only
+//!   grow — the concurrent-serve test does exactly that.
+//!
+//! [`Server::start`]: crate::server::Server::start
+//! [`ServeConfig::telemetry`]: crate::server::ServeConfig::telemetry
+
+use crate::server::{ServeContext, ServerStats};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use wg_obs::{Counter, HistData, Histogram, RollingHistogram, ShardStat, Stage, NUM_STAGES};
+
+/// Ops with per-op telemetry: ping, the six workload queries, raw
+/// navigation. Unknown opcodes land in the server's error counter only.
+pub const NUM_OPS: usize = 8;
+
+/// Display names, indexed by the op index [`dispatch`] reports.
+///
+/// [`dispatch`]: crate::server::Server
+pub const OP_NAMES: [&str; NUM_OPS] = ["ping", "q1", "q2", "q3", "q4", "q5", "q6", "nav"];
+
+/// Requests per rolling window (the logical tick driving rotation).
+pub const WINDOW_EVERY: u64 = 64;
+
+/// Windows held live per op (`WINDOWS × WINDOW_EVERY` requests of
+/// history feed the live percentiles).
+pub const WINDOWS: usize = 8;
+
+/// Slow-query entries retained in memory (oldest evicted first).
+pub const SLOWLOG_CAP: usize = 128;
+
+/// Stage-overrun tolerance: flag when the stage sum exceeds
+/// `total × SAMPLE_SCALE + 200 µs`. Stages are disjoint slices of the
+/// request's wall time, so their *exact* sum is ≤ total; the 1-in-8
+/// sampling of the per-list sites ([`wg_obs::stage_sample`]) inflates
+/// any one stage by at most [`wg_obs::SAMPLE_SCALE`], so the scaled sum
+/// can never legitimately exceed `SAMPLE_SCALE × total` (plus timer
+/// noise). Crossing that bound means the attribution itself is broken —
+/// a stage double-counted, or a scope leaking across requests.
+const OVERRUN_SLACK_NS: u64 = 200_000;
+
+/// One retained slow-query record (also emitted to stderr as JSON).
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Request sequence number (0-based, server lifetime).
+    pub seq: u64,
+    /// Op display name.
+    pub op: &'static str,
+    /// End-to-end latency in microseconds.
+    pub total_us: u64,
+    /// Response status wire byte.
+    pub status: u8,
+    /// FNV-1a row fingerprint (0 for non-query ops).
+    pub fingerprint: u64,
+    /// Per-stage microseconds, indexed by [`Stage`].
+    pub stages_us: [u64; NUM_STAGES],
+}
+
+impl SlowEntry {
+    /// Renders the entry as one JSON line (the slowlog wire format:
+    /// `{"seq":..,"op":"q3","total_us":..,"status":0,
+    /// "fingerprint":"..hex..","stages_us":{"queue_wait":..,...}}`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(192);
+        s.push_str(&format!(
+            "{{\"seq\":{},\"op\":\"{}\",\"total_us\":{},\"status\":{},\"fingerprint\":\"{:016x}\",\"stages_us\":{{",
+            self.seq, self.op, self.total_us, self.status, self.fingerprint
+        ));
+        for (i, st) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", st.name(), self.stages_us[i]));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Shared telemetry state for one running server.
+pub struct ServeTelemetry {
+    /// Request sequence counter; `seq / WINDOW_EVERY` is the logical
+    /// window number every rolling histogram rotates on.
+    seq: AtomicU64,
+    /// Cumulative per-op request counts (monotonic).
+    op_counts: [Counter; NUM_OPS],
+    /// Cumulative per-op end-to-end nanoseconds (monotonic; the
+    /// denominator of the attribution cross-check: stage sums must stay
+    /// within tolerance of this).
+    op_total_ns: [Counter; NUM_OPS],
+    /// Live per-op end-to-end latency (rolling windows, nanoseconds).
+    op_latency: Vec<RollingHistogram>,
+    /// Cumulative all-ops latency distribution per stage (nanoseconds;
+    /// zero-duration stages are not recorded, so `count` per stage is
+    /// "requests in which the stage actually ran").
+    stage_hist: [Histogram; NUM_STAGES],
+    /// Cumulative per-op per-stage nanosecond sums (the attribution
+    /// matrix: where did each op's time go?).
+    op_stage_ns: [[Counter; NUM_STAGES]; NUM_OPS],
+    /// Requests whose stage sum exceeded the overrun tolerance.
+    stage_overruns: Counter,
+    /// Slowlog threshold in nanoseconds (0 = disabled).
+    slowlog_ns: u64,
+    /// Retained slow queries, oldest first.
+    slowlog: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl ServeTelemetry {
+    /// Creates telemetry state; `slowlog_us` of 0 disables the slowlog.
+    pub fn new(slowlog_us: u64) -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            op_counts: std::array::from_fn(|_| Counter::new()),
+            op_total_ns: std::array::from_fn(|_| Counter::new()),
+            op_latency: (0..NUM_OPS)
+                .map(|_| RollingHistogram::new(WINDOWS))
+                .collect(),
+            stage_hist: std::array::from_fn(|_| Histogram::new()),
+            op_stage_ns: std::array::from_fn(|_| std::array::from_fn(|_| Counter::new())),
+            stage_overruns: Counter::new(),
+            slowlog_ns: slowlog_us.saturating_mul(1_000),
+            slowlog: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records one finished request: rotates the op's rolling window,
+    /// feeds the attribution matrix, checks stage-sum sanity, and
+    /// captures a slowlog entry when over threshold. Stages are disjoint
+    /// slices of `total_ns`, so their sum is ≤ `SAMPLE_SCALE × total`
+    /// up to timer noise (exact stages are ≤ total; the sampled per-list
+    /// stages can each be inflated at most `SAMPLE_SCALE`-fold).
+    pub fn record_request(
+        &self,
+        op_idx: usize,
+        status: u8,
+        fingerprint: u64,
+        total_ns: u64,
+        stages: &[u64; NUM_STAGES],
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if op_idx >= NUM_OPS {
+            return; // unknown opcode: counted by ServerStats.errors only
+        }
+        self.op_counts[op_idx].inc();
+        self.op_total_ns[op_idx].add(total_ns);
+        self.op_latency[op_idx].record(seq / WINDOW_EVERY, total_ns);
+        let mut sum = 0u64;
+        for (i, &ns) in stages.iter().enumerate() {
+            sum = sum.saturating_add(ns);
+            self.op_stage_ns[op_idx][i].add(ns);
+            if ns > 0 {
+                self.stage_hist[i].record(ns);
+            }
+        }
+        if sum
+            > total_ns
+                .saturating_mul(wg_obs::SAMPLE_SCALE)
+                .saturating_add(OVERRUN_SLACK_NS)
+        {
+            self.stage_overruns.inc();
+        }
+        if self.slowlog_ns > 0 && total_ns >= self.slowlog_ns {
+            let entry = SlowEntry {
+                seq,
+                op: OP_NAMES[op_idx],
+                total_us: total_ns / 1_000,
+                status,
+                fingerprint,
+                stages_us: std::array::from_fn(|i| stages[i] / 1_000),
+            };
+            eprintln!("{}", entry.to_json());
+            let mut log = match self.slowlog.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if log.len() == SLOWLOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(entry);
+        }
+    }
+
+    /// Total requests recorded (monotonic).
+    pub fn requests(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative request count for op `i` (monotonic).
+    pub fn op_count(&self, i: usize) -> u64 {
+        self.op_counts[i].get()
+    }
+
+    /// Cumulative nanoseconds op `i` spent in `stage`.
+    pub fn op_stage_ns(&self, i: usize, stage: Stage) -> u64 {
+        self.op_stage_ns[i][stage.index()].get()
+    }
+
+    /// Cumulative end-to-end nanoseconds of op `i` (monotonic).
+    pub fn op_total_ns(&self, i: usize) -> u64 {
+        self.op_total_ns[i].get()
+    }
+
+    /// Merged live latency distribution for op `i` (recent windows only).
+    pub fn live_latency(&self, i: usize) -> HistData {
+        self.op_latency[i].snapshot().merged()
+    }
+
+    /// Cumulative all-ops latency distribution of `stage`.
+    pub fn stage_data(&self, stage: Stage) -> HistData {
+        HistData::of(&self.stage_hist[stage.index()])
+    }
+
+    /// Requests whose stage sum exceeded the overrun tolerance.
+    pub fn stage_overruns(&self) -> u64 {
+        self.stage_overruns.get()
+    }
+
+    /// Copies the retained slowlog, oldest first.
+    pub fn slowlog(&self) -> Vec<SlowEntry> {
+        match self.slowlog.lock() {
+            Ok(g) => g.clone().into(),
+            Err(p) => p.into_inner().clone().into(),
+        }
+    }
+
+    /// Renders the full live snapshot as JSON.
+    ///
+    /// The output is *line-oriented*: one line per op, per stage, and per
+    /// shard, with fixed key order — `wgr top` renders it by scanning
+    /// lines, and tests diff it structurally. All values are numbers or
+    /// fixed identifier strings, so no escaping is required.
+    pub fn snapshot_json(&self, stats: &ServerStats, ctx: &ServeContext) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!(
+            "\"server\":{{\"connections\":{},\"requests\":{},\"degraded\":{},\"errors\":{},\"overloaded\":{}}},\n",
+            stats.connections.load(Ordering::Relaxed),
+            stats.requests.load(Ordering::Relaxed),
+            stats.degraded.load(Ordering::Relaxed),
+            stats.errors.load(Ordering::Relaxed),
+            stats.overloaded.load(Ordering::Relaxed),
+        ));
+        s.push_str(&format!(
+            "\"telemetry\":{{\"requests\":{},\"stage_overruns\":{},\"slowlog_len\":{},\"window_every\":{WINDOW_EVERY},\"windows\":{WINDOWS}}},\n",
+            self.requests(),
+            self.stage_overruns(),
+            self.slowlog().len(),
+        ));
+        s.push_str("\"ops\":[\n");
+        for (i, name) in OP_NAMES.iter().enumerate() {
+            let live = self.live_latency(i);
+            s.push_str(&format!(
+                "{{\"op\":\"{}\",\"count\":{},\"total_us\":{},\"live_count\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"stages_us\":{{",
+                name,
+                self.op_count(i),
+                self.op_total_ns(i) / 1_000,
+                live.count,
+                live.mean() / 1_000,
+                live.percentile(0.50) / 1_000,
+                live.percentile(0.90) / 1_000,
+                live.percentile(0.99) / 1_000,
+            ));
+            for (j, st) in Stage::ALL.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "\"{}\":{}",
+                    st.name(),
+                    self.op_stage_ns[i][j].get() / 1_000
+                ));
+            }
+            s.push_str("}}");
+            s.push_str(if i + 1 < NUM_OPS { ",\n" } else { "\n" });
+        }
+        s.push_str("],\n\"stages\":[\n");
+        for (j, st) in Stage::ALL.iter().enumerate() {
+            let d = self.stage_data(*st);
+            s.push_str(&format!(
+                "{{\"stage\":\"{}\",\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{}}}{}",
+                st.name(),
+                d.count,
+                d.mean() / 1_000,
+                d.percentile(0.50) / 1_000,
+                d.percentile(0.99) / 1_000,
+                if j + 1 < NUM_STAGES { ",\n" } else { "\n" },
+            ));
+        }
+        s.push_str("],\n\"shards\":[\n");
+        let fwd = ctx.fwd.shard_telemetry().unwrap_or_default();
+        let back = ctx.back.shard_telemetry().unwrap_or_default();
+        let total = fwd.len() + back.len();
+        let mut at = 0usize;
+        for (graph, shards) in [("fwd", &fwd), ("back", &back)] {
+            for sh in shards.iter() {
+                at += 1;
+                s.push_str(&shard_json(graph, sh));
+                s.push_str(if at < total { ",\n" } else { "\n" });
+            }
+        }
+        s.push_str("],\n");
+        let memo = wg_snode::cache::memo_lock_stats();
+        s.push_str(&format!(
+            "\"locks\":[{{\"lock\":\"memo\",\"acquisitions\":{},\"contended\":{},\"wait_us\":{},\"hold_us\":{}}}]\n",
+            memo.acquisitions,
+            memo.contended,
+            memo.wait_ns / 1_000,
+            memo.hold_ns / 1_000,
+        ));
+        s.push('}');
+        s
+    }
+}
+
+/// One shard-heatmap JSON line.
+fn shard_json(graph: &str, sh: &ShardStat) -> String {
+    format!(
+        "{{\"graph\":\"{}\",\"shard\":{},\"hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{},\"acquisitions\":{},\"contended\":{},\"wait_us\":{},\"hold_us\":{}}}",
+        graph,
+        sh.shard,
+        sh.hits,
+        sh.misses,
+        sh.entries,
+        sh.bytes,
+        sh.lock.acquisitions,
+        sh.lock.contended,
+        sh.lock.wait_ns / 1_000,
+        sh.lock.hold_ns / 1_000,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stages(v: [u64; NUM_STAGES]) -> [u64; NUM_STAGES] {
+        v
+    }
+
+    #[test]
+    fn record_request_accumulates_monotonic_counters() {
+        let t = ServeTelemetry::new(0);
+        t.record_request(1, 0, 7, 10_000, &stages([1_000, 2_000, 3_000, 500, 100]));
+        t.record_request(1, 0, 7, 20_000, &stages([0, 0, 0, 0, 0]));
+        t.record_request(7, 0, 0, 5_000, &stages([0, 1_000, 0, 0, 0]));
+        assert_eq!(t.requests(), 3);
+        assert_eq!(t.op_count(1), 2);
+        assert_eq!(t.op_count(7), 1);
+        assert_eq!(t.op_total_ns(1), 30_000);
+        assert_eq!(t.op_stage_ns(1, Stage::ShardLock), 2_000);
+        assert_eq!(t.op_stage_ns(7, Stage::ShardLock), 1_000);
+        // Zero-duration stages are not recorded into the distribution.
+        assert_eq!(t.stage_data(Stage::ShardLock).count, 2);
+        assert_eq!(t.stage_data(Stage::RespWrite).count, 1);
+        assert_eq!(t.live_latency(1).count, 2);
+        assert_eq!(t.stage_overruns(), 0);
+    }
+
+    #[test]
+    fn unknown_op_index_is_ignored() {
+        let t = ServeTelemetry::new(0);
+        t.record_request(NUM_OPS, 2, 0, 1_000, &stages([0; NUM_STAGES]));
+        // Sequence advances (the request happened) but no op bucket moves.
+        assert_eq!(t.requests(), 1);
+        for i in 0..NUM_OPS {
+            assert_eq!(t.op_count(i), 0);
+        }
+    }
+
+    #[test]
+    fn stage_overrun_is_flagged() {
+        let t = ServeTelemetry::new(0);
+        // Sum of stages (2 ms) far exceeds total (1 µs) × SAMPLE_SCALE
+        // + tolerance.
+        t.record_request(2, 0, 0, 1_000, &stages([1_000_000, 1_000_000, 0, 0, 0]));
+        assert_eq!(t.stage_overruns(), 1);
+        // A sane request does not trip the check.
+        t.record_request(2, 0, 0, 1_000_000, &stages([200_000, 300_000, 0, 0, 0]));
+        assert_eq!(t.stage_overruns(), 1);
+    }
+
+    #[test]
+    fn slowlog_captures_over_threshold_and_is_bounded() {
+        let t = ServeTelemetry::new(100); // 100 µs threshold
+        t.record_request(3, 0, 0xabcd, 50_000, &stages([0; NUM_STAGES]));
+        assert!(t.slowlog().is_empty(), "fast request must not be logged");
+        for _ in 0..(SLOWLOG_CAP + 10) {
+            t.record_request(3, 3, 0xabcd, 250_000, &stages([1_000, 0, 0, 200_000, 0]));
+        }
+        let log = t.slowlog();
+        assert_eq!(log.len(), SLOWLOG_CAP, "slowlog is bounded");
+        let e = log.last().unwrap();
+        assert_eq!(e.op, "q3");
+        assert_eq!(e.total_us, 250);
+        assert_eq!(e.status, 3);
+        let json = e.to_json();
+        assert!(json.contains("\"op\":\"q3\""), "{json}");
+        assert!(
+            json.contains("\"fingerprint\":\"000000000000abcd\""),
+            "{json}"
+        );
+        assert!(json.contains("\"list_decode\":200"), "{json}");
+    }
+
+    #[test]
+    fn rolling_windows_expire_old_latency() {
+        let t = ServeTelemetry::new(0);
+        // Fill enough requests to rotate every window out: the first
+        // sample's window (0) must no longer be live at the end.
+        t.record_request(0, 0, 0, 99, &stages([0; NUM_STAGES]));
+        let spins = WINDOW_EVERY * (WINDOWS as u64 + 2);
+        for _ in 0..spins {
+            t.record_request(0, 0, 0, 1, &stages([0; NUM_STAGES]));
+        }
+        let live = t.live_latency(0);
+        assert!(live.count < t.op_count(0), "old windows must expire");
+        assert_eq!(t.op_count(0), spins + 1, "cumulative count never expires");
+    }
+}

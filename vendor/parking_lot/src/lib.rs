@@ -37,6 +37,19 @@ impl<T: ?Sized> Mutex<T> {
             },
         }
     }
+
+    /// Non-blocking acquire: `None` when the lock is held elsewhere.
+    /// Mirrors `parking_lot::Mutex::try_lock` (modulo the `Option` vs
+    /// their `Option`-like return, which is the same shape).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { guard }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                guard: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 impl<T: Default> Default for Mutex<T> {
@@ -157,6 +170,15 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_detects_a_holder() {
+        let m = Mutex::new(1u32);
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
+        assert_eq!(*m.try_lock().expect("free lock"), 1);
     }
 
     #[test]
