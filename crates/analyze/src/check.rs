@@ -483,7 +483,7 @@ fn check_graphs(
                 0
             };
             let loc = meta.superedge_loc[s as usize][k];
-            check_superedge(files, &reader, s, j, ni, nj, &loc, diags, summary);
+            check_superedge(meta, files, &reader, s, j, ni, nj, &loc, diags, summary);
         }
     }
 }
@@ -521,17 +521,18 @@ fn check_intranode(
             return;
         }
     };
-    let (index, lists) = match ListsIndex::load(&bytes, loc.bit_len, Universe::SameAsCount) {
-        Ok(v) => v,
-        Err(e) => {
-            diags.push(Diagnostic::new(
-                Code::DecodeError,
-                here,
-                format!("undecodable: {e}"),
-            ));
-            return;
-        }
-    };
+    let (index, lists) =
+        match ListsIndex::load(&bytes, loc.bit_len, Universe::SameAsCount, meta.codec.intra) {
+            Ok(v) => v,
+            Err(e) => {
+                diags.push(Diagnostic::new(
+                    Code::DecodeError,
+                    here,
+                    format!("undecodable: {e}"),
+                ));
+                return;
+            }
+        };
     if u64::from(index.num_lists()) != ni {
         diags.push(Diagnostic::new(
             Code::IntranodeSizeMismatch,
@@ -571,6 +572,7 @@ fn check_intranode(
 
 #[allow(clippy::too_many_arguments)]
 fn check_superedge(
+    meta: &SNodeMeta,
     files: &IndexFiles,
     reader: &IndexFileReader,
     s: u32,
@@ -605,7 +607,7 @@ fn check_superedge(
             return;
         }
     };
-    let index = match SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj) {
+    let index = match SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj, meta.codec.superedge) {
         Ok(i) => i,
         Err(e) => {
             diags.push(Diagnostic::new(
@@ -617,9 +619,9 @@ fn check_superedge(
         }
     };
     // Decode every stored list once; all per-list checks run off this.
-    let mut stored = Vec::with_capacity(index.lists().num_lists() as usize);
-    for i in 0..index.lists().num_lists() {
-        match index.lists().decode_list(&bytes, loc.bit_len, i) {
+    let mut stored = Vec::with_capacity(index.num_stored_lists() as usize);
+    for i in 0..index.num_stored_lists() {
+        match index.stored_list(&bytes, loc.bit_len, i) {
             Ok(l) => stored.push(l),
             Err(e) => {
                 diags.push(Diagnostic::new(
@@ -711,21 +713,25 @@ fn check_superedge(
         }
     }
 
-    match index.lists().reference_parents(&bytes, loc.bit_len) {
-        Ok(parents) => audit_ref_chains(&parents, here, diags),
-        Err(e) => diags.push(Diagnostic::new(
-            Code::DecodeError,
-            here,
-            format!("reference directory unreadable: {e}"),
-        )),
+    // The single-target dictionary layout has no reference directory to
+    // audit; its slots were validated during parse.
+    if let Some(lists) = index.lists() {
+        match lists.reference_parents(&bytes, loc.bit_len) {
+            Ok(parents) => audit_ref_chains(&parents, here, diags),
+            Err(e) => diags.push(Diagnostic::new(
+                Code::DecodeError,
+                here,
+                format!("reference directory unreadable: {e}"),
+            )),
+        }
     }
-    if index.lists().end_bit() < loc.bit_len {
+    if index.end_bit() < loc.bit_len {
         diags.push(Diagnostic::new(
             Code::TrailingBits,
             here,
             format!(
                 "decode consumed {} of {} declared bits",
-                index.lists().end_bit(),
+                index.end_bit(),
                 loc.bit_len
             ),
         ));

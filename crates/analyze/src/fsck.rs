@@ -273,18 +273,26 @@ pub fn fsck(dir: &Path) -> FsckReport {
     }
 
     // Pass 3: graph blobs. The locator tables live in meta.bin, so blob
-    // verdicts are only trustworthy when it verified.
+    // verdicts are only trustworthy when it verified. The parse also
+    // validates the v2 header's codec-id word — checksums prove the bytes
+    // are the ones the builder wrote, not that a (buggy or newer) builder
+    // wrote a codec this tool can decode.
     if meta_file_ok {
         if let Some(bytes) = &meta_bytes {
+            checked += 1;
+            counters.check();
             match SNodeMeta::parse(bytes) {
                 Ok(meta) => {
                     check_blobs(dir, &meta, &manifest, &counters, &mut diags, &mut checked);
                 }
-                Err(e) => diags.push(Diagnostic::new(
-                    Code::DecodeError,
-                    Location::Meta,
-                    format!("meta.bin verified but did not parse: {e}"),
-                )),
+                Err(e) => {
+                    counters.failure();
+                    diags.push(Diagnostic::new(
+                        Code::DecodeError,
+                        Location::Meta,
+                        format!("meta.bin verified but did not parse (header or codec id): {e}"),
+                    ));
+                }
             }
         }
     }
@@ -489,6 +497,33 @@ mod tests {
         let r = fsck(&dir);
         assert!(!r.verified);
         assert_eq!(r.diagnostics[0].code, Code::ManifestCorrupt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalid_codec_id_in_verified_header_is_reported() {
+        let dir = temp_dir("codec");
+        build_fixture(&dir);
+        // meta.bin v2 header layout: magic u32, version u32, codec u32.
+        let path = dir.join("meta.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        // Re-manifest so every checksum matches: the damage is purely
+        // logical now and only the codec-id validation can catch it.
+        let m = wg_snode::IntegrityManifest::read(&dir).unwrap().unwrap();
+        wg_snode::IntegrityManifest::compute(&dir, m.blob_crc.clone())
+            .unwrap()
+            .write(&dir)
+            .unwrap();
+        let r = fsck(&dir);
+        assert!(!r.is_clean(), "bad codec id must fail fsck: {r}");
+        assert!(
+            r.diagnostics
+                .iter()
+                .any(|d| d.code == Code::DecodeError && d.message.contains("codec")),
+            "{r}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

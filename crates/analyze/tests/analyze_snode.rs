@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use wg_analyze::{check, Code};
 use wg_bitio::BitWriter;
 use wg_corpus::{Corpus, CorpusConfig};
+use wg_snode::codec::{CodecConfig, ListCodec};
 use wg_snode::disk::{GraphLocator, IndexFileWriter, SNodeMeta};
 use wg_snode::refenc::{encode_lists, RefMode};
 use wg_snode::subgraphs::{encode_intranode, encode_superedge, SuperedgePolicy};
@@ -65,28 +66,29 @@ fn craft_corrupt(dir: &std::path::Path) {
     let mut superedge_loc: Vec<Vec<GraphLocator>> = Vec::new();
 
     // Linear order: intra0, se(0→2), intra1, intra2, se(2→0).
-    let intra0 = encode_intranode(&[vec![1], vec![2], vec![]], RefMode::None);
+    let intra0 = encode_intranode(&[vec![1], vec![2], vec![]], RefMode::None, ListCodec::GAMMA);
     intranode_loc.push(w.append(&intra0.bytes, intra0.bit_len).unwrap());
     let se02 = encode_superedge(
         &[vec![], vec![], vec![]],
         2,
         RefMode::None,
         SuperedgePolicy::EncodedSize,
+        ListCodec::GAMMA,
     );
     superedge_loc.push(vec![w.append(&se02.bytes, se02.bit_len).unwrap()]);
 
-    let intra1 = encode_intranode(&[], RefMode::None);
+    let intra1 = encode_intranode(&[], RefMode::None, ListCodec::GAMMA);
     intranode_loc.push(w.append(&intra1.bytes, intra1.bit_len).unwrap());
     superedge_loc.push(vec![]);
 
-    let intra2 = encode_intranode(&[vec![1], vec![]], RefMode::None);
+    let intra2 = encode_intranode(&[vec![1], vec![]], RefMode::None, ListCodec::GAMMA);
     intranode_loc.push(w.append(&intra2.bytes, intra2.bit_len).unwrap());
     // Negative encoding of se(2→0): positive form would store 1 edge
     // (source 0 → target 0); the complement stores 5.
     let neg_lists = vec![vec![1u32, 2], vec![0, 1, 2]];
     let mut bw = BitWriter::new();
     bw.write_bit(true); // kind = negative
-    let enc = encode_lists(&neg_lists, 3, RefMode::None);
+    let enc = encode_lists(&neg_lists, 3, RefMode::None, ListCodec::GAMMA);
     bw.append(&enc.bytes, enc.bit_len);
     let (bytes, bits) = bw.finish();
     superedge_loc.push(vec![w.append(&bytes, bits).unwrap()]);
@@ -101,6 +103,7 @@ fn craft_corrupt(dir: &std::path::Path) {
         superedge_loc,
         domain_supernodes: vec![vec![0, 1, 2]],
         max_file_bytes: cap,
+        codec: CodecConfig::GAMMA,
     };
     meta.write(dir).unwrap();
 

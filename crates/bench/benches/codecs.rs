@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use wg_bitio::{codes, BitReader, BitWriter, HuffmanCode};
+use wg_snode::codec::ListCodec;
 use wg_snode::refenc::{encode_lists, ListsReader, RefMode, Universe};
 
 fn pseudo(seed: &mut u64) -> u64 {
@@ -134,19 +135,30 @@ fn bench_refenc(c: &mut Criterion) {
     let mut group = c.benchmark_group("refenc");
     group.throughput(Throughput::Elements(edges));
     group.bench_function("encode_windowed32", |b| {
-        b.iter(|| encode_lists(&lists, 512, RefMode::Windowed(32)).bit_len);
+        b.iter(|| encode_lists(&lists, 512, RefMode::Windowed(32), ListCodec::GAMMA).bit_len);
     });
-    let enc = encode_lists(&lists, 512, RefMode::Windowed(32));
+    let enc = encode_lists(&lists, 512, RefMode::Windowed(32), ListCodec::GAMMA);
     group.bench_function("decode_all", |b| {
         b.iter(|| {
-            ListsReader::parse(&enc.bytes, enc.bit_len, Universe::Explicit(512))
-                .expect("parse")
-                .decode_all()
-                .expect("decode")
-                .len()
+            ListsReader::parse(
+                &enc.bytes,
+                enc.bit_len,
+                Universe::Explicit(512),
+                ListCodec::GAMMA,
+            )
+            .expect("parse")
+            .decode_all()
+            .expect("decode")
+            .len()
         });
     });
-    let reader = ListsReader::parse(&enc.bytes, enc.bit_len, Universe::Explicit(512)).unwrap();
+    let reader = ListsReader::parse(
+        &enc.bytes,
+        enc.bit_len,
+        Universe::Explicit(512),
+        ListCodec::GAMMA,
+    )
+    .unwrap();
     group.bench_function("decode_single_random", |b| {
         let mut s = 3u64;
         b.iter(|| {

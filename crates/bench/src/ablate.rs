@@ -1,0 +1,264 @@
+//! Codec-ablation harness: prices every `CodecConfig` cell in bits/edge
+//! **and** decode ns/edge on one corpus, with a correctness gate.
+//!
+//! Each cell builds a full S-Node representation with its codec, measures
+//! Table 1's size metric from the build stats, then loads the directory
+//! as [`SNodeInMemory`] and decodes every page's adjacency list — timing
+//! the sweep and folding every row into an FNV-1a fingerprint. A cell
+//! whose fingerprint differs from the γ baseline's decoded something
+//! wrong, so the harness reports the mismatch instead of a seductive
+//! bits/edge number (compression that changes answers is corruption with
+//! good PR).
+//!
+//! The cell grid walks the two ablation axes independently and jointly:
+//! the ζ shrinking parameter (γ = ζ₁ through ζ₄) and the two list-layout
+//! features (interval runs `+iv`, copy blocks `+cb`), so the report shows
+//! what each knob buys alone and what they buy together.
+
+use std::path::Path;
+use wg_corpus::Corpus;
+use wg_obs::Stopwatch;
+use wg_snode::{build_snode, CodecConfig, ListCodec, RepoInput, SNodeConfig, SNodeInMemory};
+
+/// The default ablation grid. `g` is the γ baseline (bit-identical to the
+/// v1 format); the rest vary one axis at a time, then combine them. The
+/// `+st` cells add the single-target dictionary layout for superedge
+/// graphs — the one knob that wins on synthetic-crawl corpora, where
+/// site-template cross links make most superedge lists single-target.
+pub const DEFAULT_CELLS: [&str; 13] = [
+    "g", "z2", "z3", "z4", "g+iv", "z3+iv", "z3+cb", "g+iv+cb", "z2+iv+cb", "z3+iv+cb", "g+st",
+    "z2+st", "g+iv+st",
+];
+
+/// One measured cell of the ablation grid.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Cell name in `ListCodec` notation (`g`, `z3+iv+cb`, ...).
+    pub cell: String,
+    /// Table 1's metric: `(meta.bin + index files) * 8 / edges`.
+    pub bits_per_edge: f64,
+    /// Bytes of `meta.bin`.
+    pub meta_bytes: u64,
+    /// Bytes across all index files.
+    pub index_bytes: u64,
+    /// Mean wall time to decode one edge in a full adjacency sweep.
+    pub decode_ns_per_edge: f64,
+    /// FNV-1a over every `(page, neighbors)` row of the decoded graph.
+    pub fingerprint: u64,
+}
+
+/// The full ablation report.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// Number of pages in the corpus.
+    pub pages: u32,
+    /// Number of edges (fingerprint rows cover all of them).
+    pub edges: u64,
+    /// Per-cell measurements, in grid order.
+    pub cells: Vec<CellResult>,
+    /// The γ cell's row fingerprint — the correctness reference.
+    pub baseline_fingerprint: u64,
+    /// True iff every cell decoded to exactly the baseline rows.
+    pub all_match: bool,
+}
+
+impl AblationReport {
+    /// The cell with the fewest bits/edge.
+    pub fn best(&self) -> Option<&CellResult> {
+        self.cells
+            .iter()
+            .min_by(|a, b| a.bits_per_edge.total_cmp(&b.bits_per_edge))
+    }
+
+    /// Renders the committed `BENCH_compress.json` baseline.
+    pub fn to_json(&self, seed: u64) -> String {
+        let mut json = String::new();
+        json.push_str("{\n");
+        json.push_str("  \"bench\": \"wgr bench --ablate\",\n");
+        json.push_str(&format!("  \"pages\": {},\n", self.pages));
+        json.push_str(&format!("  \"seed\": {seed},\n"));
+        json.push_str(&format!("  \"edges\": {},\n", self.edges));
+        json.push_str(&format!(
+            "  \"baseline_fingerprint\": \"{:016x}\",\n",
+            self.baseline_fingerprint
+        ));
+        json.push_str(&format!("  \"all_match\": {},\n", self.all_match));
+        if let Some(best) = self.best() {
+            json.push_str(&format!(
+                "  \"best_cell\": \"{}\",\n  \"best_bits_per_edge\": {:.4},\n",
+                best.cell, best.bits_per_edge
+            ));
+        }
+        json.push_str("  \"cells\": [\n");
+        for (k, c) in self.cells.iter().enumerate() {
+            let sep = if k + 1 == self.cells.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"cell\": \"{}\", \"bits_per_edge\": {:.4}, \"meta_bytes\": {}, \
+                 \"index_bytes\": {}, \"decode_ns_per_edge\": {:.1}, \
+                 \"fingerprint\": \"{:016x}\"}}{sep}\n",
+                c.cell,
+                c.bits_per_edge,
+                c.meta_bytes,
+                c.index_bytes,
+                c.decode_ns_per_edge,
+                c.fingerprint
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+/// Folds one decoded adjacency row into an FNV-1a accumulator.
+pub fn fnv1a_row(h: &mut u64, page: u32, neighbors: &[u32]) {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut fold = |word: u32| {
+        for b in word.to_le_bytes() {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(PRIME);
+        }
+    };
+    fold(page);
+    fold(neighbors.len() as u32);
+    for &n in neighbors {
+        fold(n);
+    }
+}
+
+/// FNV-1a offset basis — the accumulator's initial value.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Builds one cell's representation under `dir` and measures it.
+///
+/// The decode sweep runs `sweeps` full passes over every page and keeps
+/// the fastest, so one-off warmup noise (page cache, allocator) does not
+/// masquerade as codec cost.
+pub fn measure_cell(
+    input: RepoInput<'_>,
+    dir: &Path,
+    cell: &str,
+    sweeps: usize,
+) -> Result<CellResult, String> {
+    let codec = ListCodec::parse_cell(cell).map_err(|e| format!("cell {cell}: {e}"))?;
+    let config = SNodeConfig {
+        codec: CodecConfig {
+            intra: codec,
+            superedge: codec,
+        },
+        ..SNodeConfig::default()
+    };
+    let (stats, _renum) =
+        build_snode(input, &config, dir).map_err(|e| format!("cell {cell}: build failed: {e}"))?;
+    let mem = SNodeInMemory::load(dir).map_err(|e| format!("cell {cell}: load failed: {e}"))?;
+    let mut fingerprint = FNV_OFFSET;
+    let mut best_ns = f64::INFINITY;
+    for sweep in 0..sweeps.max(1) {
+        let mut h = FNV_OFFSET;
+        let mut edges = 0u64;
+        let sw = Stopwatch::start();
+        for p in 0..mem.num_pages() {
+            let row = mem
+                .out_neighbors(p)
+                .map_err(|e| format!("cell {cell}: decode page {p} failed: {e}"))?;
+            edges += row.len() as u64;
+            fnv1a_row(&mut h, p, &row);
+        }
+        let ns = sw.elapsed().as_nanos() as f64 / edges.max(1) as f64;
+        best_ns = best_ns.min(ns);
+        if sweep == 0 {
+            fingerprint = h;
+        } else if h != fingerprint {
+            return Err(format!("cell {cell}: decode sweeps disagree"));
+        }
+    }
+    Ok(CellResult {
+        cell: cell.to_string(),
+        bits_per_edge: stats.bits_per_edge(),
+        meta_bytes: stats.meta_bytes,
+        index_bytes: stats.index_bytes,
+        decode_ns_per_edge: best_ns,
+        fingerprint,
+    })
+}
+
+/// Runs the full grid over `corpus`, building each cell under `scratch`.
+/// The first cell must be the γ baseline (`g`); every later cell's row
+/// fingerprint is compared against it.
+pub fn run_ablation(
+    corpus: &Corpus,
+    scratch: &Path,
+    cells: &[&str],
+    sweeps: usize,
+) -> Result<AblationReport, String> {
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let input = RepoInput {
+        urls: &urls,
+        domains: &domains,
+        graph: &corpus.graph,
+    };
+    let mut results: Vec<CellResult> = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let dir = scratch.join(format!("ablate_{}", cell.replace('+', "_")));
+        let r = measure_cell(input, &dir, cell, sweeps);
+        std::fs::remove_dir_all(&dir).ok();
+        let r = r?;
+        eprintln!(
+            "cell {:>9}: {:.4} bits/edge, {:>6.1} ns/edge decode, fp {:016x}",
+            r.cell, r.bits_per_edge, r.decode_ns_per_edge, r.fingerprint
+        );
+        results.push(r);
+    }
+    let baseline = results
+        .iter()
+        .find(|r| ListCodec::parse_cell(&r.cell).is_ok_and(|c| c.is_gamma_baseline()))
+        .ok_or("ablation grid must include the gamma baseline cell")?;
+    let baseline_fingerprint = baseline.fingerprint;
+    let all_match = results
+        .iter()
+        .all(|r| r.fingerprint == baseline_fingerprint);
+    Ok(AblationReport {
+        pages: corpus.num_pages(),
+        edges: corpus.graph.num_edges(),
+        cells: results,
+        baseline_fingerprint,
+        all_match,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_corpus::CorpusConfig;
+
+    #[test]
+    fn tiny_grid_matches_baseline_and_reports_best() {
+        let corpus = Corpus::generate(CorpusConfig::scaled(600, 7));
+        let scratch = std::env::temp_dir().join(format!("wg_ablate_test_{}", std::process::id()));
+        let report = run_ablation(&corpus, &scratch, &["g", "z3+iv+cb"], 1).unwrap();
+        std::fs::remove_dir_all(&scratch).ok();
+        assert!(report.all_match, "codec cells must decode identically");
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.best().is_some());
+        let json = report.to_json(7);
+        assert!(json.contains("\"all_match\": true"), "{json}");
+        assert!(json.contains("z3+iv+cb"), "{json}");
+    }
+
+    #[test]
+    fn fingerprint_is_row_sensitive() {
+        let mut a = FNV_OFFSET;
+        fnv1a_row(&mut a, 0, &[1, 2, 3]);
+        let mut b = FNV_OFFSET;
+        fnv1a_row(&mut b, 0, &[1, 2, 4]);
+        assert_ne!(a, b);
+        // Row boundaries matter: [0|1,2] + [1|_] differs from [0|1] + [1|2].
+        let mut c = FNV_OFFSET;
+        fnv1a_row(&mut c, 0, &[1, 2]);
+        fnv1a_row(&mut c, 1, &[]);
+        let mut d = FNV_OFFSET;
+        fnv1a_row(&mut d, 0, &[1]);
+        fnv1a_row(&mut d, 1, &[2]);
+        assert_ne!(c, d);
+    }
+}

@@ -94,7 +94,10 @@ fn main() {
     println!("  gamma : {:.2}", g_bits as f64 / n);
     println!("  delta : {:.2}", d_bits as f64 / n);
     for k in [2u32, 3, 4, 5] {
-        let z_bits: u64 = gaps.iter().map(|&g| zeta::zeta_len(g, k)).sum();
+        let z_bits: u64 = gaps
+            .iter()
+            .map(|&g| zeta::zeta_len(g, k).unwrap_or(0))
+            .sum();
         println!("  zeta{k} : {:.2}", z_bits as f64 / n);
     }
     println!(

@@ -1,0 +1,220 @@
+//! BV-style copy blocks: an alternating-run encoding of copy-masks.
+//!
+//! WebGraph (Boldi–Vigna §.3) stores the copied/skipped structure of a
+//! reference-encoded adjacency list not as a bit vector but as a block
+//! sequence: the lengths of maximal runs, which by convention start with
+//! a *copied* run (possibly of length zero) and alternate from there.
+//! The final run's length is implicit — the mask length is known to the
+//! decoder — so a mask that copies the whole reference list costs one
+//! bit (γ(0)) no matter how long it is.
+//!
+//! Layout: `γ(B)` where `B` is the number of explicit blocks, then
+//! `γ(b₀)` (the first copied run, which may be 0 when the mask starts
+//! with a skip) and `γ(bᵢ − 1)` for each later block (maximal runs after
+//! the first are ≥ 1). Unlike [`crate::rle`] there is no literal
+//! fallback and no marker bit; the encoded size is a deterministic
+//! function of the run structure, which the reference-selection cost
+//! model depends on.
+
+use crate::{codes, BitError, BitReader, BitWriter, Result};
+
+/// Explicit block lengths of `bits`: every maximal run except the last,
+/// with a zero-length copied run prepended when the mask starts false.
+fn explicit_runs(bits: &[bool], mut emit: impl FnMut(u64)) {
+    if bits.is_empty() {
+        return;
+    }
+    if !bits[0] {
+        emit(0); // zero-length leading copied run
+    }
+    let mut run = 1u64;
+    for w in bits.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+        } else {
+            emit(run);
+            run = 1;
+        }
+    }
+    // The final run is implicit: the decoder knows the mask length.
+}
+
+/// Size in bits of the copy-block encoding of `bits`.
+pub fn blocks_len(bits: &[bool]) -> u64 {
+    let mut count = 0u64;
+    let mut body = 0u64;
+    explicit_runs(bits, |run| {
+        body += if count == 0 {
+            codes::gamma_len(run)
+        } else {
+            codes::gamma_len(run - 1)
+        };
+        count += 1;
+    });
+    codes::gamma_len(count) + body
+}
+
+/// Writes `bits` as copy blocks. The mask length is **not** stored; the
+/// decoder must be told how many bits to expect, exactly as with
+/// [`crate::rle::read_bitvec`].
+pub fn write_blocks(w: &mut BitWriter, bits: &[bool]) {
+    let mut count = 0u64;
+    explicit_runs(bits, |_| count += 1);
+    codes::write_gamma(w, count);
+    let mut first = true;
+    explicit_runs(bits, |run| {
+        if first {
+            codes::write_gamma(w, run);
+            first = false;
+        } else {
+            codes::write_gamma(w, run - 1);
+        }
+    });
+}
+
+/// Reads a copy-block mask of exactly `len` bits, invoking `on_set(i)`
+/// for each copied (true) position — the hot path when applying a
+/// reference-encoding copy-mask.
+pub fn read_blocks_set_positions(
+    r: &mut BitReader<'_>,
+    len: usize,
+    mut on_set: impl FnMut(usize),
+) -> Result<()> {
+    let count = codes::read_gamma(r)?;
+    let mut pos = 0usize;
+    let mut value = true; // blocks start with a copied run
+    for i in 0..count {
+        let raw = codes::read_gamma(r)?;
+        let run = if i == 0 { raw } else { raw + 1 };
+        let run = usize::try_from(run)
+            .ok()
+            .filter(|&n| pos + n <= len)
+            .ok_or(BitError::Corrupt {
+                what: "copy block overruns declared mask length",
+            })?;
+        if value {
+            for j in pos..pos + run {
+                on_set(j);
+            }
+        }
+        pos += run;
+        value = !value;
+    }
+    if value {
+        // Implicit final run: whatever remains takes the next value.
+        for j in pos..len {
+            on_set(j);
+        }
+    }
+    Ok(())
+}
+
+/// Reads a copy-block mask of exactly `len` bits into a vector.
+pub fn read_blocks(r: &mut BitReader<'_>, len: usize) -> Result<Vec<bool>> {
+    let mut out = vec![false; len];
+    read_blocks_set_positions(r, len, |i| out[i] = true)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(bits: &[bool]) {
+        let mut w = BitWriter::new();
+        write_blocks(&mut w, bits);
+        let (bytes, blen) = w.finish();
+        assert_eq!(blen, blocks_len(bits), "blocks_len must match encoding");
+        let mut r = BitReader::with_bit_len(&bytes, blen);
+        let decoded = read_blocks(&mut r, bits.len()).unwrap();
+        assert_eq!(decoded, bits);
+        assert_eq!(r.remaining(), 0);
+
+        let mut r = BitReader::with_bit_len(&bytes, blen);
+        let mut set = Vec::new();
+        read_blocks_set_positions(&mut r, bits.len(), |i| set.push(i)).unwrap();
+        let expect: Vec<usize> = bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(set, expect);
+    }
+
+    #[test]
+    fn empty_mask() {
+        round_trip(&[]);
+    }
+
+    #[test]
+    fn short_masks() {
+        round_trip(&[true]);
+        round_trip(&[false]);
+        round_trip(&[true, false, true]);
+        round_trip(&[false, false, true, true, false]);
+        round_trip(&[false, true]);
+    }
+
+    #[test]
+    fn all_copied_costs_one_bit() {
+        for len in [1usize, 10, 1000] {
+            let bits = vec![true; len];
+            assert_eq!(blocks_len(&bits), 1, "len={len}");
+            round_trip(&bits);
+        }
+    }
+
+    #[test]
+    fn all_skipped_is_cheap() {
+        // Explicit zero-length copied run, implicit skipped remainder.
+        let bits = vec![false; 500];
+        assert_eq!(blocks_len(&bits), codes::gamma_len(1) + codes::gamma_len(0));
+        round_trip(&bits);
+    }
+
+    #[test]
+    fn pseudorandom_masks_round_trip() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for len in [1usize, 7, 8, 9, 63, 64, 65, 500] {
+            let bits: Vec<bool> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 62) & 1 == 1
+                })
+                .collect();
+            round_trip(&bits);
+        }
+    }
+
+    #[test]
+    fn overrunning_block_is_rejected() {
+        let mut w = BitWriter::new();
+        codes::write_gamma(&mut w, 1); // one explicit block
+        codes::write_gamma(&mut w, 10); // first copied run of 10
+        let (bytes, blen) = w.finish();
+        let mut r = BitReader::with_bit_len(&bytes, blen);
+        assert!(read_blocks(&mut r, 5).is_err());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bits: Vec<bool> = (0..40).map(|i| (i / 3) % 2 == 0).collect();
+        let mut w = BitWriter::new();
+        write_blocks(&mut w, &bits);
+        let (bytes, blen) = w.finish();
+        for cut in 0..blen {
+            let mut r = BitReader::with_bit_len(&bytes, cut);
+            assert!(read_blocks(&mut r, bits.len()).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        let data = [0xFFu8, 0x13, 0xAA, 0x55, 0x00];
+        for bitlen in 0..40u64 {
+            let mut r = BitReader::with_bit_len(&data, bitlen);
+            let _ = read_blocks(&mut r, 16);
+        }
+    }
+}

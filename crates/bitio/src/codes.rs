@@ -148,11 +148,23 @@ pub fn minimal_binary_len(x: u64, n: u64) -> u64 {
         return 0;
     }
     let b = 64 - (n - 1).leading_zeros(); // ceil(log2 n)
-    let cutoff = (1u64 << b) - n;
+    let cutoff = cutoff(n, b);
     if x < cutoff {
         u64::from(b) - 1
     } else {
         u64::from(b)
+    }
+}
+
+/// `2^b − n`, the count of short codewords. For `b == 64` the power of
+/// two itself overflows `u64`, but the difference (`2^64 − n`) still
+/// fits because `n ≥ 1` — `wrapping_neg` computes exactly that.
+#[inline]
+fn cutoff(n: u64, b: u32) -> u64 {
+    if b == 64 {
+        n.wrapping_neg()
+    } else {
+        (1u64 << b) - n
     }
 }
 
@@ -169,10 +181,11 @@ pub fn write_minimal_binary(w: &mut BitWriter, x: u64, n: u64) {
         return;
     }
     let b = 64 - (n - 1).leading_zeros(); // ceil(log2 n)
-    let cutoff = (1u64 << b) - n;
+    let cutoff = cutoff(n, b);
     if x < cutoff {
         w.write_bits(x, b - 1);
     } else {
+        // x + cutoff < n + (2^b − n) = 2^b, so this cannot overflow.
         w.write_bits(x + cutoff, b);
     }
 }
@@ -185,7 +198,7 @@ pub fn read_minimal_binary(r: &mut BitReader<'_>, n: u64) -> Result<u64> {
         return Ok(0);
     }
     let b = 64 - (n - 1).leading_zeros();
-    let cutoff = (1u64 << b) - n;
+    let cutoff = cutoff(n, b);
     let hi = r.read_bits(b - 1)?;
     if hi < cutoff {
         Ok(hi)

@@ -10,6 +10,7 @@
 //! * [`codes`] — unary, Elias γ/δ, Rice, and minimal-binary codes.
 //! * [`huffman`] — canonical Huffman codes with table-driven decoding.
 //! * [`rle`] — run-length coding of bit vectors.
+//! * [`blocks`] — BV-style copy blocks (alternating-run copy-masks).
 //! * [`gaps`] — gap coding of strictly ascending integer lists.
 //! * [`zeta`] — Boldi–Vigna ζ codes (the WebGraph gap-code family).
 //!
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod bitstream;
+pub mod blocks;
 pub mod codes;
 pub mod gaps;
 pub mod huffman;

@@ -2,70 +2,105 @@
 //!
 //! ζ_k codes are the family introduced for WebGraph, tuned to the
 //! power-law gap distributions of Web adjacency lists: they interpolate
-//! between γ (ζ₁ = γ) and flatter codes that spend fewer bits on the
-//! mid-range values that dominate Web gaps. Provided here because any
-//! serious Web-graph codec library carries them; the S-Node pipeline can
-//! adopt them as a drop-in for γ in its gap lists (the ablation harness
-//! makes such swaps measurable).
+//! between γ (ζ₁ = γ, bit for bit) and flatter codes that spend fewer
+//! bits on the mid-range values that dominate Web gaps. The S-Node
+//! pipeline selects them per list class through `CodecConfig`; the
+//! ablation harness prices each choice in bits/edge and decode ns/edge.
 //!
 //! Definition (for `x ≥ 0`, coding `v = x + 1`): with `h` the largest
 //! integer such that `2^{hk} ≤ v`, write `h + 1` in unary, then
 //! `v − 2^{hk}` in minimal binary over `[0, 2^{(h+1)k} − 2^{hk})`.
+//!
+//! The top bucket is truncated to the `u64` domain: when
+//! `(h+1)·k ≥ 64` the remainder is coded in minimal binary over
+//! `[0, 2^64 − 2^{hk})` instead, so every `x < u64::MAX` round-trips
+//! exactly and no intermediate shift can overflow. Out-of-domain
+//! arguments (`x = u64::MAX`, `k` outside `1..=16`) are reported as
+//! [`BitError::Corrupt`], never a panic — these are codec paths (SN211).
 
 use crate::{codes, BitError, BitReader, BitWriter, Result};
 
+const K_RANGE: std::ops::RangeInclusive<u32> = 1..=16;
+
+/// Size of bucket `h` (`2^{(h+1)k} − 2^{hk}`), truncated to the `u64`
+/// domain: for the top bucket the upper bound is taken as `2^64`, so the
+/// result is `2^64 − lo`, which always fits because `lo ≥ 1`.
+fn bucket_size(lo: u64, h: u32, k: u32) -> u64 {
+    let top = (u64::from(h) + 1) * u64::from(k);
+    if top >= 64 {
+        lo.wrapping_neg()
+    } else {
+        (1u64 << top) - lo
+    }
+}
+
+/// Largest `h` with `2^{hk} ≤ v`. Always `h·k ≤ 63` for `v ≥ 1`.
+fn h_of(v: u64, k: u32) -> u32 {
+    debug_assert!(v >= 1);
+    let bits = 63 - v.leading_zeros(); // floor(log2 v)
+    bits / k
+}
+
+/// Rejects shrinking parameters outside `1..=16`.
+fn check_k(k: u32) -> Result<()> {
+    if K_RANGE.contains(&k) {
+        Ok(())
+    } else {
+        Err(BitError::Corrupt {
+            what: "zeta shrinking parameter out of range (must be 1..=16)",
+        })
+    }
+}
+
+/// Checks the coding arguments shared by length and write.
+fn check_domain(x: u64, k: u32) -> Result<()> {
+    check_k(k)?;
+    if x == u64::MAX {
+        return Err(BitError::Corrupt {
+            what: "zeta value out of domain (0..=u64::MAX-1)",
+        });
+    }
+    Ok(())
+}
+
 /// Number of bits of the ζ_k code for `x`.
-pub fn zeta_len(x: u64, k: u32) -> u64 {
-    assert!(
-        (1..=16).contains(&k),
-        "zeta shrinking parameter must be 1..=16"
-    );
+///
+/// Errors (instead of panicking) on `x = u64::MAX` or `k` outside
+/// `1..=16`; total for every other input.
+pub fn zeta_len(x: u64, k: u32) -> Result<u64> {
+    check_domain(x, k)?;
     let v = x + 1;
     let h = h_of(v, k);
     let lo = 1u64 << (h * k);
-    let hi = 1u64 << ((h + 1) * k);
-    (u64::from(h) + 1) + codes::minimal_binary_len(v - lo, hi - lo)
+    Ok((u64::from(h) + 1) + codes::minimal_binary_len(v - lo, bucket_size(lo, h, k)))
 }
 
-/// Writes `x` with ζ_k.
-pub fn write_zeta(w: &mut BitWriter, x: u64, k: u32) {
-    assert!(
-        (1..=16).contains(&k),
-        "zeta shrinking parameter must be 1..=16"
-    );
-    let v = x.wrapping_add(1);
-    assert!(v != 0, "zeta domain is 0..=u64::MAX-1");
+/// Writes `x` with ζ_k. Same domain (and errors) as [`zeta_len`].
+pub fn write_zeta(w: &mut BitWriter, x: u64, k: u32) -> Result<()> {
+    check_domain(x, k)?;
+    let v = x + 1;
     let h = h_of(v, k);
     let lo = 1u64 << (h * k);
-    let hi = 1u64 << ((h + 1) * k);
     codes::write_unary(w, u64::from(h));
-    codes::write_minimal_binary(w, v - lo, hi - lo);
+    codes::write_minimal_binary(w, v - lo, bucket_size(lo, h, k));
+    Ok(())
 }
 
 /// Reads a ζ_k-coded value.
 pub fn read_zeta(r: &mut BitReader<'_>, k: u32) -> Result<u64> {
-    assert!(
-        (1..=16).contains(&k),
-        "zeta shrinking parameter must be 1..=16"
-    );
+    check_k(k)?;
     let h = r.read_unary()?;
-    if (h + 1) * u64::from(k) >= 64 {
+    // h·k ≤ 63 for any encodable value; anything larger is damage.
+    if h > u64::from(63 / k) {
         return Err(BitError::Corrupt {
             what: "zeta exponent out of range",
         });
     }
     let h = h as u32;
     let lo = 1u64 << (h * k);
-    let hi = 1u64 << ((h + 1) * k);
-    let rem = codes::read_minimal_binary(r, hi - lo)?;
+    let rem = codes::read_minimal_binary(r, bucket_size(lo, h, k))?;
+    // lo + rem ≤ 2^64 − 1 because rem < bucket size ≤ 2^64 − lo.
     Ok(lo + rem - 1)
-}
-
-/// Largest `h` with `2^{hk} ≤ v`.
-fn h_of(v: u64, k: u32) -> u32 {
-    debug_assert!(v >= 1);
-    let bits = 63 - v.leading_zeros(); // floor(log2 v)
-    bits / k
 }
 
 #[cfg(test)]
@@ -75,7 +110,7 @@ mod tests {
     fn round_trip(values: &[u64], k: u32) {
         let mut w = BitWriter::new();
         for &v in values {
-            write_zeta(&mut w, v, k);
+            write_zeta(&mut w, v, k).unwrap();
         }
         let (bytes, bits) = w.finish();
         let mut r = BitReader::with_bit_len(&bytes, bits);
@@ -101,6 +136,18 @@ mod tests {
         (1 << 45) + 12345,
     ];
 
+    /// The domain edges: values whose buckets graze the 64-bit limit.
+    const EDGES: &[u64] = &[
+        (1 << 62) - 1,
+        1 << 62,
+        (1 << 63) - 2,
+        (1 << 63) - 1,
+        1 << 63,
+        (1 << 63) + 1,
+        u64::MAX - 2,
+        u64::MAX - 1,
+    ];
+
     #[test]
     fn round_trips_for_all_k() {
         for k in 1..=8 {
@@ -109,20 +156,66 @@ mod tests {
     }
 
     #[test]
-    fn zeta1_equals_gamma_length() {
-        // ζ₁ is exactly the γ code.
-        for &v in SAMPLES {
-            assert_eq!(zeta_len(v, 1), codes::gamma_len(v), "v={v}");
+    fn round_trips_at_domain_edges_for_all_k() {
+        // Regression: these used to overflow `1u64 << ((h+1)*k)` on the
+        // write side and be rejected as corrupt on the read side.
+        for k in 1..=16 {
+            round_trip(EDGES, k);
         }
     }
 
     #[test]
+    fn out_of_domain_value_is_an_error_not_a_panic() {
+        // Regression: `write_zeta(u64::MAX)` used to `assert!`.
+        for k in [1u32, 3, 16] {
+            assert!(zeta_len(u64::MAX, k).is_err(), "k={k}");
+            let mut w = BitWriter::new();
+            assert!(write_zeta(&mut w, u64::MAX, k).is_err(), "k={k}");
+            assert_eq!(w.bit_len(), 0, "failed write must not emit bits");
+        }
+    }
+
+    #[test]
+    fn out_of_range_k_is_an_error_not_a_panic() {
+        // Regression: k outside 1..=16 used to `assert!` on all paths.
+        for k in [0u32, 17, 64, u32::MAX] {
+            assert!(zeta_len(5, k).is_err(), "k={k}");
+            let mut w = BitWriter::new();
+            assert!(write_zeta(&mut w, 5, k).is_err(), "k={k}");
+            let data = [0xA5u8, 0x5A];
+            let mut r = BitReader::new(&data);
+            assert!(read_zeta(&mut r, k).is_err(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn zeta1_equals_gamma_length() {
+        // ζ₁ is exactly the γ code.
+        for &v in SAMPLES {
+            assert_eq!(zeta_len(v, 1).unwrap(), codes::gamma_len(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn zeta1_equals_gamma_bits() {
+        // Not just the length: the emitted bit patterns are identical,
+        // which is what lets CodecConfig treat γ as ζ₁.
+        let mut zw = BitWriter::new();
+        let mut gw = BitWriter::new();
+        for &v in SAMPLES {
+            write_zeta(&mut zw, v, 1).unwrap();
+            codes::write_gamma(&mut gw, v);
+        }
+        assert_eq!(zw.finish(), gw.finish());
+    }
+
+    #[test]
     fn len_matches_encoding() {
-        for k in [1u32, 2, 3, 5] {
-            for &v in SAMPLES {
+        for k in [1u32, 2, 3, 5, 16] {
+            for &v in SAMPLES.iter().chain(EDGES) {
                 let mut w = BitWriter::new();
-                write_zeta(&mut w, v, k);
-                assert_eq!(w.bit_len(), zeta_len(v, k), "k={k} v={v}");
+                write_zeta(&mut w, v, k).unwrap();
+                assert_eq!(w.bit_len(), zeta_len(v, k).unwrap(), "k={k} v={v}");
             }
         }
     }
@@ -131,7 +224,7 @@ mod tests {
     fn zeta3_beats_gamma_on_midrange_values() {
         // The regime ζ was designed for: gaps in the hundreds.
         let total_gamma: u64 = (100..400u64).map(codes::gamma_len).sum();
-        let total_zeta3: u64 = (100..400u64).map(|v| zeta_len(v, 3)).sum();
+        let total_zeta3: u64 = (100..400u64).map(|v| zeta_len(v, 3).unwrap()).sum();
         assert!(
             total_zeta3 < total_gamma,
             "zeta3 {total_zeta3} should beat gamma {total_gamma} on mid-range"
@@ -141,7 +234,7 @@ mod tests {
     #[test]
     fn truncated_input_errors() {
         let mut w = BitWriter::new();
-        write_zeta(&mut w, 123_456, 3);
+        write_zeta(&mut w, 123_456, 3).unwrap();
         let (bytes, bits) = w.finish();
         for cut in 1..bits {
             let mut r = BitReader::with_bit_len(&bytes, cut);

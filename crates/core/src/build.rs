@@ -1,6 +1,9 @@
 //! End-to-end S-Node construction (§3): refine the partition, renumber
 //! pages, encode every graph, and lay the representation out on disk.
 
+use crate::codec::CodecConfig;
+#[cfg(test)]
+use crate::codec::ListCodec;
 use crate::disk::{GraphLocator, IndexFileWriter, Renumbering, SNodeMeta};
 use crate::partition::{refine, Partition, RefineConfig, RefineStats};
 use crate::refenc::{EncodedLists, RefMode};
@@ -36,6 +39,10 @@ pub struct SNodeConfig {
     pub ref_mode: RefMode,
     /// Positive/negative superedge selection policy.
     pub superedge_policy: SuperedgePolicy,
+    /// Per-list-class codec choice (γ baseline by default; the ablation
+    /// harness sweeps ζ_k / intervals / copy blocks). Recorded in the
+    /// `meta.bin` header so readers decode with the same codec.
+    pub codec: CodecConfig,
     /// Index-file size cap (paper: 500 MB).
     pub max_file_bytes: u64,
     /// Worker threads for the encode pipeline and k-means loops.
@@ -53,6 +60,7 @@ impl Default for SNodeConfig {
             refine: RefineConfig::default(),
             ref_mode: RefMode::default(),
             superedge_policy: SuperedgePolicy::default(),
+            codec: CodecConfig::GAMMA,
             max_file_bytes: 500 << 20,
             threads: 0,
         }
@@ -197,7 +205,12 @@ pub fn build_snode(
     let outer_threads = if inner_threads > 1 { 1 } else { threads };
     let encoded: Vec<(EncodedLists, Vec<EncodedSuperedge>)> =
         crate::par::par_map(outer_threads, n_super, |s| {
-            let intra = encode_intranode_t(&remapped.intra[s], config.ref_mode, inner_threads);
+            let intra = encode_intranode_t(
+                &remapped.intra[s],
+                config.ref_mode,
+                config.codec.intra,
+                inner_threads,
+            );
             let edges: Vec<EncodedSuperedge> = supergraph.adj[s]
                 .iter()
                 .map(|&j| {
@@ -211,6 +224,7 @@ pub fn build_snode(
                         nj,
                         config.ref_mode,
                         config.superedge_policy,
+                        config.codec.superedge,
                         inner_threads,
                     )
                 })
@@ -268,6 +282,7 @@ pub fn build_snode(
         intranode_loc,
         superedge_loc,
         domain_supernodes,
+        codec: config.codec,
         max_file_bytes: config.max_file_bytes,
     };
     let meta_bytes = meta.write(dir)?;
@@ -519,7 +534,12 @@ mod tests {
         for s in 0..meta.num_supernodes() {
             let start = meta.page_range(s).start;
             let bytes = files.read(&meta.intranode_loc[s as usize]).unwrap();
-            let lists = decode_intranode(&bytes, meta.intranode_loc[s as usize].bit_len).unwrap();
+            let lists = decode_intranode(
+                &bytes,
+                meta.intranode_loc[s as usize].bit_len,
+                ListCodec::GAMMA,
+            )
+            .unwrap();
             for (local, list) in lists.iter().enumerate() {
                 for &t in list {
                     rebuilt[(start + local as u32) as usize].push(start + t);
@@ -530,7 +550,8 @@ mod tests {
                 let bytes = files.read(loc).unwrap();
                 let ni = u64::from(meta.supernode_size(s));
                 let nj = u64::from(meta.supernode_size(j));
-                let lists = decode_superedge(&bytes, loc.bit_len, ni, nj).unwrap();
+                let lists =
+                    decode_superedge(&bytes, loc.bit_len, ni, nj, ListCodec::GAMMA).unwrap();
                 let jstart = meta.page_range(j).start;
                 for (local, list) in lists.iter().enumerate() {
                     for &t in list {

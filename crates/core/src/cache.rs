@@ -909,11 +909,17 @@ mod tests {
                 l
             })
             .collect();
-        let enc = crate::refenc::encode_lists(&lists, 30, crate::refenc::RefMode::Windowed(8));
+        let enc = crate::refenc::encode_lists(
+            &lists,
+            30,
+            crate::refenc::RefMode::Windowed(8),
+            crate::codec::ListCodec::GAMMA,
+        );
         let index = ListsIndex::parse(
             &enc.bytes,
             enc.bit_len,
             crate::refenc::Universe::SameAsCount,
+            crate::codec::ListCodec::GAMMA,
         )
         .expect("parse");
         CachedGraph::new_encoded_intra(enc.bytes, enc.bit_len, index)

@@ -1,0 +1,309 @@
+//! Per-list-class codec selection.
+//!
+//! The S-Node paper fixes one list codec (γ-coded gaps, RLE copy-masks);
+//! the WebGraph line of work showed the remaining bits/edge live in the
+//! codec choices: ζ_k gap residuals, interval runs for consecutive-id
+//! blocks, and copy blocks instead of copy bit-vectors. This module is
+//! the configuration surface for those choices.
+//!
+//! A [`ListCodec`] describes how one *class* of adjacency lists is
+//! coded; a [`CodecConfig`] holds one per class (intranode vs superedge).
+//! The config is chosen at build time ([`crate::build::SNodeConfig`]),
+//! recorded in the `meta.bin` header (format v2), and every decode path
+//! reads it back from there — a directory always decodes with the codec
+//! it was built with. Version-1 directories carry no codec field and
+//! decode as [`CodecConfig::default`] (γ everywhere), which is
+//! bit-compatible because ζ₁ *is* γ.
+//!
+//! Cells of the ablation grid are named `<gaps>[+iv][+cb][+st]` per
+//! class: `g` (γ = ζ₁) or `z<k>` for the gap code, `+iv` for interval
+//! runs, `+cb` for copy blocks, `+st` for the single-target dictionary
+//! layout of superedge graphs — e.g. `z3+iv+cb` or `g+st`.
+
+use crate::{Result, SNodeError};
+
+/// Largest accepted ζ shrinking parameter. The useful range for Web-gap
+/// distributions is 2..=5; 8 leaves headroom without letting a damaged
+/// header smuggle in absurd values.
+pub const MAX_ZETA_K: u8 = 8;
+
+/// How one class of adjacency lists is coded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ListCodec {
+    /// ζ shrinking parameter for gap residuals, `1..=MAX_ZETA_K`.
+    /// `1` is exactly the Elias γ code the seed format used.
+    pub zeta_k: u8,
+    /// Extract maximal runs of consecutive ids from plain lists and
+    /// store them as (left extreme, length) pairs before gap-coding the
+    /// residuals (BV interval runs).
+    pub intervals: bool,
+    /// Store reference-encoding copy-masks as BV copy blocks instead of
+    /// the literal-or-RLE bit vector.
+    pub copy_blocks: bool,
+    /// Superedge graphs whose every non-empty source has exactly one
+    /// target (site-template links dominate real crawls) may store a
+    /// dictionary of distinct targets plus one minimal-binary index per
+    /// source instead of per-source lists. Inert for intranode lists.
+    pub singles: bool,
+}
+
+impl Default for ListCodec {
+    fn default() -> Self {
+        ListCodec {
+            zeta_k: 1,
+            intervals: false,
+            copy_blocks: false,
+            singles: false,
+        }
+    }
+}
+
+impl ListCodec {
+    /// γ gaps, no intervals, no copy blocks, no singles dictionary — the
+    /// seed (v1) format.
+    pub const GAMMA: ListCodec = ListCodec {
+        zeta_k: 1,
+        intervals: false,
+        copy_blocks: false,
+        singles: false,
+    };
+
+    /// True when this codec produces bit-identical output to the seed
+    /// (v1) γ format.
+    pub fn is_gamma_baseline(&self) -> bool {
+        *self == Self::GAMMA
+    }
+
+    /// Packs into one byte: low nibble ζ_k, bit 4 intervals, bit 5 copy
+    /// blocks, bit 6 singles dictionary.
+    fn to_byte(self) -> u8 {
+        self.zeta_k
+            | (u8::from(self.intervals) << 4)
+            | (u8::from(self.copy_blocks) << 5)
+            | (u8::from(self.singles) << 6)
+    }
+
+    /// Rejects out-of-range fields; used on every header read so a
+    /// damaged codec byte surfaces as `Corrupt`, never a panic deeper in
+    /// a ζ call (SN211).
+    fn from_byte(b: u8) -> Result<ListCodec> {
+        let zeta_k = b & 0x0F;
+        if zeta_k == 0 || zeta_k > MAX_ZETA_K || b & !0x7F != 0 {
+            return Err(SNodeError::Corrupt("invalid list codec id in header"));
+        }
+        Ok(ListCodec {
+            zeta_k,
+            intervals: b & 0x10 != 0,
+            copy_blocks: b & 0x20 != 0,
+            singles: b & 0x40 != 0,
+        })
+    }
+
+    /// Parses a cell name like `g`, `z3`, `z3+iv+cb`, or `g+st`.
+    pub fn parse_cell(s: &str) -> Result<ListCodec> {
+        let mut parts = s.split('+');
+        let gaps = parts.next().unwrap_or_default();
+        let zeta_k = match gaps {
+            "g" => 1u8,
+            _ => gaps
+                .strip_prefix('z')
+                .and_then(|k| k.parse::<u8>().ok())
+                .filter(|&k| (1..=MAX_ZETA_K).contains(&k))
+                .ok_or(SNodeError::Corrupt(
+                    "codec cell must start with 'g' or 'z<1..=8>'",
+                ))?,
+        };
+        let mut codec = ListCodec {
+            zeta_k,
+            intervals: false,
+            copy_blocks: false,
+            singles: false,
+        };
+        for part in parts {
+            match part {
+                "iv" => codec.intervals = true,
+                "cb" => codec.copy_blocks = true,
+                "st" => codec.singles = true,
+                _ => {
+                    return Err(SNodeError::Corrupt(
+                        "unknown codec cell flag (expected 'iv', 'cb', or 'st')",
+                    ))
+                }
+            }
+        }
+        Ok(codec)
+    }
+}
+
+impl std::fmt::Display for ListCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.zeta_k == 1 {
+            write!(f, "g")?;
+        } else {
+            write!(f, "z{}", self.zeta_k)?;
+        }
+        if self.intervals {
+            write!(f, "+iv")?;
+        }
+        if self.copy_blocks {
+            write!(f, "+cb")?;
+        }
+        if self.singles {
+            write!(f, "+st")?;
+        }
+        Ok(())
+    }
+}
+
+/// The codec choice for each list class of an S-Node directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CodecConfig {
+    /// Codec for intranode adjacency lists.
+    pub intra: ListCodec,
+    /// Codec for superedge (bipartite) adjacency lists and the positive
+    /// form's source list.
+    pub superedge: ListCodec,
+}
+
+impl CodecConfig {
+    /// The seed (v1) format: γ everywhere.
+    pub const GAMMA: CodecConfig = CodecConfig {
+        intra: ListCodec::GAMMA,
+        superedge: ListCodec::GAMMA,
+    };
+
+    /// True when every class uses the seed γ format — the default
+    /// config, whose output is bit-identical to version-1 directories.
+    pub fn is_gamma_baseline(&self) -> bool {
+        self.intra.is_gamma_baseline() && self.superedge.is_gamma_baseline()
+    }
+
+    /// Header form: `[intra, superedge, 0, 0]` packed little-endian.
+    /// The two reserved bytes must be zero (checked on read).
+    pub fn to_header(self) -> u32 {
+        u32::from(self.intra.to_byte()) | (u32::from(self.superedge.to_byte()) << 8)
+    }
+
+    /// Parses and validates the header form.
+    pub fn from_header(v: u32) -> Result<CodecConfig> {
+        if v >> 16 != 0 {
+            return Err(SNodeError::Corrupt(
+                "reserved codec header bytes are non-zero",
+            ));
+        }
+        Ok(CodecConfig {
+            intra: ListCodec::from_byte((v & 0xFF) as u8)?,
+            superedge: ListCodec::from_byte(((v >> 8) & 0xFF) as u8)?,
+        })
+    }
+
+    /// Parses `"<intra>/<superedge>"`, or one cell applied to both
+    /// classes (e.g. `z3` ≡ `z3/z3`).
+    pub fn parse(s: &str) -> Result<CodecConfig> {
+        match s.split_once('/') {
+            Some((i, e)) => Ok(CodecConfig {
+                intra: ListCodec::parse_cell(i)?,
+                superedge: ListCodec::parse_cell(e)?,
+            }),
+            None => {
+                let c = ListCodec::parse_cell(s)?;
+                Ok(CodecConfig {
+                    intra: c,
+                    superedge: c,
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CodecConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.intra, self.superedge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_cells() -> Vec<ListCodec> {
+        let mut v = Vec::new();
+        for k in 1..=MAX_ZETA_K {
+            for iv in [false, true] {
+                for cb in [false, true] {
+                    for st in [false, true] {
+                        v.push(ListCodec {
+                            zeta_k: k,
+                            intervals: iv,
+                            copy_blocks: cb,
+                            singles: st,
+                        });
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn header_round_trips_every_cell_pair() {
+        for &a in &all_cells() {
+            for &b in &all_cells() {
+                let cfg = CodecConfig {
+                    intra: a,
+                    superedge: b,
+                };
+                let back = CodecConfig::from_header(cfg.to_header()).unwrap();
+                assert_eq!(back, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_headers_are_rejected() {
+        for bad in [
+            0u32,        // zeta_k = 0 in both classes
+            0x0000_0009, // zeta_k = 9 > MAX_ZETA_K
+            0x0000_0081, // reserved bit 7 set in intra byte
+            0x0001_0101, // reserved high bytes non-zero
+            0xFFFF_FFFF, //
+            0x0000_0001, // superedge byte zero
+            0x0000_0100, // intra byte zero
+        ] {
+            assert!(CodecConfig::from_header(bad).is_err(), "header {bad:#x}");
+        }
+    }
+
+    #[test]
+    fn cell_names_round_trip() {
+        for &c in &all_cells() {
+            let name = c.to_string();
+            assert_eq!(ListCodec::parse_cell(&name).unwrap(), c, "{name}");
+        }
+        assert_eq!(ListCodec::parse_cell("g").unwrap(), ListCodec::GAMMA);
+        assert_eq!(ListCodec::parse_cell("z1").unwrap(), ListCodec::GAMMA);
+        assert!(ListCodec::parse_cell("z0").is_err());
+        assert!(ListCodec::parse_cell("z9").is_err());
+        assert!(ListCodec::parse_cell("g+xx").is_err());
+        assert!(ListCodec::parse_cell("").is_err());
+    }
+
+    #[test]
+    fn config_parse_single_and_pair() {
+        let c = CodecConfig::parse("z3").unwrap();
+        assert_eq!(c.intra.zeta_k, 3);
+        assert_eq!(c.superedge.zeta_k, 3);
+        let c = CodecConfig::parse("z3+iv/g").unwrap();
+        assert!(c.intra.intervals);
+        assert!(c.superedge.is_gamma_baseline());
+        assert_eq!(c.to_string(), "z3+iv/g");
+        assert_eq!(CodecConfig::parse(&c.to_string()).unwrap(), c);
+    }
+
+    #[test]
+    fn default_is_the_gamma_baseline() {
+        assert!(CodecConfig::default().is_gamma_baseline());
+        assert_eq!(CodecConfig::default(), CodecConfig::GAMMA);
+        assert_eq!(CodecConfig::GAMMA.to_string(), "g/g");
+    }
+}

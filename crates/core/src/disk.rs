@@ -18,6 +18,7 @@
 //!   S-Node page ids (old-of-new), kept separate because it is shared
 //!   repository metadata, not part of the graph representation proper.
 
+use crate::codec::CodecConfig;
 use crate::supergraph::SupernodeGraph;
 use crate::{Result, SNodeError};
 use std::fs::File;
@@ -25,8 +26,23 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 const META_MAGIC: u32 = 0x534E_4F44; // "SNOD"
-const META_VERSION: u32 = 1;
+/// Format version written by this build. Version 2 added the codec word
+/// (one `u32` after the version) recording the per-list-class codec
+/// choice; version-1 directories are still readable and decode with the
+/// γ baseline, whose bit streams are identical to what they were built
+/// with (ζ₁ = γ).
+const META_VERSION: u32 = 2;
 const PAGEMAP_MAGIC: u32 = 0x534E_504D; // "SNPM"
+
+/// Reads the version + optional codec word; shared by full parse and the
+/// supergraph-section reader so both accept the same set of versions.
+fn read_version_and_codec(c: &mut Cursor<'_>) -> Result<CodecConfig> {
+    match c.u32()? {
+        1 => Ok(CodecConfig::GAMMA),
+        2 => CodecConfig::from_header(c.u32()?),
+        _ => Err(SNodeError::Corrupt("unsupported meta version")),
+    }
+}
 
 /// Location of one encoded graph inside the index files.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +78,10 @@ pub struct SNodeMeta {
     /// Domain index: `domain_supernodes[d]` = supernodes holding pages of
     /// domain `d` (ascending).
     pub domain_supernodes: Vec<Vec<u32>>,
+    /// The per-list-class codec the directory's graphs were encoded with.
+    /// Recorded in the header so every decode path uses the codec the
+    /// builder chose; version-1 directories decode as the γ baseline.
+    pub codec: CodecConfig,
     /// Index-file size cap the representation was written with. Locators
     /// are not stored explicitly: the linear ordering plus the per-graph
     /// sizes fully determine file numbers and offsets, so `meta.bin` only
@@ -99,6 +119,7 @@ impl SNodeMeta {
         let mut out = Vec::new();
         put_u32(&mut out, META_MAGIC);
         put_u32(&mut out, META_VERSION);
+        put_u32(&mut out, self.codec.to_header());
         put_u32(&mut out, self.num_pages);
         let n = self.num_supernodes();
         put_u32(&mut out, n);
@@ -153,11 +174,7 @@ impl SNodeMeta {
                 "bad meta magic before supergraph section",
             ));
         }
-        if c.u32()? != META_VERSION {
-            return Err(SNodeError::Corrupt(
-                "bad meta version before supergraph section",
-            ));
-        }
+        let _codec = read_version_and_codec(&mut c)?;
         let _num_pages = c.u32()?;
         let n = c.u32()? as usize;
         for _ in 0..=n {
@@ -182,9 +199,7 @@ impl SNodeMeta {
         if c.u32()? != META_MAGIC {
             return Err(SNodeError::Corrupt("bad meta magic"));
         }
-        if c.u32()? != META_VERSION {
-            return Err(SNodeError::Corrupt("unsupported meta version"));
-        }
+        let codec = read_version_and_codec(&mut c)?;
         let num_pages = c.u32()?;
         let n = c.u32()? as usize;
         // Counts are untrusted until the reads below confirm them; clamp the
@@ -248,6 +263,7 @@ impl SNodeMeta {
             intranode_loc,
             superedge_loc,
             domain_supernodes,
+            codec,
             max_file_bytes,
         })
     }
@@ -614,6 +630,7 @@ mod tests {
             superedge_loc: vec![vec![loc(0, 10)], vec![loc(1, 0), loc(1, 10)], vec![]],
             domain_supernodes: vec![vec![0, 2], vec![1]],
             max_file_bytes: 30,
+            codec: CodecConfig::GAMMA,
         }
     }
 

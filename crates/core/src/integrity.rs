@@ -7,9 +7,10 @@
 //! thread counts are a load-bearing property of the encoder — so the
 //! checksums live in a **sidecar manifest** rather than inline trailers,
 //! and the directory format version bump (v1 → [`DIRECTORY_VERSION`]) is
-//! carried by the manifest itself. `meta.bin` keeps `META_VERSION = 1`;
-//! a v2 directory is "a v1 directory plus `sums.bin`". Directories
-//! without a manifest (v1, or hand-assembled) stay readable, unverified.
+//! carried by the manifest itself. (`meta.bin` has since gained its own
+//! v2 header word recording the list codec; default-γ builds differ from
+//! v1 only in that one word.) Directories without a manifest (v1, or
+//! hand-assembled) stay readable, unverified.
 //!
 //! The manifest covers every byte of the directory:
 //!
@@ -84,7 +85,9 @@ pub struct IntegrityManifest {
 pub fn meta_section_bounds(buf: &[u8]) -> Result<[(u64, u64); 4]> {
     let mut c = Cur { buf, pos: 0 };
     c.u32()?; // magic
-    c.u32()?; // version
+    if c.u32()? >= 2 {
+        c.u32()?; // codec word (meta v2+)
+    }
     c.u32()?; // num_pages
     let n = c.u32()? as u64;
     let header_end = c

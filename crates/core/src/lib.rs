@@ -25,6 +25,7 @@
 //! | module | paper section | contents |
 //! |---|---|---|
 //! | [`refenc`] | §3.1 | affinity graph, Chu–Liu/Edmonds arborescence, windowed reference selection, list codec |
+//! | [`codec`] | — | per-list-class codec selection: ζ_k gaps, interval runs, copy blocks |
 //! | [`par`] | — | deterministic work-pool layer the build pipeline parallelizes on |
 //! | [`kmeans`] | §3.2 | k-means over supernode-adjacency bit vectors |
 //! | [`partition`] | §3.2 | URL split, clustered split, iterative refinement loop |
@@ -40,6 +41,7 @@
 
 pub mod build;
 pub mod cache;
+pub mod codec;
 pub mod disk;
 pub mod integrity;
 pub mod kmeans;
@@ -52,6 +54,7 @@ pub mod supergraph;
 pub mod verify;
 
 pub use build::{build_snode, BuildStats, RepoInput, SNodeConfig, StageTimings};
+pub use codec::{CodecConfig, ListCodec};
 pub use disk::Renumbering;
 pub use integrity::{IntegrityCounters, IntegrityManifest, DIRECTORY_VERSION, SUMS_FILE};
 pub use repr::{DegradedReport, SNode, SNodeInMemory};

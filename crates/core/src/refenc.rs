@@ -28,8 +28,9 @@
 //! experiment): a γ-coded directory of per-list payload lengths precedes
 //! the payloads, and decoding list `i` walks its reference chain.
 
+use crate::codec::ListCodec;
 use crate::{Result, SNodeError};
-use wg_bitio::{codes, rle, BitReader, BitWriter};
+use wg_bitio::{blocks, codes, rle, zeta, BitReader, BitWriter};
 
 /// Depth cap on reference chains in [`RefMode::Windowed`] encoding.
 ///
@@ -92,13 +93,18 @@ impl EncodedLists {
 }
 
 /// Encodes `lists` (each strictly ascending, entries `< universe`) with the
-/// given reference mode, single-threaded.
+/// given reference mode and list codec, single-threaded.
 ///
 /// # Panics
 /// Panics if a list entry is `>= universe` or a list is not strictly
 /// ascending (caller bug — these are internal graph invariants).
-pub fn encode_lists(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> EncodedLists {
-    encode_lists_t(lists, universe, mode, 1)
+pub fn encode_lists(
+    lists: &[Vec<u32>],
+    universe: u64,
+    mode: RefMode,
+    codec: ListCodec,
+) -> EncodedLists {
+    encode_lists_t(lists, universe, mode, codec, 1)
 }
 
 /// [`encode_lists`] with up to `threads` workers for reference selection
@@ -109,9 +115,10 @@ pub fn encode_lists_t(
     lists: &[Vec<u32>],
     universe: u64,
     mode: RefMode,
+    codec: ListCodec,
     threads: u32,
 ) -> EncodedLists {
-    let plan = plan_lists(lists, universe, mode, threads);
+    let plan = plan_lists(lists, universe, mode, codec, threads);
     encode_lists_planned(lists, universe, &plan, threads)
 }
 
@@ -131,6 +138,9 @@ pub(crate) struct ListsPlan {
     payload_bits: Vec<u64>,
     /// Whether the stream needs an explicit directory (forward refs).
     has_dir: bool,
+    /// The list codec the plan's sizes were computed under; the encode
+    /// step must use the same one.
+    codec: ListCodec,
     /// Exact size in bits of the full encoded stream.
     pub(crate) total_bits: u64,
 }
@@ -141,13 +151,14 @@ pub(crate) fn plan_lists(
     lists: &[Vec<u32>],
     universe: u64,
     mode: RefMode,
+    codec: ListCodec,
     threads: u32,
 ) -> ListsPlan {
     for list in lists {
         debug_assert!(list.windows(2).all(|w| w[0] < w[1]));
         debug_assert!(list.iter().all(|&x| u64::from(x) < universe.max(1)));
     }
-    let parents = choose_references(lists, universe, mode, threads);
+    let parents = choose_references(lists, universe, mode, codec, threads);
     let n = lists.len();
     // Exact per-payload sizes: every component codec exposes an exact
     // length function, so the size of a payload is known without writing
@@ -155,12 +166,12 @@ pub(crate) fn plan_lists(
     let payload_bits: Vec<u64> = crate::par::par_chunks(threads, n, 64, |range| {
         range
             .map(|i| match parents[i] {
-                None => 1 + bounded_gap_list_len(&lists[i], universe),
+                None => 1 + bounded_gap_list_len(&lists[i], universe, codec),
                 Some(p) => {
                     let (bits, extras) = diff_against(&lists[p as usize], &lists[i]);
                     1 + codes::minimal_binary_len(u64::from(p), n as u64)
-                        + rle::encoded_len(&bits)
-                        + bounded_gap_list_len(&extras, universe)
+                        + mask_len(&bits, codec)
+                        + bounded_gap_list_len(&extras, universe, codec)
                 }
             })
             .collect::<Vec<u64>>()
@@ -184,6 +195,7 @@ pub(crate) fn plan_lists(
         parents,
         payload_bits,
         has_dir,
+        codec,
         total_bits,
     }
 }
@@ -198,6 +210,7 @@ pub(crate) fn encode_lists_planned(
 ) -> EncodedLists {
     let n = lists.len();
     debug_assert_eq!(plan.parents.len(), n);
+    let codec = plan.codec;
 
     // Encode payloads first so their lengths can go in the directory. The
     // universe size is NOT stored: every caller knows it (an intranode
@@ -213,15 +226,15 @@ pub(crate) fn encode_lists_planned(
                 match plan.parents[i] {
                     None => {
                         w.write_bit(false);
-                        write_bounded_gap_list(&mut w, list, universe);
+                        write_bounded_gap_list(&mut w, list, universe, codec);
                     }
                     Some(p) => {
                         w.write_bit(true);
                         codes::write_minimal_binary(&mut w, u64::from(p), n as u64);
                         let reference = &lists[p as usize];
                         let (bits, extras) = diff_against(reference, list);
-                        rle::write_bitvec(&mut w, &bits);
-                        write_bounded_gap_list(&mut w, &extras, universe);
+                        write_mask(&mut w, &bits, codec);
+                        write_bounded_gap_list(&mut w, &extras, universe, codec);
                     }
                 }
                 w.finish()
@@ -261,8 +274,13 @@ pub(crate) fn encode_lists_planned(
 /// Exact encoded size in bits without producing the encoding (for the
 /// positive-vs-negative superedge decision). Pays for reference selection
 /// only; no bit stream is written.
-pub fn encoded_size_bits(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> u64 {
-    plan_lists(lists, universe, mode, 1).total_bits
+pub fn encoded_size_bits(
+    lists: &[Vec<u32>],
+    universe: u64,
+    mode: RefMode,
+    codec: ListCodec,
+) -> u64 {
+    plan_lists(lists, universe, mode, codec, 1).total_bits
 }
 
 /// Owned directory of an [`EncodedLists`] stream: everything needed for
@@ -275,6 +293,9 @@ pub fn encoded_size_bits(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> u6
 pub struct ListsIndex {
     num_lists: u32,
     universe: u64,
+    /// The list codec the stream was encoded with (not stored in the
+    /// stream: the directory's `meta.bin` header records it once).
+    codec: ListCodec,
     /// Absolute bit offset of each payload (one extra end sentinel).
     /// `u32` bounds a single encoded graph at 512 MiB — orders of magnitude
     /// above any graph a sane partition produces, and half the resident
@@ -288,16 +309,24 @@ impl ListsIndex {
     /// `universe` declares the entry universe: [`Universe::SameAsCount`]
     /// for intranode-style graphs (entries index the lists themselves) or
     /// [`Universe::Explicit`] when the caller knows it (superedge targets
-    /// in `0..|Nj|`). The stream does not store it.
-    pub fn parse(data: &[u8], bit_len: u64, universe: Universe) -> Result<Self> {
-        Self::parse_at(data, bit_len, 0, universe)
+    /// in `0..|Nj|`). `codec` declares the list codec the stream was
+    /// written with. Neither is stored in the stream — the universe comes
+    /// from resident metadata, the codec from the `meta.bin` header.
+    pub fn parse(data: &[u8], bit_len: u64, universe: Universe, codec: ListCodec) -> Result<Self> {
+        Self::parse_at(data, bit_len, 0, universe, codec)
     }
 
     /// Like [`ListsIndex::parse`], but the encoded stream starts at bit
     /// offset `start` inside `data` (used when the stream is embedded in a
     /// larger structure, e.g. a superedge graph header).
-    pub fn parse_at(data: &[u8], bit_len: u64, start: u64, universe: Universe) -> Result<Self> {
-        Ok(Self::load_at(data, bit_len, start, universe)?.0)
+    pub fn parse_at(
+        data: &[u8],
+        bit_len: u64,
+        start: u64,
+        universe: Universe,
+        codec: ListCodec,
+    ) -> Result<Self> {
+        Ok(Self::load_at(data, bit_len, start, universe, codec)?.0)
     }
 
     /// Parses the stream and decodes every list in one sequential pass,
@@ -305,8 +334,13 @@ impl ListsIndex {
     /// random access) and the decoded lists. This is the load-time path:
     /// the on-disk format stores no directory, so offsets come from the
     /// decode that a loader performs anyway.
-    pub fn load(data: &[u8], bit_len: u64, universe: Universe) -> Result<(Self, Vec<Vec<u32>>)> {
-        Self::load_at(data, bit_len, 0, universe)
+    pub fn load(
+        data: &[u8],
+        bit_len: u64,
+        universe: Universe,
+        codec: ListCodec,
+    ) -> Result<(Self, Vec<Vec<u32>>)> {
+        Self::load_at(data, bit_len, 0, universe, codec)
     }
 
     /// [`ListsIndex::load`] for a stream embedded at bit offset `start`.
@@ -315,6 +349,7 @@ impl ListsIndex {
         bit_len: u64,
         start: u64,
         universe: Universe,
+        codec: ListCodec,
     ) -> Result<(Self, Vec<Vec<u32>>)> {
         let mut r = BitReader::with_bit_len(data, bit_len);
         r.seek(start)?;
@@ -342,18 +377,24 @@ impl ListsIndex {
             for _ in 0..n {
                 lens.push(codes::read_gamma(&mut r)?);
             }
+            // The directory lengths are untrusted γ values: sum them with
+            // checked arithmetic so a corrupt entry can neither wrap `pos`
+            // nor silently truncate into the u32 offset table.
             let mut pos = r.position();
             for &l in &lens {
-                offsets.push(pos as u32);
-                pos += l;
+                offsets.push(bit_offset_u32(pos)?);
+                pos = pos
+                    .checked_add(l)
+                    .ok_or(SNodeError::Corrupt("directory length sum overflows"))?;
             }
-            offsets.push(pos.min(u64::from(u32::MAX)) as u32);
             if pos > bit_len {
                 return Err(SNodeError::Corrupt("directory overruns stream"));
             }
+            offsets.push(bit_offset_u32(pos)?);
             let index = Self {
                 num_lists: n as u32,
                 universe,
+                codec,
                 offsets,
             };
             let lists = index.decode_all(data, bit_len)?;
@@ -365,7 +406,7 @@ impl ListsIndex {
         let mut lists: Vec<Vec<u32>> = Vec::with_capacity((n as usize).min(1 << 20));
         let mut copied: Vec<u32> = Vec::new(); // scratch reused across lists
         for i in 0..n {
-            offsets.push(r.position() as u32);
+            offsets.push(bit_offset_u32(r.position())?);
             let is_ref = r.read_bit()?;
             let list = if is_ref {
                 let parent = codes::read_minimal_binary(&mut r, n)? as usize;
@@ -377,23 +418,24 @@ impl ListsIndex {
                 let reference = &lists[parent];
                 copied.clear();
                 copied.reserve(reference.len());
-                rle::read_bitvec_set_positions(&mut r, reference.len(), |pos| {
+                read_mask_set_positions(&mut r, reference.len(), codec, |pos| {
                     copied.push(reference[pos]);
                 })?;
-                let extras = read_bounded_gap_list(&mut r, universe)?;
+                let extras = read_bounded_gap_list(&mut r, universe, codec)?;
                 let mut merged = Vec::new();
-                merge_sorted_u32(&copied, &extras, &mut merged);
+                merge_sorted_u32(&copied, &extras, &mut merged)?;
                 merged
             } else {
-                read_bounded_gap_list(&mut r, universe)?
+                read_bounded_gap_list(&mut r, universe, codec)?
             };
             lists.push(list);
         }
-        offsets.push(r.position() as u32);
+        offsets.push(bit_offset_u32(r.position())?);
         Ok((
             Self {
                 num_lists: n as u32,
                 universe,
+                codec,
                 offsets,
             },
             lists,
@@ -538,7 +580,7 @@ impl ListsIndex {
         let mut r = self.reader_at(data, bit_len, i)?;
         let is_ref = r.read_bit()?;
         debug_assert!(!is_ref);
-        read_bounded_gap_list(&mut r, self.universe)
+        read_bounded_gap_list(&mut r, self.universe, self.codec)
     }
 
     /// Decodes payload `i`, known to be reference-encoded against
@@ -560,25 +602,38 @@ impl ListsIndex {
         let _parent = codes::read_minimal_binary(&mut r, u64::from(self.num_lists))?;
         copied.clear();
         copied.reserve(reference.len());
-        rle::read_bitvec_set_positions(&mut r, reference.len(), |pos| {
+        read_mask_set_positions(&mut r, reference.len(), self.codec, |pos| {
             copied.push(reference[pos]);
         })?;
-        let extras = read_bounded_gap_list(&mut r, self.universe)?;
+        let extras = read_bounded_gap_list(&mut r, self.universe, self.codec)?;
         let mut merged = Vec::new();
-        merge_sorted_u32(copied, &extras, &mut merged);
+        merge_sorted_u32(copied, &extras, &mut merged)?;
         Ok(merged)
     }
+}
+
+/// Converts an untrusted bit position into a directory offset, rejecting
+/// anything past the 512 MiB single-graph bound instead of truncating.
+fn bit_offset_u32(pos: u64) -> Result<u32> {
+    u32::try_from(pos).map_err(|_| SNodeError::Corrupt("payload offset overflows directory bound"))
 }
 
 /// Merges two sorted `u32` slices into `out` (cleared first). Taking
 /// slices and an output buffer keeps the hot decode path — one merge per
 /// reference-chain step — from consuming and reallocating vectors: callers
 /// reuse their scratch buffers across steps.
-fn merge_sorted_u32(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+///
+/// A well-formed stream never places the same value in both the copied
+/// and the extra list, so a collision is reported as corruption rather
+/// than silently producing a duplicate entry.
+fn merge_sorted_u32(a: &[u32], b: &[u32], out: &mut Vec<u32>) -> Result<()> {
     out.clear();
     out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
+        if a[i] == b[j] {
+            return Err(SNodeError::Corrupt("copied and extra lists overlap"));
+        }
         if a[i] < b[j] {
             out.push(a[i]);
             i += 1;
@@ -589,6 +644,7 @@ fn merge_sorted_u32(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
+    Ok(())
 }
 
 /// Borrowing convenience wrapper: a [`ListsIndex`] bound to its bytes.
@@ -601,16 +657,27 @@ pub struct ListsReader<'a> {
 
 impl<'a> ListsReader<'a> {
     /// Parses the header + directory of an encoded stream.
-    pub fn parse(data: &'a [u8], bit_len: u64, universe: Universe) -> Result<Self> {
-        Self::parse_at(data, bit_len, 0, universe)
+    pub fn parse(
+        data: &'a [u8],
+        bit_len: u64,
+        universe: Universe,
+        codec: ListCodec,
+    ) -> Result<Self> {
+        Self::parse_at(data, bit_len, 0, universe, codec)
     }
 
     /// Parses a stream embedded at bit offset `start`.
-    pub fn parse_at(data: &'a [u8], bit_len: u64, start: u64, universe: Universe) -> Result<Self> {
+    pub fn parse_at(
+        data: &'a [u8],
+        bit_len: u64,
+        start: u64,
+        universe: Universe,
+        codec: ListCodec,
+    ) -> Result<Self> {
         Ok(Self {
             data,
             bit_len,
-            index: ListsIndex::parse_at(data, bit_len, start, universe)?,
+            index: ListsIndex::parse_at(data, bit_len, start, universe, codec)?,
         })
     }
 
@@ -668,15 +735,119 @@ impl DecodeMemo for VecMemo {
     }
 }
 
+// --- Codec-parameterised primitives ---------------------------------------
+
+/// Minimum length of a consecutive-id run extracted as an interval when a
+/// codec enables interval runs (the WebGraph default). Shorter runs stay
+/// in the gap sequence, where a consecutive pair already costs one bit.
+pub(crate) const MIN_INTERVAL: u32 = 4;
+
+/// Bits of the gap code for `x` under shrinking parameter `k` (ζ₁ = γ,
+/// dispatched to the tuned γ implementation).
+#[inline]
+fn gap_code_len(x: u64, k: u8) -> u64 {
+    if k <= 1 {
+        codes::gamma_len(x)
+    } else {
+        // Gap values fit u64 by construction (< 2^33) and `k` comes from
+        // a validated `ListCodec`, so the domain check cannot fire; the
+        // poisoned fallback keeps any future violation loud (the plan
+        // size cross-check catches it) without a decode-path panic.
+        zeta::zeta_len(x, u32::from(k)).unwrap_or(u64::MAX >> 8)
+    }
+}
+
+#[inline]
+fn write_gap_code(w: &mut BitWriter, x: u64, k: u8) {
+    if k <= 1 {
+        codes::write_gamma(w, x);
+    } else {
+        let ok = zeta::write_zeta(w, x, u32::from(k)).is_ok();
+        debug_assert!(ok, "gap value outside the zeta domain");
+    }
+}
+
+#[inline]
+fn read_gap_code(r: &mut BitReader<'_>, k: u8) -> Result<u64> {
+    if k <= 1 {
+        Ok(codes::read_gamma(r)?)
+    } else {
+        Ok(zeta::read_zeta(r, u32::from(k))?)
+    }
+}
+
+/// Bits of the copy-mask encoding `codec` selects.
+#[inline]
+fn mask_len(bits: &[bool], codec: ListCodec) -> u64 {
+    if codec.copy_blocks {
+        blocks::blocks_len(bits)
+    } else {
+        rle::encoded_len(bits)
+    }
+}
+
+#[inline]
+fn write_mask(w: &mut BitWriter, bits: &[bool], codec: ListCodec) {
+    if codec.copy_blocks {
+        blocks::write_blocks(w, bits);
+    } else {
+        rle::write_bitvec(w, bits);
+    }
+}
+
+#[inline]
+fn read_mask_set_positions(
+    r: &mut BitReader<'_>,
+    len: usize,
+    codec: ListCodec,
+    on_set: impl FnMut(usize),
+) -> Result<()> {
+    if codec.copy_blocks {
+        blocks::read_blocks_set_positions(r, len, on_set)?;
+    } else {
+        rle::read_bitvec_set_positions(r, len, on_set)?;
+    }
+    Ok(())
+}
+
+/// Splits `list` into maximal consecutive-id runs of length ≥
+/// [`MIN_INTERVAL`] (as `(left, len)` intervals) and the remaining
+/// residual entries, both in ascending order.
+fn split_intervals(list: &[u32]) -> (Vec<(u32, u32)>, Vec<u32>) {
+    let mut intervals = Vec::new();
+    let mut residuals = Vec::new();
+    let mut i = 0usize;
+    while i < list.len() {
+        let mut j = i + 1;
+        while j < list.len() && list[j] == list[j - 1] + 1 {
+            j += 1;
+        }
+        let run = (j - i) as u32;
+        if run >= MIN_INTERVAL {
+            intervals.push((list[i], run));
+        } else {
+            residuals.extend_from_slice(&list[i..j]);
+        }
+        i = j;
+    }
+    (intervals, residuals)
+}
+
 // --- Cost model ----------------------------------------------------------
 
 /// Cost in bits of a plain payload for `list` (excluding the directory).
-fn plain_cost(list: &[u32], universe: u64) -> u64 {
-    1 + bounded_gap_list_len(list, universe)
+fn plain_cost(list: &[u32], universe: u64, codec: ListCodec) -> u64 {
+    1 + bounded_gap_list_len(list, universe, codec)
 }
 
 /// Cost in bits of encoding `target` referencing `reference`.
-fn ref_cost(reference: &[u32], target: &[u32], n_lists: u64, universe: u64) -> u64 {
+fn ref_cost(
+    reference: &[u32],
+    target: &[u32],
+    n_lists: u64,
+    universe: u64,
+    codec: ListCodec,
+) -> u64 {
     let (bits, extras) = diff_against(reference, target);
     // Parent field: upper bound of ⌈log₂ n⌉ bits (minimal binary).
     let parent_bits = if n_lists <= 1 {
@@ -684,7 +855,7 @@ fn ref_cost(reference: &[u32], target: &[u32], n_lists: u64, universe: u64) -> u
     } else {
         u64::from(64 - (n_lists - 1).leading_zeros())
     };
-    1 + parent_bits + rle::encoded_len(&bits) + bounded_gap_list_len(&extras, universe)
+    1 + parent_bits + mask_len(&bits, codec) + bounded_gap_list_len(&extras, universe, codec)
 }
 
 /// Splits `target` into (copy bit vector over `reference`, extras).
@@ -706,47 +877,48 @@ fn diff_against(reference: &[u32], target: &[u32]) -> (Vec<bool>, Vec<u32>) {
     (bits, extras)
 }
 
-/// Size in bits of [`write_bounded_gap_list`]'s output.
-pub(crate) fn bounded_gap_list_len(list: &[u32], universe: u64) -> u64 {
-    let mut total = codes::gamma_len(list.len() as u64);
+/// Size in bits of a run of ascending entries: first minimal-binary over
+/// the universe, later entries as coded gaps.
+fn ascending_entries_len(list: &[u32], universe: u64, k: u8) -> u64 {
+    let mut total = 0;
     let mut prev: Option<u32> = None;
     for &x in list {
         total += match prev {
             None => codes::minimal_binary_len(u64::from(x), universe.max(1)),
-            Some(p) => codes::gamma_len(u64::from(x - p - 1)),
+            Some(p) => gap_code_len(u64::from(x - p - 1), k),
         };
         prev = Some(x);
     }
     total
 }
 
-/// A gap list whose first element is minimal-binary coded over the known
-/// universe (γ would spend ~2·log₂ bits on it) and whose gaps are γ-coded.
-pub(crate) fn write_bounded_gap_list(w: &mut BitWriter, list: &[u32], universe: u64) {
-    codes::write_gamma(w, list.len() as u64);
+fn write_ascending_entries(w: &mut BitWriter, list: &[u32], universe: u64, k: u8) {
     let mut prev: Option<u32> = None;
     for &x in list {
         match prev {
             None => codes::write_minimal_binary(w, u64::from(x), universe.max(1)),
             Some(p) => {
                 assert!(x > p, "gap list must be strictly ascending");
-                codes::write_gamma(w, u64::from(x - p - 1));
+                write_gap_code(w, u64::from(x - p - 1), k);
             }
         }
         prev = Some(x);
     }
 }
 
-/// Reads a list written by [`write_bounded_gap_list`].
-pub(crate) fn read_bounded_gap_list(r: &mut BitReader<'_>, universe: u64) -> Result<Vec<u32>> {
-    let len = codes::read_gamma(r)?;
-    let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
+fn read_ascending_entries(
+    r: &mut BitReader<'_>,
+    count: u64,
+    universe: u64,
+    k: u8,
+    out: &mut Vec<u32>,
+) -> Result<()> {
     let mut prev: Option<u32> = None;
-    for _ in 0..len {
+    for _ in 0..count {
         let x = match prev {
             None => codes::read_minimal_binary(r, universe.max(1))?,
             Some(p) => {
-                let g = codes::read_gamma(r)?;
+                let g = read_gap_code(r, k)?;
                 u64::from(p)
                     .checked_add(g)
                     .and_then(|v| v.checked_add(1))
@@ -758,6 +930,142 @@ pub(crate) fn read_bounded_gap_list(r: &mut BitReader<'_>, universe: u64) -> Res
         }
         out.push(x as u32);
         prev = Some(x as u32);
+    }
+    Ok(())
+}
+
+/// Size in bits of [`write_bounded_gap_list`]'s output.
+pub(crate) fn bounded_gap_list_len(list: &[u32], universe: u64, codec: ListCodec) -> u64 {
+    let k = codec.zeta_k;
+    let total = codes::gamma_len(list.len() as u64);
+    if !codec.intervals {
+        return total + ascending_entries_len(list, universe, k);
+    }
+    if list.is_empty() {
+        return total;
+    }
+    let (intervals, residuals) = split_intervals(list);
+    let mut total = total + codes::gamma_len(intervals.len() as u64);
+    let mut prev_end: Option<u64> = None;
+    for &(left, run) in &intervals {
+        total += match prev_end {
+            None => codes::minimal_binary_len(u64::from(left), universe.max(1)),
+            Some(pe) => gap_code_len(u64::from(left) - pe - 1, k),
+        };
+        total += codes::gamma_len(u64::from(run - MIN_INTERVAL));
+        prev_end = Some(u64::from(left) + u64::from(run));
+    }
+    total + ascending_entries_len(&residuals, universe, k)
+}
+
+/// A gap list whose first element is minimal-binary coded over the known
+/// universe (γ would spend ~2·log₂ bits on it) and whose gaps are coded
+/// with the codec's gap code (γ = ζ₁ by default, ζ_k otherwise).
+///
+/// With `codec.intervals`, maximal runs of ≥ [`MIN_INTERVAL`] consecutive
+/// ids are pulled out first (BV interval runs): after γ(len) for a
+/// non-empty list come γ(#intervals), then per interval its left extreme
+/// (first minimal-binary, later ones gap-coded from the previous run's
+/// end — maximality guarantees at least a one-id hole between runs) and
+/// γ(run − MIN_INTERVAL); the leftover residuals follow as an ordinary
+/// gap sequence whose count is implicit (len − Σ runs).
+pub(crate) fn write_bounded_gap_list(
+    w: &mut BitWriter,
+    list: &[u32],
+    universe: u64,
+    codec: ListCodec,
+) {
+    let k = codec.zeta_k;
+    codes::write_gamma(w, list.len() as u64);
+    if !codec.intervals {
+        write_ascending_entries(w, list, universe, k);
+        return;
+    }
+    if list.is_empty() {
+        return;
+    }
+    let (intervals, residuals) = split_intervals(list);
+    codes::write_gamma(w, intervals.len() as u64);
+    let mut prev_end: Option<u64> = None;
+    for &(left, run) in &intervals {
+        match prev_end {
+            None => codes::write_minimal_binary(w, u64::from(left), universe.max(1)),
+            Some(pe) => write_gap_code(w, u64::from(left) - pe - 1, k),
+        }
+        codes::write_gamma(w, u64::from(run - MIN_INTERVAL));
+        prev_end = Some(u64::from(left) + u64::from(run));
+    }
+    write_ascending_entries(w, &residuals, universe, k);
+}
+
+/// Reads a list written by [`write_bounded_gap_list`].
+pub(crate) fn read_bounded_gap_list(
+    r: &mut BitReader<'_>,
+    universe: u64,
+    codec: ListCodec,
+) -> Result<Vec<u32>> {
+    let k = codec.zeta_k;
+    let len = codes::read_gamma(r)?;
+    if !codec.intervals {
+        let mut out = Vec::with_capacity(len.min(1 << 20) as usize);
+        read_ascending_entries(r, len, universe, k, &mut out)?;
+        return Ok(out);
+    }
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let num_intervals = codes::read_gamma(r)?;
+    // Every interval covers at least MIN_INTERVAL of the declared entries.
+    if num_intervals > len / u64::from(MIN_INTERVAL) {
+        return Err(SNodeError::Corrupt("interval count exceeds list length"));
+    }
+    let mut intervals: Vec<(u32, u32)> = Vec::with_capacity((num_intervals as usize).min(1 << 18));
+    let mut covered = 0u64;
+    let mut prev_end: Option<u64> = None;
+    for _ in 0..num_intervals {
+        let left = match prev_end {
+            None => codes::read_minimal_binary(r, universe.max(1))?,
+            Some(pe) => {
+                let g = read_gap_code(r, k)?;
+                pe.checked_add(1)
+                    .and_then(|v| v.checked_add(g))
+                    .ok_or(SNodeError::Corrupt("interval gap overflow"))?
+            }
+        };
+        let run = u64::from(MIN_INTERVAL)
+            .checked_add(codes::read_gamma(r)?)
+            .ok_or(SNodeError::Corrupt("interval length overflow"))?;
+        covered = covered
+            .checked_add(run)
+            .filter(|&c| c <= len)
+            .ok_or(SNodeError::Corrupt(
+                "interval runs exceed declared list length",
+            ))?;
+        let last = left
+            .checked_add(run - 1)
+            .filter(|&l| l <= u64::from(u32::MAX))
+            .ok_or(SNodeError::Corrupt("interval entry overflows u32"))?;
+        intervals.push((left as u32, run as u32));
+        prev_end = Some(last + 1);
+    }
+    let mut residuals = Vec::with_capacity(((len - covered) as usize).min(1 << 20));
+    read_ascending_entries(r, len - covered, universe, k, &mut residuals)?;
+    // Merge the expanded runs with the residuals. Both sequences are
+    // ascending on their own; the final monotonicity sweep rejects any
+    // cross-contamination (a residual landing inside or between runs out
+    // of order) that the per-sequence decoding cannot see.
+    let mut out: Vec<u32> = Vec::with_capacity(len.min(1 << 20) as usize);
+    let mut ri = 0usize;
+    for &(left, run) in &intervals {
+        while ri < residuals.len() && residuals[ri] < left {
+            out.push(residuals[ri]);
+            ri += 1;
+        }
+        out.extend(left..=left + (run - 1));
+    }
+    out.extend_from_slice(&residuals[ri..]);
+    if !out.windows(2).all(|p| p[0] < p[1]) {
+        return Err(SNodeError::Corrupt("interval and residual entries overlap"));
     }
     Ok(out)
 }
@@ -774,6 +1082,7 @@ fn choose_references(
     lists: &[Vec<u32>],
     universe: u64,
     mode: RefMode,
+    codec: ListCodec,
     threads: u32,
 ) -> Vec<Option<u32>> {
     let n = lists.len();
@@ -781,7 +1090,7 @@ fn choose_references(
         RefMode::Windowed(w)
             if threads > 1 && n.saturating_mul(w.max(1) as usize) >= PAR_COST_PROBES_MIN =>
         {
-            choose_references_windowed_par(lists, universe, w.max(1) as usize, threads)
+            choose_references_windowed_par(lists, universe, w.max(1) as usize, codec, threads)
         }
         RefMode::None => vec![None; n],
         RefMode::Windowed(w) => {
@@ -792,12 +1101,12 @@ fn choose_references(
                 if lists[y].is_empty() {
                     continue; // plain empty list is 2 bits; nothing beats it
                 }
-                let mut best = plain_cost(&lists[y], universe);
+                let mut best = plain_cost(&lists[y], universe, codec);
                 for x in y.saturating_sub(w)..y {
                     if lists[x].is_empty() || depth[x] >= MAX_REF_CHAIN {
                         continue;
                     }
-                    let c = ref_cost(&lists[x], &lists[y], n as u64, universe);
+                    let c = ref_cost(&lists[x], &lists[y], n as u64, universe, codec);
                     if c < best {
                         best = c;
                         parents[y] = Some(x as u32);
@@ -817,7 +1126,7 @@ fn choose_references(
             // applies the scheme to "much smaller" graphs).
             const EXACT_MAX_LISTS: usize = 512;
             if n > EXACT_MAX_LISTS {
-                return choose_references(lists, universe, RefMode::Windowed(256), threads);
+                return choose_references(lists, universe, RefMode::Windowed(256), codec, threads);
             }
             // Affinity graph: node n is the virtual root. Building it is
             // the quadratic part (one ref_cost per ordered list pair);
@@ -828,7 +1137,11 @@ fn choose_references(
             let edges: Vec<(u32, u32, u64)> = crate::par::par_chunks(threads, n, 8, |range| {
                 let mut batch: Vec<(u32, u32, u64)> = Vec::new();
                 for y in range {
-                    batch.push((root as u32, y as u32, plain_cost(&lists[y], universe)));
+                    batch.push((
+                        root as u32,
+                        y as u32,
+                        plain_cost(&lists[y], universe, codec),
+                    ));
                     if lists[y].is_empty() {
                         continue;
                     }
@@ -839,7 +1152,7 @@ fn choose_references(
                         batch.push((
                             x as u32,
                             y as u32,
-                            ref_cost(&lists[x], &lists[y], n as u64, universe),
+                            ref_cost(&lists[x], &lists[y], n as u64, universe, codec),
                         ));
                     }
                 }
@@ -876,6 +1189,7 @@ fn choose_references_windowed_par(
     lists: &[Vec<u32>],
     universe: u64,
     w: usize,
+    codec: ListCodec,
     threads: u32,
 ) -> Vec<Option<u32>> {
     let n = lists.len();
@@ -886,13 +1200,13 @@ fn choose_references_windowed_par(
                 if lists[y].is_empty() {
                     return (0, Vec::new());
                 }
-                let plain = plain_cost(&lists[y], universe);
+                let plain = plain_cost(&lists[y], universe, codec);
                 let cand: Vec<u64> = (y.saturating_sub(w)..y)
                     .map(|x| {
                         if lists[x].is_empty() {
                             u64::MAX
                         } else {
-                            ref_cost(&lists[x], &lists[y], n as u64, universe)
+                            ref_cost(&lists[x], &lists[y], n as u64, universe, codec)
                         }
                     })
                     .collect();
@@ -1130,10 +1444,16 @@ pub fn min_arborescence(n: usize, root: u32, edges: &[(u32, u32, u64)]) -> Vec<u
 mod tests {
     use super::*;
 
-    fn round_trip(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> EncodedLists {
-        let enc = encode_lists(lists, universe, mode);
+    fn round_trip_codec(
+        lists: &[Vec<u32>],
+        universe: u64,
+        mode: RefMode,
+        codec: ListCodec,
+    ) -> EncodedLists {
+        let enc = encode_lists(lists, universe, mode, codec);
         let reader =
-            ListsReader::parse(&enc.bytes, enc.bit_len, Universe::Explicit(universe)).unwrap();
+            ListsReader::parse(&enc.bytes, enc.bit_len, Universe::Explicit(universe), codec)
+                .unwrap();
         assert_eq!(reader.num_lists(), lists.len() as u32);
         assert_eq!(reader.universe(), universe);
         // decode_all
@@ -1147,6 +1467,61 @@ mod tests {
             assert_eq!(reader.decode_list(i).unwrap(), lists[i as usize]);
         }
         enc
+    }
+
+    fn round_trip(lists: &[Vec<u32>], universe: u64, mode: RefMode) -> EncodedLists {
+        round_trip_codec(lists, universe, mode, ListCodec::GAMMA)
+    }
+
+    /// Every distinct codec shape: γ baseline, ζ only, each feature alone,
+    /// and the full stack.
+    fn codec_cells() -> Vec<ListCodec> {
+        let mut cells = Vec::new();
+        for k in [1u8, 2, 3, 4, 7] {
+            for iv in [false, true] {
+                for cb in [false, true] {
+                    cells.push(ListCodec {
+                        zeta_k: k,
+                        intervals: iv,
+                        copy_blocks: cb,
+                        singles: false,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Pseudorandom sorted lists with a mix of dense runs (interval bait)
+    /// and scattered entries.
+    fn synth_lists(seed: u64, num: usize, universe: u64) -> Vec<Vec<u32>> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            s >> 33
+        };
+        (0..num)
+            .map(|_| {
+                let mut l: Vec<u32> = Vec::new();
+                for _ in 0..(next() % 6) {
+                    // A consecutive run...
+                    let start = (next() % universe.max(1)) as u32;
+                    let run = (next() % 9) as u32;
+                    for v in start..start.saturating_add(run) {
+                        if u64::from(v) < universe {
+                            l.push(v);
+                        }
+                    }
+                    // ...and some scatter.
+                    for _ in 0..(next() % 5) {
+                        l.push((next() % universe.max(1)) as u32);
+                    }
+                }
+                l.sort_unstable();
+                l.dedup();
+                l
+            })
+            .collect()
     }
 
     fn modes() -> [RefMode; 4] {
@@ -1233,7 +1608,7 @@ mod tests {
         let base: Vec<u32> = (10..40).collect();
         let lists = vec![base.clone(); 30];
         let enc = round_trip(&lists, 64, RefMode::Windowed(4));
-        let plain = encode_lists(&lists, 64, RefMode::None);
+        let plain = encode_lists(&lists, 64, RefMode::None, ListCodec::GAMMA);
         // Each referenced copy costs ~18 bits (mode + parent + RLE'd all-ones
         // mask + empty extras) vs ~55 plain, but the per-list directory entry
         // is shared overhead — net ≈ 2x, not the asymptotic |list| ratio.
@@ -1262,9 +1637,9 @@ mod tests {
     #[test]
     fn single_list_truncation_is_detected() {
         let lists = vec![vec![1u32, 5, 9]];
-        let enc = encode_lists(&lists, 10, RefMode::None);
+        let enc = encode_lists(&lists, 10, RefMode::None, ListCodec::GAMMA);
         for cut in 1..enc.bit_len {
-            match ListsReader::parse(&enc.bytes, cut, Universe::Explicit(10)) {
+            match ListsReader::parse(&enc.bytes, cut, Universe::Explicit(10), ListCodec::GAMMA) {
                 Err(_) => {}
                 Ok(r) => {
                     // Header may parse; decoding must fail or return the
@@ -1404,10 +1779,125 @@ mod tests {
     fn encoded_size_bits_matches_encode() {
         let lists = vec![vec![1u32, 2, 3], vec![1, 2, 4], vec![7]];
         for mode in modes() {
-            assert_eq!(
-                encoded_size_bits(&lists, 10, mode),
-                encode_lists(&lists, 10, mode).bit_len
-            );
+            for codec in codec_cells() {
+                assert_eq!(
+                    encoded_size_bits(&lists, 10, mode, codec),
+                    encode_lists(&lists, 10, mode, codec).bit_len,
+                    "{codec} {mode:?}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn every_codec_cell_round_trips() {
+        let universe = 700u64;
+        let lists = synth_lists(0xAB1E, 40, universe);
+        for codec in codec_cells() {
+            for mode in modes() {
+                round_trip_codec(&lists, universe, mode, codec);
+            }
+        }
+    }
+
+    #[test]
+    fn codec_cells_decode_identically_to_gamma() {
+        // Cross-codec equivalence: whatever the cell, decoding returns the
+        // exact lists the γ baseline encodes and decodes.
+        let universe = 900u64;
+        let lists = synth_lists(0xFACADE, 60, universe);
+        let base = encode_lists(&lists, universe, RefMode::Windowed(8), ListCodec::GAMMA);
+        let base_lists = ListsReader::parse(
+            &base.bytes,
+            base.bit_len,
+            Universe::Explicit(universe),
+            ListCodec::GAMMA,
+        )
+        .unwrap()
+        .decode_all()
+        .unwrap();
+        for codec in codec_cells() {
+            let enc = encode_lists(&lists, universe, RefMode::Windowed(8), codec);
+            let got =
+                ListsReader::parse(&enc.bytes, enc.bit_len, Universe::Explicit(universe), codec)
+                    .unwrap()
+                    .decode_all()
+                    .unwrap();
+            assert_eq!(got, base_lists, "{codec}");
+        }
+    }
+
+    #[test]
+    fn intervals_win_on_dense_runs() {
+        // Lists dominated by long consecutive runs: the interval form must
+        // beat plain γ gaps.
+        let lists: Vec<Vec<u32>> = (0..20u32)
+            .map(|i| {
+                let start = i * 40;
+                (start..start + 30).chain([900 + i, 950 + i]).collect()
+            })
+            .collect();
+        let gamma = encode_lists(&lists, 1000, RefMode::None, ListCodec::GAMMA);
+        let iv = ListCodec {
+            intervals: true,
+            ..ListCodec::GAMMA
+        };
+        let with_iv = encode_lists(&lists, 1000, RefMode::None, iv);
+        assert!(
+            with_iv.bit_len < gamma.bit_len,
+            "intervals {} must beat gamma {} on dense runs",
+            with_iv.bit_len,
+            gamma.bit_len
+        );
+    }
+
+    #[test]
+    fn interval_stream_truncation_and_bit_flips_never_panic() {
+        let universe = 300u64;
+        let lists = synth_lists(0x5EED, 12, universe);
+        let codec = ListCodec {
+            zeta_k: 3,
+            intervals: true,
+            copy_blocks: true,
+            singles: false,
+        };
+        let enc = encode_lists(&lists, universe, RefMode::Windowed(4), codec);
+        // Truncation at every bit boundary.
+        for cut in 0..enc.bit_len {
+            if let Ok(r) = ListsReader::parse(&enc.bytes, cut, Universe::Explicit(universe), codec)
+            {
+                for i in 0..r.num_lists() {
+                    let _ = r.decode_list(i);
+                }
+            }
+        }
+        // Single-bit flips: decode either errors or yields sorted lists —
+        // never a panic, never an out-of-order list.
+        for flip in 0..enc.bit_len.min(512) {
+            let mut bytes = enc.bytes.clone();
+            bytes[(flip / 8) as usize] ^= 0x80 >> (flip % 8);
+            if let Ok(r) =
+                ListsReader::parse(&bytes, enc.bit_len, Universe::Explicit(universe), codec)
+            {
+                for i in 0..r.num_lists() {
+                    if let Ok(l) = r.decode_list(i) {
+                        assert!(l.windows(2).all(|p| p[0] < p[1]), "flip={flip} list={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_intervals_extracts_maximal_runs() {
+        let (iv, res) = split_intervals(&[1, 2, 3, 4, 6, 10, 11, 12, 13, 14, 20]);
+        assert_eq!(iv, vec![(1, 4), (10, 5)]);
+        assert_eq!(res, vec![6, 20]);
+        let (iv, res) = split_intervals(&[5, 7, 9]);
+        assert!(iv.is_empty());
+        assert_eq!(res, vec![5, 7, 9]);
+        let (iv, res) = split_intervals(&[]);
+        assert!(iv.is_empty());
+        assert!(res.is_empty());
     }
 }

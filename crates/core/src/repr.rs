@@ -367,6 +367,15 @@ impl SNode {
         self.batch_inner(pages, visit, true)
     }
 
+    /// Checked superedge-slot index: the `u32::MAX` sentinel marks the
+    /// intranode part in `part_order`, so a real slot may never equal it.
+    fn slot_index(k: usize) -> Result<u32> {
+        u32::try_from(k)
+            .ok()
+            .filter(|&v| v != u32::MAX)
+            .ok_or(SNodeError::Corrupt("superedge slot index overflows u32"))
+    }
+
     fn batch_inner(
         &self,
         pages: &[PageId],
@@ -423,7 +432,7 @@ impl SNode {
             let mut supers: Vec<(u32, u32, Option<Arc<CachedGraph>>)> =
                 Vec::with_capacity(targets.len());
             for (k, j) in targets.into_iter().enumerate() {
-                let graph = self.superedge(s, k as u32, j)?;
+                let graph = self.superedge(s, Self::slot_index(k)?, j)?;
                 supers.push((self.meta.page_range(j).start, j, graph));
             }
             // Ranges are disjoint and each local list is sorted, so
@@ -432,7 +441,7 @@ impl SNode {
             scratch.part_order.clear();
             scratch.part_order.push((range.start, u32::MAX));
             for (k, &(j_start, _, _)) in supers.iter().enumerate() {
-                scratch.part_order.push((j_start, k as u32));
+                scratch.part_order.push((j_start, Self::slot_index(k)?));
             }
             scratch.part_order.sort_unstable_by_key(|&(start, _)| start);
 
@@ -571,7 +580,12 @@ impl SNode {
         let parsed = self
             .load_blob(&loc, self.blob_base[s as usize])
             .and_then(|bytes| {
-                let index = ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount)?;
+                let index = ListsIndex::parse(
+                    &bytes,
+                    loc.bit_len,
+                    Universe::SameAsCount,
+                    self.meta.codec.intra,
+                )?;
                 Ok((bytes, index))
             });
         if let Some(sw) = sw {
@@ -606,7 +620,8 @@ impl SNode {
         let nj = u64::from(self.meta.supernode_size(j));
         let sw = wg_obs::telemetry_enabled().then(wg_obs::Stopwatch::start);
         let parsed = self.load_blob(&loc, blob_idx).and_then(|bytes| {
-            let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
+            let index =
+                SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj, self.meta.codec.superedge)?;
             Ok((bytes, index))
         });
         if let Some(sw) = sw {
@@ -671,7 +686,8 @@ impl SNodeInMemory {
             let bytes = files.read(&loc)?;
             check(&bytes, blob_idx)?;
             blob_idx += 1;
-            let index = ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount)?;
+            let index =
+                ListsIndex::parse(&bytes, loc.bit_len, Universe::SameAsCount, meta.codec.intra)?;
             intra.push((bytes, loc.bit_len, index));
             let mut row = Vec::with_capacity(meta.supergraph.adj[s as usize].len());
             let ni = u64::from(meta.supernode_size(s));
@@ -681,7 +697,8 @@ impl SNodeInMemory {
                 let bytes = files.read(loc)?;
                 check(&bytes, blob_idx)?;
                 blob_idx += 1;
-                let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
+                let index =
+                    SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj, meta.codec.superedge)?;
                 row.push((bytes, loc.bit_len, index));
             }
             supers.push(row);
@@ -793,7 +810,7 @@ mod tests {
         for u in 0..n {
             for _ in 0..6 {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let v = (s >> 33) as u32 % n;
+                let v = ((s >> 33) % u64::from(n)) as u32;
                 if v != u {
                     edges.push((u, v));
                 }

@@ -11,12 +11,13 @@
 //!   smaller encoding wins; the paper's simpler edge-count heuristic is
 //!   available behind [`SuperedgePolicy::EdgeCount`] for the ablation.
 
+use crate::codec::ListCodec;
 use crate::refenc::{
     bounded_gap_list_len, encode_lists_planned, encode_lists_t, plan_lists, EncodedLists,
     ListsPlan, ListsReader, RefMode, Universe,
 };
 use crate::{Result, SNodeError};
-use wg_bitio::{BitReader, BitWriter};
+use wg_bitio::{codes, BitReader, BitWriter};
 
 /// How to choose between positive and negative superedge graphs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,19 +44,24 @@ pub enum SuperedgeKind {
 
 /// Encodes an intranode graph: `lists[p]` is the sorted local adjacency of
 /// local page `p` (entries `< lists.len()`).
-pub fn encode_intranode(lists: &[Vec<u32>], mode: RefMode) -> EncodedLists {
-    encode_intranode_t(lists, mode, 1)
+pub fn encode_intranode(lists: &[Vec<u32>], mode: RefMode, codec: ListCodec) -> EncodedLists {
+    encode_intranode_t(lists, mode, codec, 1)
 }
 
 /// [`encode_intranode`] with up to `threads` workers. Byte-identical for
 /// every thread count.
-pub fn encode_intranode_t(lists: &[Vec<u32>], mode: RefMode, threads: u32) -> EncodedLists {
-    encode_lists_t(lists, lists.len() as u64, mode, threads)
+pub fn encode_intranode_t(
+    lists: &[Vec<u32>],
+    mode: RefMode,
+    codec: ListCodec,
+    threads: u32,
+) -> EncodedLists {
+    encode_lists_t(lists, lists.len() as u64, mode, codec, threads)
 }
 
 /// Decodes a full intranode graph.
-pub fn decode_intranode(bytes: &[u8], bit_len: u64) -> Result<Vec<Vec<u32>>> {
-    ListsReader::parse(bytes, bit_len, Universe::SameAsCount)?.decode_all()
+pub fn decode_intranode(bytes: &[u8], bit_len: u64, codec: ListCodec) -> Result<Vec<Vec<u32>>> {
+    ListsReader::parse(bytes, bit_len, Universe::SameAsCount, codec)?.decode_all()
 }
 
 // --- Superedge graphs -----------------------------------------------------
@@ -87,8 +93,9 @@ pub fn encode_superedge(
     nj: u64,
     mode: RefMode,
     policy: SuperedgePolicy,
+    codec: ListCodec,
 ) -> EncodedSuperedge {
-    encode_superedge_t(pos_lists, nj, mode, policy, 1)
+    encode_superedge_t(pos_lists, nj, mode, policy, codec, 1)
 }
 
 /// [`encode_superedge`] with up to `threads` workers. Byte-identical for
@@ -103,6 +110,7 @@ pub fn encode_superedge_t(
     nj: u64,
     mode: RefMode,
     policy: SuperedgePolicy,
+    codec: ListCodec,
     threads: u32,
 ) -> EncodedSuperedge {
     let ni = pos_lists.len() as u64;
@@ -114,18 +122,19 @@ pub fn encode_superedge_t(
     // Only consider the complement when it has fewer edges — otherwise
     // materialising it could cost Θ(|Ni|·|Nj|) for nothing.
     if neg_edges >= pos_edges {
-        let pos_plan = plan_lists(&pos_dense, nj, mode, threads);
-        return write_superedge_positive(&sources, &pos_dense, ni, nj, &pos_plan, threads);
+        let pos = plan_positive(&sources, &pos_dense, ni, nj, mode, codec, threads);
+        return write_superedge_positive(&sources, &pos_dense, ni, nj, &pos, codec, threads);
     }
     let neg_lists: Vec<Vec<u32>> = pos_lists.iter().map(|l| complement(l, nj as u32)).collect();
-    let neg_plan = plan_lists(&neg_lists, nj, mode, threads);
+    let neg_plan = plan_lists(&neg_lists, nj, mode, codec, threads);
     let negative_wins = match policy {
         SuperedgePolicy::EncodedSize => {
-            let pos_plan = plan_lists(&pos_dense, nj, mode, threads);
-            let pos_bits = 1 + bounded_gap_list_len(&sources, ni) + pos_plan.total_bits;
+            let pos = plan_positive(&sources, &pos_dense, ni, nj, mode, codec, threads);
             let neg_bits = 1 + neg_plan.total_bits;
-            if neg_bits >= pos_bits {
-                return write_superedge_positive(&sources, &pos_dense, ni, nj, &pos_plan, threads);
+            if neg_bits >= pos.bits {
+                return write_superedge_positive(
+                    &sources, &pos_dense, ni, nj, &pos, codec, threads,
+                );
             }
             true
         }
@@ -133,6 +142,77 @@ pub fn encode_superedge_t(
     };
     debug_assert!(negative_wins);
     write_superedge_negative(&neg_lists, nj, &neg_plan, threads)
+}
+
+/// A planned positive encoding: the standard per-source list stream, or
+/// (when the codec's `singles` feature applies and wins) the
+/// single-target dictionary layout, with the exact bit cost of whichever
+/// was chosen.
+struct PositivePlan {
+    /// Plan for the standard list stream (used when `dict` is `None`).
+    plan: ListsPlan,
+    /// `Some((distinct targets, per-source dictionary index))` when the
+    /// dictionary layout is chosen.
+    dict: Option<(Vec<u32>, Vec<u32>)>,
+    /// Exact encoded size in bits, kind and marker bits included.
+    bits: u64,
+}
+
+/// Prices both positive layouts and keeps the cheaper one.
+fn plan_positive(
+    sources: &[u32],
+    lists: &[Vec<u32>],
+    ni: u64,
+    nj: u64,
+    mode: RefMode,
+    codec: ListCodec,
+    threads: u32,
+) -> PositivePlan {
+    let plan = plan_lists(lists, nj, mode, codec, threads);
+    let marker = u64::from(codec.singles);
+    let sources_bits = bounded_gap_list_len(sources, ni, codec);
+    let standard = 1 + marker + sources_bits + plan.total_bits;
+    if codec.singles {
+        if let Some((dict, index)) = single_target_dict(lists) {
+            let index_bits: u64 = index
+                .iter()
+                .map(|&i| codes::minimal_binary_len(u64::from(i), dict.len() as u64))
+                .sum();
+            let bits = 2 + sources_bits + bounded_gap_list_len(&dict, nj, codec) + index_bits;
+            if bits < standard {
+                return PositivePlan {
+                    plan,
+                    dict: Some((dict, index)),
+                    bits,
+                };
+            }
+        }
+    }
+    PositivePlan {
+        plan,
+        dict: None,
+        bits: standard,
+    }
+}
+
+/// When every (non-empty) source links to exactly one target, returns the
+/// sorted distinct targets and each source's index into them. Real crawls
+/// are full of such superedge graphs — site-template links where every
+/// page of one site points at one or two hub pages of another — and the
+/// per-source γ(len)+reference-flag overhead of the standard stream
+/// dwarfs their information content.
+fn single_target_dict(lists: &[Vec<u32>]) -> Option<(Vec<u32>, Vec<u32>)> {
+    if lists.is_empty() || lists.iter().any(|l| l.len() != 1) {
+        return None;
+    }
+    let mut dict: Vec<u32> = lists.iter().map(|l| l[0]).collect();
+    dict.sort_unstable();
+    dict.dedup();
+    let index: Vec<u32> = lists
+        .iter()
+        .map(|l| dict.binary_search(&l[0]).unwrap_or_default() as u32)
+        .collect();
+    Some((dict, index))
 }
 
 /// Splits a dense per-source list array into (non-empty source ids, their
@@ -152,10 +232,15 @@ fn positive_sources(pos_lists: &[Vec<u32>]) -> (Vec<u32>, Vec<Vec<u32>>) {
 }
 
 #[cfg(test)]
-fn encode_superedge_positive(pos_lists: &[Vec<u32>], nj: u64, mode: RefMode) -> EncodedSuperedge {
+fn encode_superedge_positive(
+    pos_lists: &[Vec<u32>],
+    nj: u64,
+    mode: RefMode,
+    codec: ListCodec,
+) -> EncodedSuperedge {
     let (sources, lists) = positive_sources(pos_lists);
-    let plan = plan_lists(&lists, nj, mode, 1);
-    write_superedge_positive(&sources, &lists, pos_lists.len() as u64, nj, &plan, 1)
+    let pos = plan_positive(&sources, &lists, pos_lists.len() as u64, nj, mode, codec, 1);
+    write_superedge_positive(&sources, &lists, pos_lists.len() as u64, nj, &pos, codec, 1)
 }
 
 fn write_superedge_positive(
@@ -163,17 +248,33 @@ fn write_superedge_positive(
     lists: &[Vec<u32>],
     ni: u64,
     nj: u64,
-    plan: &ListsPlan,
+    pos: &PositivePlan,
+    codec: ListCodec,
     threads: u32,
 ) -> EncodedSuperedge {
     let mut w = BitWriter::new();
     w.write_bit(false); // kind = positive
                         // |Ni| is NOT stored: the resident supernode metadata knows every
                         // supernode's size, and the decoder receives it as a parameter.
-    crate::refenc::write_bounded_gap_list(&mut w, sources, ni);
-    let enc = encode_lists_planned(lists, nj, plan, threads);
-    w.append(&enc.bytes, enc.bit_len);
+    if codec.singles {
+        // Layout marker: dictionary (1) vs standard list stream (0).
+        w.write_bit(pos.dict.is_some());
+    }
+    crate::refenc::write_bounded_gap_list(&mut w, sources, ni, codec);
+    match &pos.dict {
+        Some((dict, index)) => {
+            crate::refenc::write_bounded_gap_list(&mut w, dict, nj, codec);
+            for &i in index {
+                codes::write_minimal_binary(&mut w, u64::from(i), dict.len() as u64);
+            }
+        }
+        None => {
+            let enc = encode_lists_planned(lists, nj, &pos.plan, threads);
+            w.append(&enc.bytes, enc.bit_len);
+        }
+    }
     let (bytes, bit_len) = w.finish();
+    debug_assert_eq!(bit_len, pos.bits, "positive plan mispriced its layout");
     EncodedSuperedge {
         kind: SuperedgeKind::Positive,
         bytes,
@@ -202,8 +303,14 @@ fn write_superedge_negative(
 /// Decodes a superedge graph back to **positive** lists, one per page of
 /// `Ni` (empty where no links exist). `ni`/`nj` must match the encoding
 /// call (the resident metadata records both).
-pub fn decode_superedge(bytes: &[u8], bit_len: u64, ni: u64, nj: u64) -> Result<Vec<Vec<u32>>> {
-    let view = SuperedgeView::parse(bytes, bit_len, ni, nj)?;
+pub fn decode_superedge(
+    bytes: &[u8],
+    bit_len: u64,
+    ni: u64,
+    nj: u64,
+    codec: ListCodec,
+) -> Result<Vec<Vec<u32>>> {
+    let view = SuperedgeView::parse(bytes, bit_len, ni, nj, codec)?;
     let mut out = Vec::with_capacity(ni as usize);
     for s in 0..ni {
         out.push(view.targets_of(s, nj)?);
@@ -221,14 +328,15 @@ pub fn decode_superedge_sparse(
     bit_len: u64,
     ni: u64,
     nj: u64,
+    codec: ListCodec,
 ) -> Result<(Vec<u32>, Vec<Vec<u32>>)> {
-    let view = SuperedgeView::parse(bytes, bit_len, ni, nj)?;
+    let view = SuperedgeView::parse(bytes, bit_len, ni, nj, codec)?;
     match view.index.kind {
         SuperedgeKind::Positive => {
             let sources: Vec<u32> = view.index.sources.clone();
             let mut lists = Vec::with_capacity(sources.len());
             for (idx, _) in sources.iter().enumerate() {
-                lists.push(view.index.lists.decode_list(bytes, bit_len, idx as u32)?);
+                lists.push(view.index.stored_list(bytes, bit_len, idx as u32)?);
             }
             Ok((sources, lists))
         }
@@ -258,36 +366,92 @@ pub struct SuperedgeIndex {
     pub ni: u64,
     /// Positive only: sorted source ids with non-empty lists.
     pub(crate) sources: Vec<u32>,
-    pub(crate) lists: crate::refenc::ListsIndex,
+    pub(crate) body: SuperedgeBody,
+}
+
+/// How the stored lists of a superedge graph are materialised.
+///
+/// The single-target dictionary body only ever pairs with
+/// [`SuperedgeKind::Positive`]: [`SuperedgeIndex::parse`] reads the
+/// layout marker exclusively on the positive path, so the invariant is
+/// structural, not checked.
+#[derive(Debug, Clone)]
+pub(crate) enum SuperedgeBody {
+    /// A reference-encoded list stream with its parsed directory.
+    Lists(crate::refenc::ListsIndex),
+    /// `+st` layout: each stored list is `vec![dict[index[i]]]`. Both
+    /// vectors are fully materialised at parse time (they are tiny — one
+    /// index per source, one entry per distinct target), so decodes are
+    /// plain lookups.
+    SingleTargets {
+        dict: Vec<u32>,
+        index: Vec<u32>,
+        end_bit: u64,
+    },
 }
 
 impl SuperedgeIndex {
     /// Parses the header and directory of an encoded superedge graph.
-    /// `ni` = |Ni| and `nj` = |Nj| come from the supernode metadata.
-    pub fn parse(bytes: &[u8], bit_len: u64, ni: u64, nj: u64) -> Result<Self> {
+    /// `ni` = |Ni| and `nj` = |Nj| come from the supernode metadata; the
+    /// codec comes from the directory's `meta.bin` header.
+    pub fn parse(bytes: &[u8], bit_len: u64, ni: u64, nj: u64, codec: ListCodec) -> Result<Self> {
         let mut r = BitReader::with_bit_len(bytes, bit_len);
         let negative = r.read_bit()?;
-        let sources = if negative {
-            Vec::new()
+        if negative {
+            let offset = r.position();
+            let lists = crate::refenc::ListsIndex::parse_at(
+                bytes,
+                bit_len,
+                offset,
+                crate::refenc::Universe::Explicit(nj),
+                codec,
+            )?;
+            return Ok(Self {
+                kind: SuperedgeKind::Negative,
+                ni,
+                sources: Vec::new(),
+                body: SuperedgeBody::Lists(lists),
+            });
+        }
+        let dict_layout = codec.singles && r.read_bit()?;
+        let sources = crate::refenc::read_bounded_gap_list(&mut r, ni, codec)?;
+        let body = if dict_layout {
+            let dict = crate::refenc::read_bounded_gap_list(&mut r, nj, codec)?;
+            if dict.last().is_some_and(|&t| u64::from(t) >= nj) {
+                return Err(SNodeError::Corrupt(
+                    "single-target dictionary entry outside |Nj|",
+                ));
+            }
+            if dict.is_empty() && !sources.is_empty() {
+                return Err(SNodeError::Corrupt("single-target dictionary is empty"));
+            }
+            let mut index = Vec::with_capacity(sources.len());
+            for _ in 0..sources.len() {
+                let v = codes::read_minimal_binary(&mut r, dict.len() as u64)?;
+                index.push(u32::try_from(v).map_err(|_| {
+                    SNodeError::Corrupt("single-target dictionary index overflows u32")
+                })?);
+            }
+            SuperedgeBody::SingleTargets {
+                dict,
+                index,
+                end_bit: r.position(),
+            }
         } else {
-            crate::refenc::read_bounded_gap_list(&mut r, ni)?
+            let offset = r.position();
+            SuperedgeBody::Lists(crate::refenc::ListsIndex::parse_at(
+                bytes,
+                bit_len,
+                offset,
+                crate::refenc::Universe::Explicit(nj),
+                codec,
+            )?)
         };
-        let offset = r.position();
-        let lists = crate::refenc::ListsIndex::parse_at(
-            bytes,
-            bit_len,
-            offset,
-            crate::refenc::Universe::Explicit(nj),
-        )?;
         Ok(Self {
-            kind: if negative {
-                SuperedgeKind::Negative
-            } else {
-                SuperedgeKind::Positive
-            },
+            kind: SuperedgeKind::Positive,
             ni,
             sources,
-            lists,
+            body,
         })
     }
 
@@ -317,34 +481,55 @@ impl SuperedgeIndex {
         if s >= self.ni {
             return Err(SNodeError::Corrupt("superedge source out of range"));
         }
-        match self.kind {
-            SuperedgeKind::Positive => match self.sources.binary_search(&(s as u32)) {
-                Ok(idx) => self
-                    .lists
-                    .decode_list_with_memo(bytes, bit_len, idx as u32, memo),
-                Err(_) => Ok(Vec::new()),
-            },
-            SuperedgeKind::Negative => {
-                let neg = self
-                    .lists
-                    .decode_list_with_memo(bytes, bit_len, s as u32, memo)?;
-                Ok(complement(&neg, nj as u32))
+        match &self.body {
+            SuperedgeBody::SingleTargets { dict, index, .. } => {
+                // Single-target bodies are always positive.
+                match self.sources.binary_search(&(s as u32)) {
+                    Ok(i) => Ok(vec![Self::dict_target(dict, index, i)?]),
+                    Err(_) => Ok(Vec::new()),
+                }
             }
+            SuperedgeBody::Lists(lists) => match self.kind {
+                SuperedgeKind::Positive => match self.sources.binary_search(&(s as u32)) {
+                    Ok(idx) => lists.decode_list_with_memo(bytes, bit_len, idx as u32, memo),
+                    Err(_) => Ok(Vec::new()),
+                },
+                SuperedgeKind::Negative => {
+                    let neg = lists.decode_list_with_memo(bytes, bit_len, s as u32, memo)?;
+                    Ok(complement(&neg, nj as u32))
+                }
+            },
         }
+    }
+
+    /// The target of stored slot `i` of a single-target body. Parse
+    /// validates every index against the dictionary, so a miss here means
+    /// the directory was mutated after parsing.
+    fn dict_target(dict: &[u32], index: &[u32], i: usize) -> Result<u32> {
+        index
+            .get(i)
+            .and_then(|&d| dict.get(d as usize))
+            .copied()
+            .ok_or(SNodeError::Corrupt("single-target dictionary slot missing"))
     }
 
     /// Total number of positive edges represented.
     pub fn count_positive_edges(&self, bytes: &[u8], bit_len: u64, nj: u64) -> Result<u64> {
+        let lists = match &self.body {
+            // One target per stored source, by construction.
+            SuperedgeBody::SingleTargets { index, .. } => return Ok(index.len() as u64),
+            SuperedgeBody::Lists(lists) => lists,
+        };
         let mut total = 0u64;
         match self.kind {
             SuperedgeKind::Positive => {
-                for idx in 0..self.lists.num_lists() {
-                    total += self.lists.decode_list(bytes, bit_len, idx)?.len() as u64;
+                for idx in 0..lists.num_lists() {
+                    total += lists.decode_list(bytes, bit_len, idx)?.len() as u64;
                 }
             }
             SuperedgeKind::Negative => {
                 for s in 0..self.ni {
-                    let neg = self.lists.decode_list(bytes, bit_len, s as u32)?;
+                    let neg = lists.decode_list(bytes, bit_len, s as u32)?;
                     total += nj - neg.len() as u64;
                 }
             }
@@ -354,14 +539,48 @@ impl SuperedgeIndex {
 
     /// Approximate heap footprint of the directory.
     pub fn heap_bytes(&self) -> usize {
-        self.sources.len() * 4 + self.lists.heap_bytes() + std::mem::size_of::<Self>()
+        let body = match &self.body {
+            SuperedgeBody::Lists(lists) => lists.heap_bytes(),
+            SuperedgeBody::SingleTargets { dict, index, .. } => (dict.len() + index.len()) * 4,
+        };
+        self.sources.len() * 4 + body + std::mem::size_of::<Self>()
     }
 
-    /// Directory over the stored lists: one per non-empty source for
+    /// Directory over the stored lists — one per non-empty source for
     /// [`SuperedgeKind::Positive`], one per source page for
-    /// [`SuperedgeKind::Negative`].
-    pub fn lists(&self) -> &crate::refenc::ListsIndex {
-        &self.lists
+    /// [`SuperedgeKind::Negative`] — or `None` for the single-target
+    /// dictionary layout, which stores no list stream.
+    pub fn lists(&self) -> Option<&crate::refenc::ListsIndex> {
+        match &self.body {
+            SuperedgeBody::Lists(lists) => Some(lists),
+            SuperedgeBody::SingleTargets { .. } => None,
+        }
+    }
+
+    /// Number of stored lists (in stored order, not source-id space).
+    pub fn num_stored_lists(&self) -> u32 {
+        match &self.body {
+            SuperedgeBody::Lists(lists) => lists.num_lists(),
+            SuperedgeBody::SingleTargets { index, .. } => index.len() as u32,
+        }
+    }
+
+    /// Decodes stored list `i` (in stored order, not source-id space).
+    pub fn stored_list(&self, bytes: &[u8], bit_len: u64, i: u32) -> Result<Vec<u32>> {
+        match &self.body {
+            SuperedgeBody::Lists(lists) => lists.decode_list(bytes, bit_len, i),
+            SuperedgeBody::SingleTargets { dict, index, .. } => {
+                Ok(vec![Self::dict_target(dict, index, i as usize)?])
+            }
+        }
+    }
+
+    /// First bit past the encoded payload.
+    pub fn end_bit(&self) -> u64 {
+        match &self.body {
+            SuperedgeBody::Lists(lists) => lists.end_bit(),
+            SuperedgeBody::SingleTargets { end_bit, .. } => *end_bit,
+        }
     }
 
     /// Positive encodings only: the sorted source ids with non-empty
@@ -389,11 +608,17 @@ impl SuperedgeView<'_> {
 
 impl<'a> SuperedgeView<'a> {
     /// Parses the header and directory of an encoded superedge graph.
-    pub fn parse(bytes: &'a [u8], bit_len: u64, ni: u64, nj: u64) -> Result<Self> {
+    pub fn parse(
+        bytes: &'a [u8],
+        bit_len: u64,
+        ni: u64,
+        nj: u64,
+        codec: ListCodec,
+    ) -> Result<Self> {
         Ok(Self {
             bytes,
             bit_len,
-            index: SuperedgeIndex::parse(bytes, bit_len, ni, nj)?,
+            index: SuperedgeIndex::parse(bytes, bit_len, ni, nj, codec)?,
         })
     }
 
@@ -445,8 +670,11 @@ mod tests {
     fn intranode_round_trip() {
         let lists = vec![vec![1u32, 2], vec![0, 2], vec![], vec![0, 1, 2]];
         for mode in modes() {
-            let enc = encode_intranode(&lists, mode);
-            assert_eq!(decode_intranode(&enc.bytes, enc.bit_len).unwrap(), lists);
+            let enc = encode_intranode(&lists, mode, ListCodec::GAMMA);
+            assert_eq!(
+                decode_intranode(&enc.bytes, enc.bit_len, ListCodec::GAMMA).unwrap(),
+                lists
+            );
         }
     }
 
@@ -457,10 +685,16 @@ mod tests {
         pos[2] = vec![5u32, 9];
         pos[7] = vec![5];
         for mode in modes() {
-            let enc = encode_superedge(&pos, 50, mode, SuperedgePolicy::EncodedSize);
+            let enc = encode_superedge(
+                &pos,
+                50,
+                mode,
+                SuperedgePolicy::EncodedSize,
+                ListCodec::GAMMA,
+            );
             assert_eq!(enc.kind, SuperedgeKind::Positive);
             assert_eq!(
-                decode_superedge(&enc.bytes, enc.bit_len, 10, 50).unwrap(),
+                decode_superedge(&enc.bytes, enc.bit_len, 10, 50, ListCodec::GAMMA).unwrap(),
                 pos
             );
         }
@@ -478,10 +712,11 @@ mod tests {
             u64::from(nj),
             RefMode::Windowed(4),
             SuperedgePolicy::EncodedSize,
+            ListCodec::GAMMA,
         );
         assert_eq!(enc.kind, SuperedgeKind::Negative);
         assert_eq!(
-            decode_superedge(&enc.bytes, enc.bit_len, 8, u64::from(nj)).unwrap(),
+            decode_superedge(&enc.bytes, enc.bit_len, 8, u64::from(nj), ListCodec::GAMMA).unwrap(),
             pos
         );
     }
@@ -497,12 +732,14 @@ mod tests {
             u64::from(nj),
             RefMode::Windowed(4),
             SuperedgePolicy::EncodedSize,
+            ListCodec::GAMMA,
         );
         assert_eq!(enc.kind, SuperedgeKind::Negative);
-        let sparse = encode_superedge_positive(&pos, u64::from(nj), RefMode::Windowed(4));
+        let sparse =
+            encode_superedge_positive(&pos, u64::from(nj), RefMode::Windowed(4), ListCodec::GAMMA);
         assert!(enc.bit_len < sparse.bit_len / 2);
         assert_eq!(
-            decode_superedge(&enc.bytes, enc.bit_len, 5, u64::from(nj)).unwrap(),
+            decode_superedge(&enc.bytes, enc.bit_len, 5, u64::from(nj), ListCodec::GAMMA).unwrap(),
             pos
         );
     }
@@ -517,10 +754,11 @@ mod tests {
             u64::from(nj),
             RefMode::None,
             SuperedgePolicy::EdgeCount,
+            ListCodec::GAMMA,
         );
         assert_eq!(enc.kind, SuperedgeKind::Negative);
         assert_eq!(
-            decode_superedge(&enc.bytes, enc.bit_len, 4, u64::from(nj)).unwrap(),
+            decode_superedge(&enc.bytes, enc.bit_len, 4, u64::from(nj), ListCodec::GAMMA).unwrap(),
             pos
         );
     }
@@ -531,8 +769,14 @@ mod tests {
         pos[3] = vec![0u32, 7, 14];
         pos[11] = vec![7];
         pos[19] = vec![0, 1, 2];
-        let enc = encode_superedge(&pos, 15, RefMode::Windowed(4), SuperedgePolicy::EncodedSize);
-        let view = SuperedgeView::parse(&enc.bytes, enc.bit_len, 20, 15).unwrap();
+        let enc = encode_superedge(
+            &pos,
+            15,
+            RefMode::Windowed(4),
+            SuperedgePolicy::EncodedSize,
+            ListCodec::GAMMA,
+        );
+        let view = SuperedgeView::parse(&enc.bytes, enc.bit_len, 20, 15, ListCodec::GAMMA).unwrap();
         assert_eq!(view.ni(), 20);
         for (s, expect) in pos.iter().enumerate() {
             assert_eq!(&view.targets_of(s as u64, 15).unwrap(), expect);
@@ -552,9 +796,12 @@ mod tests {
             u64::from(nj),
             RefMode::Windowed(4),
             SuperedgePolicy::EncodedSize,
+            ListCodec::GAMMA,
         );
         assert_eq!(enc.kind, SuperedgeKind::Negative);
-        let view = SuperedgeView::parse(&enc.bytes, enc.bit_len, 6, u64::from(nj)).unwrap();
+        let view =
+            SuperedgeView::parse(&enc.bytes, enc.bit_len, 6, u64::from(nj), ListCodec::GAMMA)
+                .unwrap();
         for (s, expect) in pos.iter().enumerate() {
             assert_eq!(&view.targets_of(s as u64, u64::from(nj)).unwrap(), expect);
         }
@@ -566,9 +813,15 @@ mod tests {
 
     #[test]
     fn empty_superedge_inputs() {
-        let enc = encode_superedge(&[], 5, RefMode::None, SuperedgePolicy::EncodedSize);
+        let enc = encode_superedge(
+            &[],
+            5,
+            RefMode::None,
+            SuperedgePolicy::EncodedSize,
+            ListCodec::GAMMA,
+        );
         assert_eq!(
-            decode_superedge(&enc.bytes, enc.bit_len, 0, 5).unwrap(),
+            decode_superedge(&enc.bytes, enc.bit_len, 0, 5, ListCodec::GAMMA).unwrap(),
             Vec::<Vec<u32>>::new()
         );
     }
@@ -583,13 +836,146 @@ mod tests {
         assert_eq!(complement(&[0, 1, 2], 3), Vec::<u32>::new());
     }
 
+    fn st_codec() -> ListCodec {
+        ListCodec {
+            singles: true,
+            ..ListCodec::GAMMA
+        }
+    }
+
+    #[test]
+    fn single_target_dictionary_round_trip_and_wins() {
+        // Site-template shape: 40 sources, each linking to one of 3 hubs.
+        let pos: Vec<Vec<u32>> = (0..40u32)
+            .map(|s| vec![[2u32, 9, 14][(s % 3) as usize]])
+            .collect();
+        let st = st_codec();
+        let enc = encode_superedge(
+            &pos,
+            20,
+            RefMode::Windowed(8),
+            SuperedgePolicy::EncodedSize,
+            st,
+        );
+        assert_eq!(enc.kind, SuperedgeKind::Positive);
+        let plain = encode_superedge(
+            &pos,
+            20,
+            RefMode::Windowed(8),
+            SuperedgePolicy::EncodedSize,
+            ListCodec::GAMMA,
+        );
+        assert!(
+            enc.bit_len < plain.bit_len,
+            "dictionary {} must beat standard {}",
+            enc.bit_len,
+            plain.bit_len
+        );
+        assert_eq!(
+            decode_superedge(&enc.bytes, enc.bit_len, 40, 20, st).unwrap(),
+            pos
+        );
+        let view = SuperedgeView::parse(&enc.bytes, enc.bit_len, 40, 20, st).unwrap();
+        assert!(view.index().lists().is_none(), "must store no list stream");
+        assert_eq!(view.index().num_stored_lists(), 40);
+        assert_eq!(view.index().end_bit(), enc.bit_len);
+        assert_eq!(view.count_positive_edges(20).unwrap(), 40);
+        let (srcs, lists) = decode_superedge_sparse(&enc.bytes, enc.bit_len, 40, 20, st).unwrap();
+        assert_eq!(srcs, (0..40u32).collect::<Vec<_>>());
+        assert!(lists.iter().all(|l| l.len() == 1));
+    }
+
+    #[test]
+    fn singles_codec_falls_back_on_multi_target_lists() {
+        let mut pos = vec![Vec::new(); 10];
+        pos[2] = vec![5u32, 9];
+        pos[7] = vec![5];
+        let st = st_codec();
+        let enc = encode_superedge(
+            &pos,
+            50,
+            RefMode::Windowed(8),
+            SuperedgePolicy::EncodedSize,
+            st,
+        );
+        assert_eq!(enc.kind, SuperedgeKind::Positive);
+        assert_eq!(
+            decode_superedge(&enc.bytes, enc.bit_len, 10, 50, st).unwrap(),
+            pos
+        );
+        let view = SuperedgeView::parse(&enc.bytes, enc.bit_len, 10, 50, st).unwrap();
+        assert!(
+            view.index().lists().is_some(),
+            "mixed lists must keep the standard stream"
+        );
+    }
+
+    #[test]
+    fn singles_codec_decodes_identically_across_shapes() {
+        // Sparse single-target, mixed, dense (negative), and empty inputs
+        // all decode to the same lists under γ and γ+st.
+        let nj = 16u32;
+        let cases: Vec<Vec<Vec<u32>>> = vec![
+            (0..25u32).map(|s| vec![s % nj]).collect(),
+            vec![vec![0u32, 1], vec![3], vec![], vec![3]],
+            (0..6u32)
+                .map(|s| (0..nj).filter(|&t| t != s).collect())
+                .collect(),
+            Vec::new(),
+        ];
+        for pos in &cases {
+            let st = st_codec();
+            for mode in modes() {
+                let a =
+                    encode_superedge(pos, u64::from(nj), mode, SuperedgePolicy::EncodedSize, st);
+                let ni = pos.len() as u64;
+                assert_eq!(
+                    decode_superedge(&a.bytes, a.bit_len, ni, u64::from(nj), st).unwrap(),
+                    *pos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singles_stream_truncation_and_bit_flips_never_panic() {
+        let pos: Vec<Vec<u32>> = (0..30u32).map(|s| vec![(s * 7) % 11]).collect();
+        let st = st_codec();
+        let enc = encode_superedge(
+            &pos,
+            11,
+            RefMode::Windowed(8),
+            SuperedgePolicy::EncodedSize,
+            st,
+        );
+        for cut in 0..enc.bit_len {
+            // Must not panic; may error or (for generous cuts) succeed.
+            let _ = decode_superedge(&enc.bytes, cut, 30, 11, st);
+        }
+        for flip in 0..enc.bit_len {
+            let mut bytes = enc.bytes.clone();
+            bytes[(flip / 8) as usize] ^= 1 << (flip % 8);
+            if let Ok(lists) = decode_superedge(&bytes, enc.bit_len, 30, 11, st) {
+                for list in lists {
+                    assert!(list.windows(2).all(|w| w[0] < w[1]), "flip {flip}");
+                }
+            }
+        }
+    }
+
     #[test]
     fn truncated_superedge_errors() {
         let pos = vec![vec![0u32, 1], vec![1]];
-        let enc = encode_superedge(&pos, 3, RefMode::None, SuperedgePolicy::EncodedSize);
+        let enc = encode_superedge(
+            &pos,
+            3,
+            RefMode::None,
+            SuperedgePolicy::EncodedSize,
+            ListCodec::GAMMA,
+        );
         for cut in 1..enc.bit_len {
             // Must not panic; may error or (for generous cuts) succeed.
-            let _ = decode_superedge(&enc.bytes, cut, 2, 3);
+            let _ = decode_superedge(&enc.bytes, cut, 2, 3, ListCodec::GAMMA);
         }
     }
 }

@@ -80,7 +80,8 @@ pub fn verify(dir: &Path) -> Result<VerifyReport> {
         // Intranode graph.
         let loc = meta.intranode_loc[s as usize];
         let bytes = files.read(&loc)?;
-        let (index, lists) = ListsIndex::load(&bytes, loc.bit_len, Universe::SameAsCount)?;
+        let (index, lists) =
+            ListsIndex::load(&bytes, loc.bit_len, Universe::SameAsCount, meta.codec.intra)?;
         if u64::from(index.num_lists()) != ni {
             return Err(SNodeError::Corrupt(
                 "intranode list count differs from supernode size",
@@ -102,7 +103,7 @@ pub fn verify(dir: &Path) -> Result<VerifyReport> {
             let nj = u64::from(meta.supernode_size(j));
             let loc = meta.superedge_loc[s as usize][k];
             let bytes = files.read(&loc)?;
-            let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj)?;
+            let index = SuperedgeIndex::parse(&bytes, loc.bit_len, ni, nj, meta.codec.superedge)?;
             let mut edges_here = 0u64;
             for src in 0..ni {
                 let list = index.targets_of(&bytes, loc.bit_len, src, nj)?;

@@ -9,6 +9,7 @@
 
 use proptest::prelude::*;
 use wg_snode::cache::ListMemo;
+use wg_snode::codec::ListCodec;
 use wg_snode::refenc::{encode_lists, DecodeMemo, ListsIndex, NoMemo, RefMode, Universe};
 
 /// Strategy: up to 40 sorted deduped lists over a small universe, biased
@@ -43,8 +44,8 @@ proptest! {
     #[test]
     fn memoized_decode_equals_nomemo(lists in list_collections(), seed in any::<u64>()) {
         for mode in modes() {
-            let enc = encode_lists(&lists, 64, mode);
-            let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64)).unwrap();
+            let enc = encode_lists(&lists, 64, mode, ListCodec::GAMMA);
+            let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64), ListCodec::GAMMA).unwrap();
             for cap in [0usize, 96, 1 << 16] {
                 let mut memo = ListMemo::with_cap(cap);
                 // A pseudo-random access order with repeats, so hot lists
@@ -75,8 +76,8 @@ proptest! {
     #[test]
     fn decode_all_equals_random_access(lists in list_collections()) {
         for mode in modes() {
-            let enc = encode_lists(&lists, 64, mode);
-            let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64)).unwrap();
+            let enc = encode_lists(&lists, 64, mode, ListCodec::GAMMA);
+            let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64), ListCodec::GAMMA).unwrap();
             let all = index.decode_all(&enc.bytes, enc.bit_len).unwrap();
             prop_assert_eq!(all.len(), lists.len());
             for (i, want) in lists.iter().enumerate() {
@@ -101,8 +102,14 @@ fn plain_decodes_leave_the_memo_empty() {
             l
         })
         .collect();
-    let enc = encode_lists(&lists, 64, RefMode::None);
-    let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64)).unwrap();
+    let enc = encode_lists(&lists, 64, RefMode::None, ListCodec::GAMMA);
+    let index = ListsIndex::parse(
+        &enc.bytes,
+        enc.bit_len,
+        Universe::Explicit(64),
+        ListCodec::GAMMA,
+    )
+    .unwrap();
     let mut memo = ListMemo::with_cap(1 << 16);
     for i in 0..lists.len() as u32 {
         let got = index
@@ -127,8 +134,14 @@ fn chain_ancestors_are_retained_and_hit() {
             l
         })
         .collect();
-    let enc = encode_lists(&lists, 64, RefMode::Windowed(8));
-    let index = ListsIndex::parse(&enc.bytes, enc.bit_len, Universe::Explicit(64)).unwrap();
+    let enc = encode_lists(&lists, 64, RefMode::Windowed(8), ListCodec::GAMMA);
+    let index = ListsIndex::parse(
+        &enc.bytes,
+        enc.bit_len,
+        Universe::Explicit(64),
+        ListCodec::GAMMA,
+    )
+    .unwrap();
     let mut memo = ListMemo::with_cap(1 << 16);
     // Decode back-to-front so every chain is walked from its deep end.
     for i in (0..lists.len() as u32).rev() {

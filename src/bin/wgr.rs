@@ -80,6 +80,10 @@ fn main() {
                  \x20                                          concurrent-service benchmark instead:\n\
                  \x20                                          N clients → BENCH_serve.json with\n\
                  \x20                                          per-stage latency + shard heatmap\n\
+                 \x20      [--ablate [--cells g,z3,...]]      codec-ablation grid instead: bits/edge\n\
+                 \x20                                          + decode ns/edge per CodecConfig cell\n\
+                 \x20                                          → BENCH_compress.json; exit 1 on any\n\
+                 \x20                                          fingerprint drift from the γ baseline\n\
                  serve  DIR [--port P] [--workers N] [--queue N] [--scheme NAME]\n\
                  \x20      [--reps DIR] [--reuse] [--smoke N] serve Q1-6 + out_neighbors over TCP;\n\
                  \x20      [--slowlog-us N] [--no-telemetry]  --smoke runs an N-client burst and\n\
@@ -886,6 +890,12 @@ fn cmd_bench(args: &[String]) -> i32 {
         s.parse().expect("--pages number")
     });
     let seed: u64 = opt(args, "--seed").map_or(42, |s| s.parse().expect("--seed number"));
+    // `--ablate`: the codec-ablation grid instead of the builder —
+    // bits/edge and decode ns/edge per CodecConfig cell, with every
+    // cell's decoded rows fingerprinted against the γ baseline.
+    if args.iter().any(|a| a == "--ablate") {
+        return bench_ablate(args, pages, seed, quick);
+    }
     // `--serve`: benchmark the concurrent query service instead of the
     // builder — many clients against one shared representation.
     if args.iter().any(|a| a == "--serve") {
@@ -1034,6 +1044,52 @@ fn cmd_bench(args: &[String]) -> i32 {
 /// Runs the six-query workload for every scheme twice and writes the
 /// `BENCH_query.json` companion. Returns 0 when both passes agreed on
 /// every deterministic counter and fingerprint.
+/// `wgr bench --ablate` — builds one representation per codec cell and
+/// writes the `BENCH_compress.json` baseline: bits/edge and decode
+/// ns/edge per cell, plus the decoded-row fingerprint of each. Sizes and
+/// fingerprints are deterministic (same corpus, same codec → same bytes);
+/// only the ns/edge column is machine-dependent. Exits non-zero when any
+/// cell's decoded rows differ from the γ baseline's.
+fn bench_ablate(args: &[String], pages: u32, seed: u64, quick: bool) -> i32 {
+    use webgraph_repr::bench::ablate;
+    let cells: Vec<String> = opt(args, "--cells").map_or_else(
+        || {
+            ablate::DEFAULT_CELLS
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        },
+        |s| s.split(',').map(|c| c.trim().to_string()).collect(),
+    );
+    let sweeps = if quick { 1 } else { 3 };
+    let out = PathBuf::from(opt(args, "--out").unwrap_or_else(|| "BENCH_compress.json".into()));
+    let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
+    let scratch = std::env::temp_dir().join(format!("wgr_ablate_{}", std::process::id()));
+    let cell_refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+    let report = ablate::run_ablation(&corpus, &scratch, &cell_refs, sweeps);
+    std::fs::remove_dir_all(&scratch).ok();
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAILED: {e}");
+            return 1;
+        }
+    };
+    std::fs::write(&out, report.to_json(seed)).expect("write ablation json");
+    println!("wrote {}", out.display());
+    if let Some(best) = report.best() {
+        println!(
+            "best cell: {} at {:.4} bits/edge ({:.1} ns/edge decode)",
+            best.cell, best.bits_per_edge, best.decode_ns_per_edge
+        );
+    }
+    if !report.all_match {
+        eprintln!("FAILED: some cell's decoded rows differ from the gamma baseline");
+        return 1;
+    }
+    0
+}
+
 fn bench_query(
     corpus: &Corpus,
     scratch: &std::path::Path,

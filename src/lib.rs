@@ -11,6 +11,7 @@
 
 pub use wg_analyze as analyze;
 pub use wg_baselines as baselines;
+pub use wg_bench as bench;
 pub use wg_bitio as bitio;
 pub use wg_corpus as corpus;
 pub use wg_fault as fault;

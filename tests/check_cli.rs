@@ -10,6 +10,7 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 use webgraph_repr::bitio::BitWriter;
 use webgraph_repr::corpus::{Corpus, CorpusConfig};
+use webgraph_repr::snode::codec::{CodecConfig, ListCodec};
 use webgraph_repr::snode::disk::{GraphLocator, IndexFileWriter, SNodeMeta};
 use webgraph_repr::snode::refenc::{encode_lists, RefMode};
 use webgraph_repr::snode::subgraphs::{encode_intranode, encode_superedge, SuperedgePolicy};
@@ -52,26 +53,27 @@ fn craft_corrupt(dir: &Path) {
     let mut intranode_loc = Vec::new();
     let mut superedge_loc: Vec<Vec<GraphLocator>> = Vec::new();
 
-    let intra0 = encode_intranode(&[vec![1], vec![2], vec![]], RefMode::None);
+    let intra0 = encode_intranode(&[vec![1], vec![2], vec![]], RefMode::None, ListCodec::GAMMA);
     intranode_loc.push(w.append(&intra0.bytes, intra0.bit_len).unwrap());
     let se02 = encode_superedge(
         &[vec![], vec![], vec![]],
         2,
         RefMode::None,
         SuperedgePolicy::EncodedSize,
+        ListCodec::GAMMA,
     );
     superedge_loc.push(vec![w.append(&se02.bytes, se02.bit_len).unwrap()]);
 
-    let intra1 = encode_intranode(&[], RefMode::None);
+    let intra1 = encode_intranode(&[], RefMode::None, ListCodec::GAMMA);
     intranode_loc.push(w.append(&intra1.bytes, intra1.bit_len).unwrap());
     superedge_loc.push(vec![]);
 
-    let intra2 = encode_intranode(&[vec![1], vec![]], RefMode::None);
+    let intra2 = encode_intranode(&[vec![1], vec![]], RefMode::None, ListCodec::GAMMA);
     intranode_loc.push(w.append(&intra2.bytes, intra2.bit_len).unwrap());
     let neg_lists = vec![vec![1u32, 2], vec![0, 1, 2]];
     let mut bw = BitWriter::new();
     bw.write_bit(true);
-    let enc = encode_lists(&neg_lists, 3, RefMode::None);
+    let enc = encode_lists(&neg_lists, 3, RefMode::None, ListCodec::GAMMA);
     bw.append(&enc.bytes, enc.bit_len);
     let (bytes, bits) = bw.finish();
     superedge_loc.push(vec![w.append(&bytes, bits).unwrap()]);
@@ -86,6 +88,7 @@ fn craft_corrupt(dir: &Path) {
         superedge_loc,
         domain_supernodes: vec![vec![0, 1, 2]],
         max_file_bytes: cap,
+        codec: CodecConfig::GAMMA,
     };
     meta.write(dir).unwrap();
 
