@@ -322,6 +322,332 @@ pub fn build_snode(
     Ok((stats, renumbering))
 }
 
+/// Builds the same S-Node representation as [`build_snode`] while bounding
+/// peak memory: the graph remap and the encoded blobs — the two stages
+/// whose footprint grows with the corpus — are processed one domain shard
+/// at a time, with each shard's blobs spilled to a scratch file and
+/// stitched back into the global supernode order at the end.
+///
+/// The output directory is byte-identical to `build_snode`'s for every
+/// file except the extra `shards.bin` manifest (and therefore `sums.bin`,
+/// which covers it): partition refinement, page renumbering, and the
+/// supernode graph are still computed globally, shards only split the
+/// encode work, and the per-graph encoders are representation-invariant
+/// across thread counts. `num_shards` is a work-splitting hint; the
+/// planner never splits a domain, so fewer shards come back when the
+/// corpus has fewer domains (see [`crate::shard::ShardManifest::plan`]).
+pub fn build_snode_sharded(
+    input: RepoInput<'_>,
+    config: &SNodeConfig,
+    dir: &Path,
+    num_shards: u32,
+) -> Result<(BuildStats, Renumbering)> {
+    use crate::shard::ShardManifest;
+    use std::io::{BufWriter, Write as _};
+
+    std::fs::create_dir_all(dir)?;
+    let n_pages = input.graph.num_nodes();
+    assert_eq!(input.urls.len(), n_pages as usize);
+    assert_eq!(input.domains.len(), n_pages as usize);
+    let threads = crate::par::resolve_threads(config.threads);
+    let t_build = Stopwatch::start();
+
+    // 1. Refinement is global and unchanged: the partition — and with it
+    //    the renumbering and the supernode graph — must not depend on the
+    //    shard count, or the representation would stop being canonical.
+    let refine_config = RefineConfig {
+        threads,
+        ..config.refine
+    };
+    let t = Stopwatch::start();
+    let (partition, refine_stats) = refine(input.urls, input.domains, input.graph, &refine_config);
+    record_span("core.build.refine", "build", &t);
+    let refine_secs = t.elapsed().as_secs_f64();
+
+    // 2. Global renumbering + supernode graph. The supernode graph comes
+    //    from a dedicated edge pass here (not from remap buckets as in the
+    //    in-memory builder): a set of (i, j) pairs is corpus-scale cheap,
+    //    while the per-superedge list buckets are exactly what sharding
+    //    exists to avoid materialising all at once.
+    let t = Stopwatch::start();
+    let renumbering = number_pages(&partition, input.urls);
+    let range_start = compute_ranges(&partition);
+    let n_super = partition.len();
+    let super_of =
+        |new_id: u32| -> u32 { (range_start.partition_point(|&st| st <= new_id) - 1) as u32 };
+    let supergraph = {
+        let mut pairs: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        for new_src in 0..n_pages {
+            let old_src = renumbering.old_of_new[new_src as usize];
+            let s = super_of(new_src);
+            for &old_tgt in input.graph.neighbors(old_src) {
+                let j = super_of(renumbering.new_of_old[old_tgt as usize]);
+                if j != s {
+                    pairs.insert((s, j));
+                }
+            }
+        }
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_super];
+        for (i, j) in pairs {
+            adj[i as usize].push(j);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        SupernodeGraph { adj }
+    };
+
+    // Plan shards over domains and map each supernode to its shard.
+    // Refinement keeps elements domain-pure, so the domain id of an
+    // element places the whole supernode.
+    let mut plan = ShardManifest::plan(input.domains, num_shards);
+    let shard_of_super: Vec<u32> = partition
+        .elements
+        .iter()
+        .map(|e| plan.shard_of_domain(e.domain))
+        .collect();
+    let mut shard_supers: Vec<Vec<u32>> = vec![Vec::new(); plan.len()];
+    for (s, &k) in shard_of_super.iter().enumerate() {
+        shard_supers[k as usize].push(s as u32);
+    }
+    record_span("core.build.remap", "build", &t);
+    let remap_secs = t.elapsed().as_secs_f64();
+
+    // 3. Per shard: remap only this shard's sources, encode, spill the
+    //    blobs to a scratch file. Peak memory is one shard's buckets plus
+    //    one shard's encoded blobs instead of the whole corpus's.
+    //    Spill record: [u64 bit_len][u32 byte_len][bytes].
+    let t = Stopwatch::start();
+    let spill_dir = dir.join("spill");
+    std::fs::create_dir_all(&spill_dir)?;
+    let mut intranode_bits = 0u64;
+    let mut superedge_bits = 0u64;
+    let mut positive_superedges = 0u64;
+    let mut negative_superedges = 0u64;
+    for (k, supers) in shard_supers.iter().enumerate() {
+        // Partial remap: buckets exist only for this shard's supernodes.
+        // `sedges[m][a]` pairs with `supergraph.adj[s][a]` (both sorted by
+        // target supernode), so the encode loop below needs no hash map.
+        let mut intra: Vec<Vec<Vec<u32>>> = supers
+            .iter()
+            .map(|&s| {
+                vec![Vec::new(); (range_start[s as usize + 1] - range_start[s as usize]) as usize]
+            })
+            .collect();
+        let mut sedges: Vec<Vec<Vec<Vec<u32>>>> = supers
+            .iter()
+            .map(|&s| {
+                let ni = (range_start[s as usize + 1] - range_start[s as usize]) as usize;
+                supergraph.adj[s as usize]
+                    .iter()
+                    .map(|_| vec![Vec::new(); ni])
+                    .collect()
+            })
+            .collect();
+        for (m, &s) in supers.iter().enumerate() {
+            for new_src in range_start[s as usize]..range_start[s as usize + 1] {
+                let old_src = renumbering.old_of_new[new_src as usize];
+                let local_src = (new_src - range_start[s as usize]) as usize;
+                for &old_tgt in input.graph.neighbors(old_src) {
+                    let new_tgt = renumbering.new_of_old[old_tgt as usize];
+                    let j = super_of(new_tgt);
+                    let local_tgt = new_tgt - range_start[j as usize];
+                    if j == s {
+                        intra[m][local_src].push(local_tgt);
+                    } else {
+                        let a = supergraph.adj[s as usize]
+                            .binary_search(&j)
+                            .expect("superedge present in supernode graph");
+                        sedges[m][a][local_src].push(local_tgt);
+                    }
+                }
+            }
+        }
+        for lists in &mut intra {
+            for l in lists {
+                l.sort_unstable();
+                l.dedup();
+            }
+        }
+        for per_super in &mut sedges {
+            for lists in per_super {
+                for l in lists {
+                    l.sort_unstable();
+                    l.dedup();
+                }
+            }
+        }
+
+        // Encode this shard's supernodes with the same outer/inner thread
+        // split as the in-memory builder; the encoders are
+        // representation-invariant across thread counts, so the split only
+        // affects wall clock.
+        let inner_threads = if supers.len() >= threads as usize * 2 {
+            1
+        } else {
+            threads
+        };
+        let outer_threads = if inner_threads > 1 { 1 } else { threads };
+        let encoded: Vec<(EncodedLists, Vec<EncodedSuperedge>)> =
+            crate::par::par_map(outer_threads, supers.len(), |m| {
+                let s = supers[m] as usize;
+                let enc_intra = encode_intranode_t(
+                    &intra[m],
+                    config.ref_mode,
+                    config.codec.intra,
+                    inner_threads,
+                );
+                let edges: Vec<EncodedSuperedge> = supergraph.adj[s]
+                    .iter()
+                    .enumerate()
+                    .map(|(a, &j)| {
+                        let nj = u64::from(range_start[j as usize + 1] - range_start[j as usize]);
+                        encode_superedge_t(
+                            &sedges[m][a],
+                            nj,
+                            config.ref_mode,
+                            config.superedge_policy,
+                            config.codec.superedge,
+                            inner_threads,
+                        )
+                    })
+                    .collect();
+                (enc_intra, edges)
+            });
+        drop(intra);
+        drop(sedges);
+
+        // Spill in shard-local supernode order, which is ascending global
+        // order — the invariant the stitch's sequential reads rely on.
+        let spill_path = spill_dir.join(format!("shard_{k:03}.bin"));
+        let mut out = BufWriter::new(std::fs::File::create(&spill_path)?);
+        let info = &mut plan.shards[k];
+        info.supernodes = supers.len() as u32;
+        for (enc_intra, edges) in &encoded {
+            intranode_bits += enc_intra.bit_len;
+            out.write_all(&enc_intra.bit_len.to_le_bytes())?;
+            out.write_all(&(enc_intra.bytes.len() as u32).to_le_bytes())?;
+            out.write_all(&enc_intra.bytes)?;
+            info.blobs += 1;
+            info.encoded_bytes += enc_intra.bytes.len() as u64;
+            for enc in edges {
+                superedge_bits += enc.bit_len;
+                match enc.kind {
+                    SuperedgeKind::Positive => positive_superedges += 1,
+                    SuperedgeKind::Negative => negative_superedges += 1,
+                }
+                out.write_all(&enc.bit_len.to_le_bytes())?;
+                out.write_all(&(enc.bytes.len() as u32).to_le_bytes())?;
+                out.write_all(&enc.bytes)?;
+                info.blobs += 1;
+                info.encoded_bytes += enc.bytes.len() as u64;
+            }
+        }
+        out.flush()?;
+    }
+    record_span("core.build.encode", "build", &t);
+    let encode_secs = t.elapsed().as_secs_f64();
+
+    // 4. Stitch: walk supernodes in global order, pulling each one's blobs
+    //    from its shard's spill file. Within a shard supernodes were
+    //    spilled in ascending global order, so every spill file is read
+    //    strictly sequentially.
+    let t = Stopwatch::start();
+    let readers: Vec<std::fs::File> = (0..plan.len())
+        .map(|k| std::fs::File::open(spill_dir.join(format!("shard_{k:03}.bin"))))
+        .collect::<std::io::Result<_>>()?;
+    let mut offsets = vec![0u64; plan.len()];
+    // Reads go through the wg-fault shim so injected disk faults cover the
+    // stitch pass like every other read in the pipeline.
+    let mut read_blob = |k: usize| -> Result<(Vec<u8>, u64)> {
+        let (f, off) = (&readers[k], &mut offsets[k]);
+        let mut b8 = [0u8; 8];
+        let mut b4 = [0u8; 4];
+        wg_fault::read_exact_at(f, &mut b8, *off)?;
+        wg_fault::read_exact_at(f, &mut b4, *off + 8)?;
+        *off += 12;
+        let bit_len = u64::from_le_bytes(b8);
+        let mut bytes = vec![0u8; u32::from_le_bytes(b4) as usize];
+        wg_fault::read_exact_at(f, &mut bytes, *off)?;
+        *off += bytes.len() as u64;
+        Ok((bytes, bit_len))
+    };
+    let mut writer = IndexFileWriter::create(dir, config.max_file_bytes)?;
+    let mut intranode_loc = Vec::with_capacity(n_super);
+    let mut superedge_loc: Vec<Vec<GraphLocator>> = Vec::with_capacity(n_super);
+    let mut blob_crc = Vec::new();
+    for (s, &shard) in shard_of_super.iter().enumerate() {
+        let k = shard as usize;
+        let (bytes, bit_len) = read_blob(k)?;
+        blob_crc.push(wg_fault::crc32c(&bytes));
+        intranode_loc.push(writer.append(&bytes, bit_len)?);
+        let mut locs = Vec::with_capacity(supergraph.adj[s].len());
+        for _ in 0..supergraph.adj[s].len() {
+            let (bytes, bit_len) = read_blob(k)?;
+            blob_crc.push(wg_fault::crc32c(&bytes));
+            locs.push(writer.append(&bytes, bit_len)?);
+        }
+        superedge_loc.push(locs);
+    }
+    let (index_bytes, _files) = writer.finish()?;
+
+    // 5. Metadata, identical to the in-memory builder, plus the shard
+    //    manifest. The spill scratch goes away before the integrity
+    //    manifest is computed, so `sums.bin` covers exactly the
+    //    representation plus `shards.bin`.
+    let num_domains = input.domains.iter().copied().max().map_or(0, |d| d + 1);
+    let mut domain_supernodes: Vec<Vec<u32>> = vec![Vec::new(); num_domains as usize];
+    for (s, e) in partition.elements.iter().enumerate() {
+        domain_supernodes[e.domain as usize].push(s as u32);
+    }
+    let supergraph_bits = supergraph.encoded_bits();
+    let meta = SNodeMeta {
+        num_pages: n_pages,
+        range_start: range_start.clone(),
+        supergraph_bits,
+        supergraph,
+        intranode_loc,
+        superedge_loc,
+        domain_supernodes,
+        codec: config.codec,
+        max_file_bytes: config.max_file_bytes,
+    };
+    let meta_bytes = meta.write(dir)?;
+    renumbering.write(dir)?;
+    plan.write(dir)?;
+    std::fs::remove_dir_all(&spill_dir)?;
+    let checksum_bytes = crate::integrity::IntegrityManifest::compute(dir, blob_crc)?.write(dir)?;
+    record_span("core.build.write", "build", &t);
+    let write_secs = t.elapsed().as_secs_f64();
+
+    record_span("core.build.total", "build", &t_build);
+    let timings = StageTimings {
+        threads,
+        refine_secs,
+        remap_secs,
+        encode_secs,
+        write_secs,
+        total_secs: t_build.elapsed().as_secs_f64(),
+    };
+    let stats = BuildStats {
+        refine: refine_stats,
+        num_supernodes: meta.num_supernodes(),
+        num_superedges: meta.supergraph.num_superedges(),
+        supernode_graph_bytes_with_pointers: meta.supergraph.encoded_bytes_with_pointers(),
+        supernode_graph_bits: supergraph_bits,
+        intranode_bits,
+        superedge_bits,
+        meta_bytes,
+        index_bytes,
+        checksum_bytes,
+        positive_superedges,
+        negative_superedges,
+        num_edges: input.graph.num_edges(),
+        timings,
+    };
+    Ok((stats, renumbering))
+}
+
 /// Orders pages: supernode by element index, lexicographic URL within.
 fn number_pages(partition: &Partition, urls: &[&str]) -> Renumbering {
     let mut old_of_new = Vec::with_capacity(urls.len());
@@ -627,6 +953,88 @@ mod tests {
         assert_eq!(stats_a.total_bits(), stats_b.total_bits());
         std::fs::remove_dir_all(&dir_a).ok();
         std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    /// All regular files directly under `dir`, as (name, bytes).
+    fn dir_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            if entry.file_type().unwrap().is_file() {
+                out.push((
+                    entry.file_name().into_string().unwrap(),
+                    std::fs::read(entry.path()).unwrap(),
+                ));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn sharded_build_is_byte_identical_except_manifest() {
+        let (urls, domains, graph) = small_repo();
+        let config = SNodeConfig {
+            max_file_bytes: 64,
+            ..Default::default()
+        };
+        let input = RepoInput {
+            urls: &urls,
+            domains: &domains,
+            graph: &graph,
+        };
+        let dir_mem = temp_dir("shard_mem");
+        let (stats_mem, renum_mem) = build_snode(input, &config, &dir_mem).unwrap();
+        let files_mem = dir_files(&dir_mem);
+
+        for shards in [1u32, 2, 3, 8] {
+            let dir_sh = temp_dir(&format!("shard_{shards}"));
+            let (stats_sh, renum_sh) =
+                build_snode_sharded(input, &config, &dir_sh, shards).unwrap();
+            assert_eq!(renum_sh, renum_mem);
+            assert_eq!(stats_sh.num_supernodes, stats_mem.num_supernodes);
+            assert_eq!(stats_sh.num_superedges, stats_mem.num_superedges);
+            assert_eq!(stats_sh.intranode_bits, stats_mem.intranode_bits);
+            assert_eq!(stats_sh.superedge_bits, stats_mem.superedge_bits);
+            assert_eq!(stats_sh.index_bytes, stats_mem.index_bytes);
+            assert_eq!(stats_sh.meta_bytes, stats_mem.meta_bytes);
+            assert_eq!(stats_sh.positive_superedges, stats_mem.positive_superedges);
+            assert_eq!(stats_sh.negative_superedges, stats_mem.negative_superedges);
+            assert!(!dir_sh.join("spill").exists(), "scratch cleaned up");
+
+            // Byte identity file by file: shards.bin is the only extra,
+            // sums.bin the only divergence (it covers shards.bin).
+            let files_sh = dir_files(&dir_sh);
+            let names_sh: Vec<&str> = files_sh.iter().map(|(n, _)| n.as_str()).collect();
+            assert!(names_sh.contains(&crate::shard::SHARDS_FILE));
+            for (name, bytes) in &files_mem {
+                if name == crate::integrity::SUMS_FILE {
+                    continue;
+                }
+                let found = files_sh.iter().find(|(n, _)| n == name);
+                assert_eq!(
+                    found.map(|(_, b)| b),
+                    Some(bytes),
+                    "{name} differs at shards={shards}"
+                );
+            }
+            assert_eq!(files_sh.len(), files_mem.len() + 1);
+
+            // The manifest accounts for every supernode and page.
+            let plan = crate::shard::ShardManifest::read(&dir_sh).unwrap().unwrap();
+            let supers: u32 = plan.shards.iter().map(|s| s.supernodes).sum();
+            let pages: u32 = plan.shards.iter().map(|s| s.pages).sum();
+            assert_eq!(supers, stats_mem.num_supernodes);
+            assert_eq!(pages, graph.num_nodes());
+            if shards == 1 {
+                assert_eq!(plan.len(), 1);
+            }
+
+            // And the sharded directory verifies clean.
+            crate::verify::verify(&dir_sh).unwrap();
+            std::fs::remove_dir_all(&dir_sh).ok();
+        }
+        std::fs::remove_dir_all(&dir_mem).ok();
     }
 
     #[test]

@@ -181,8 +181,8 @@ pub enum CachedGraph {
     /// caps hold "all the intranode and superedge graphs relevant to a
     /// query" at once.
     EncodedIntra {
-        /// The encoded graph.
-        data: Vec<u8>,
+        /// The encoded graph (owned copy or zero-copy resident borrow).
+        data: crate::disk::Blob,
         /// Exact bit length.
         bit_len: u64,
         /// Parsed directory (offsets rebuilt at load).
@@ -195,8 +195,8 @@ pub enum CachedGraph {
     },
     /// A superedge graph kept encoded, with its parsed directory.
     EncodedSuper {
-        /// The encoded graph.
-        data: Vec<u8>,
+        /// The encoded graph (owned copy or zero-copy resident borrow).
+        data: crate::disk::Blob,
         /// Exact bit length.
         bit_len: u64,
         /// Parsed directory.
@@ -249,8 +249,16 @@ impl CachedGraph {
         encoded
     }
 
-    /// Wraps an encoded intranode graph with its parsed directory.
-    pub fn new_encoded_intra(data: Vec<u8>, bit_len: u64, index: ListsIndex) -> Self {
+    /// Wraps an encoded intranode graph with its parsed directory. The
+    /// bytes may be an owned copy or a resident borrow; either way the
+    /// cache charges their full length — a resident borrow pins its
+    /// share of the region, so the budget accounting stays honest.
+    pub fn new_encoded_intra(
+        data: impl Into<crate::disk::Blob>,
+        bit_len: u64,
+        index: ListsIndex,
+    ) -> Self {
+        let data = data.into();
         let encoded = data.len() + index.heap_bytes();
         let cap = Self::memo_cap(encoded);
         let bytes = encoded + cap + std::mem::size_of::<Self>();
@@ -263,8 +271,15 @@ impl CachedGraph {
         }
     }
 
-    /// Wraps an encoded superedge graph with its parsed directory.
-    pub fn new_encoded_super(data: Vec<u8>, bit_len: u64, index: SuperedgeIndex, nj: u64) -> Self {
+    /// Wraps an encoded superedge graph with its parsed directory (same
+    /// owned-or-resident contract as [`CachedGraph::new_encoded_intra`]).
+    pub fn new_encoded_super(
+        data: impl Into<crate::disk::Blob>,
+        bit_len: u64,
+        index: SuperedgeIndex,
+        nj: u64,
+    ) -> Self {
+        let data = data.into();
         let encoded = data.len() + index.heap_bytes();
         let cap = Self::memo_cap(encoded);
         let bytes = encoded + cap + std::mem::size_of::<Self>();

@@ -485,12 +485,51 @@ fn pages_spanned(offset: u64, len: u64) -> u64 {
     (offset + len - 1) / page - offset / page + 1
 }
 
+/// Bytes of one encoded graph, either copied out of an index file or
+/// borrowed from a resident [`wg_store::Region`]. Derefs to `[u8]`, so
+/// every decode path is agnostic to which read mode produced it.
+#[derive(Debug)]
+pub enum Blob {
+    /// A private copy (the default positioned-read path).
+    Owned(Vec<u8>),
+    /// A borrow of the shared resident image of an index file
+    /// ([`IndexFileReader::open_resident`]); holding the blob keeps the
+    /// image alive, copying nothing.
+    Resident(wg_store::RegionSlice),
+}
+
+impl std::ops::Deref for Blob {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            Blob::Owned(v) => v,
+            Blob::Resident(s) => s,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Blob {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Blob {
+    fn from(v: Vec<u8>) -> Self {
+        Blob::Owned(v)
+    }
+}
+
 /// Read-side of the index files.
 #[derive(Debug)]
 pub struct IndexFileReader {
     files: Vec<File>,
     /// Stream ids (one per index file) for simulated-disk seek accounting.
     streams: Vec<u64>,
+    /// Resident images of the index files (zero-copy mode); empty in the
+    /// default positioned-read mode.
+    resident: Vec<wg_store::Region>,
     /// Positioned reads performed (physical I/O instrumentation).
     /// Atomic (not `Cell`) so the reader stays `Sync` for shared-handle
     /// concurrent navigation.
@@ -520,9 +559,54 @@ impl IndexFileReader {
         Ok(Self {
             files,
             streams,
+            resident: Vec::new(),
             reads: std::sync::atomic::AtomicU64::new(0),
             counters: DiskCounters::auto(),
         })
+    }
+
+    /// Opens with every index file loaded into a shared immutable
+    /// [`wg_store::Region`]: [`IndexFileReader::read_blob`] then hands out
+    /// borrowing slices instead of copies. All instrumentation — the read
+    /// counter, `core.disk.*` metrics, and simulated-disk charges — is
+    /// identical to positioned-read mode, so query fingerprints and
+    /// counter gates see the same numbers. The one behavioural difference
+    /// is that fault injection's *per-read* failure sites disappear (the
+    /// whole file is read once, through the retrying shim, at open),
+    /// which is why resident mode is opt-in rather than the default.
+    pub fn open_resident(dir: &Path) -> Result<Self> {
+        let mut r = Self::open(dir)?;
+        r.resident = (0..r.files.len() as u32)
+            .map(|no| read_whole_file(&index_file_path(dir, no)).map(wg_store::Region::from_vec))
+            .collect::<Result<_>>()?;
+        Ok(r)
+    }
+
+    /// True when the index files are resident (zero-copy reads).
+    pub fn is_resident(&self) -> bool {
+        !self.resident.is_empty()
+    }
+
+    /// Bytes held resident by zero-copy mode (0 in positioned-read mode).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Charges one graph read to every instrumentation layer. Both read
+    /// paths go through here so their observable counts are identical.
+    fn charge(&self, loc: &GraphLocator) {
+        wg_store::diskmodel::charge_read(
+            self.streams[loc.file as usize],
+            loc.offset,
+            loc.byte_len as usize,
+        );
+        self.reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(c) = &self.counters {
+            c.graph_reads.inc();
+            c.bytes_read.add(loc.byte_len);
+            c.pages_fetched.add(pages_spanned(loc.offset, loc.byte_len));
+        }
     }
 
     /// Reads the bytes of one graph.
@@ -532,15 +616,21 @@ impl IndexFileReader {
         };
         let mut buf = vec![0u8; loc.byte_len as usize];
         wg_fault::read_exact_at(f, &mut buf, loc.offset)?;
-        wg_store::diskmodel::charge_read(self.streams[loc.file as usize], loc.offset, buf.len());
-        self.reads
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if let Some(c) = &self.counters {
-            c.graph_reads.inc();
-            c.bytes_read.add(loc.byte_len);
-            c.pages_fetched.add(pages_spanned(loc.offset, loc.byte_len));
-        }
+        self.charge(loc);
         Ok(buf)
+    }
+
+    /// Reads one graph as a [`Blob`]: a borrowed slice of the resident
+    /// image when in zero-copy mode, a private copy otherwise.
+    pub fn read_blob(&self, loc: &GraphLocator) -> Result<Blob> {
+        let Some(region) = self.resident.get(loc.file as usize) else {
+            return self.read(loc).map(Blob::Owned);
+        };
+        let slice = region
+            .slice(loc.offset as usize, loc.byte_len as usize)
+            .ok_or(SNodeError::Corrupt("locator beyond resident index file"))?;
+        self.charge(loc);
+        Ok(Blob::Resident(slice))
     }
 
     /// Physical graph reads performed.
@@ -744,6 +834,46 @@ mod tests {
         assert_eq!(pages_spanned(p - 1, 2), 2);
         assert_eq!(pages_spanned(p, p), 1);
         assert_eq!(pages_spanned(3, 3 * p), 4);
+    }
+
+    #[test]
+    fn resident_reads_borrow_and_charge_identically() {
+        let dir = temp_dir("resident");
+        let mut w = IndexFileWriter::create(&dir, 100).unwrap();
+        let a = w.append(&[1u8; 60], 480).unwrap();
+        let b = w.append(&[2u8; 60], 480).unwrap();
+        w.finish().unwrap();
+
+        let plain = IndexFileReader::open(&dir).unwrap();
+        let res = IndexFileReader::open_resident(&dir).unwrap();
+        assert!(!plain.is_resident());
+        assert!(res.is_resident());
+        assert_eq!(res.resident_bytes(), 120);
+
+        for loc in [&a, &b] {
+            let copied = plain.read_blob(loc).unwrap();
+            let borrowed = res.read_blob(loc).unwrap();
+            assert!(matches!(copied, Blob::Owned(_)));
+            assert!(matches!(borrowed, Blob::Resident(_)));
+            assert_eq!(&*copied, &*borrowed);
+        }
+        // Identical instrumentation on both paths.
+        assert_eq!(plain.read_count(), res.read_count());
+
+        // Two resident reads of the same graph share backing memory.
+        let x = res.read_blob(&a).unwrap();
+        let y = res.read_blob(&a).unwrap();
+        assert!(std::ptr::eq(x.as_ptr(), y.as_ptr()), "no copy per read");
+
+        // A locator beyond the file is a structured error, not a panic.
+        let bogus = GraphLocator {
+            file: 0,
+            offset: 50,
+            byte_len: 100,
+            bit_len: 800,
+        };
+        assert!(res.read_blob(&bogus).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

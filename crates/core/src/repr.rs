@@ -190,7 +190,7 @@ impl SNode {
     ///
     /// Strict mode: any checksum or decode failure surfaces as an error.
     pub fn open(dir: &Path, cache_budget_bytes: usize) -> Result<Self> {
-        Self::open_mode(dir, cache_budget_bytes, false)
+        Self::open_mode(dir, cache_budget_bytes, false, false)
     }
 
     /// Opens with graceful degradation: a damaged intranode or superedge
@@ -199,10 +199,27 @@ impl SNode {
     /// The resident metadata (`meta.bin`) must still verify — it is the
     /// index everything else hangs off, so there is nothing to degrade to.
     pub fn open_degraded(dir: &Path, cache_budget_bytes: usize) -> Result<Self> {
-        Self::open_mode(dir, cache_budget_bytes, true)
+        Self::open_mode(dir, cache_budget_bytes, true, false)
     }
 
-    fn open_mode(dir: &Path, cache_budget_bytes: usize, degrade: bool) -> Result<Self> {
+    /// Opens with the index files resident: graph loads borrow slices of
+    /// one shared immutable image per file instead of copying bytes out
+    /// (the `mmap` analogue under the workspace's `forbid(unsafe_code)` —
+    /// see [`wg_store::Region`]). Navigation answers, disk-read counters,
+    /// and cache behaviour are identical to [`SNode::open`]; the trade is
+    /// the upfront residency cost (the encoded index files, reported by
+    /// [`SNode::resident_bytes`]) for allocation-free steady-state reads.
+    /// Strict integrity mode: resident service wants loud corruption.
+    pub fn open_resident(dir: &Path, cache_budget_bytes: usize) -> Result<Self> {
+        Self::open_mode(dir, cache_budget_bytes, false, true)
+    }
+
+    fn open_mode(
+        dir: &Path,
+        cache_budget_bytes: usize,
+        degrade: bool,
+        resident: bool,
+    ) -> Result<Self> {
         let integrity = IntegrityCounters::new();
         // A corrupt manifest in degraded mode downgrades to "unverified"
         // (counted as a failure); strict mode refuses to guess.
@@ -243,7 +260,11 @@ impl SNode {
             }
             other => other,
         };
-        let files = IndexFileReader::open(dir)?;
+        let files = if resident {
+            IndexFileReader::open_resident(dir)?
+        } else {
+            IndexFileReader::open(dir)?
+        };
         Ok(Self {
             meta,
             files,
@@ -517,9 +538,21 @@ impl SNode {
         self.cache.take_log()
     }
 
+    /// True when the index files are resident (zero-copy graph loads).
+    pub fn is_resident(&self) -> bool {
+        self.files.is_resident()
+    }
+
+    /// Bytes pinned by the resident index-file images (0 when opened in
+    /// the default positioned-read mode). Scale benchmarks subtract this
+    /// from process RSS to check that *query* memory stays flat.
+    pub fn resident_bytes(&self) -> u64 {
+        self.files.resident_bytes()
+    }
+
     /// Reads one blob and verifies it against the manifest when present.
-    fn load_blob(&self, loc: &GraphLocator, blob_idx: u64) -> Result<Vec<u8>> {
-        let bytes = self.files.read(loc)?;
+    fn load_blob(&self, loc: &GraphLocator, blob_idx: u64) -> Result<crate::disk::Blob> {
+        let bytes = self.files.read_blob(loc)?;
         if let Some(m) = &self.manifest {
             self.integrity.check();
             let expected = m
@@ -909,6 +942,43 @@ mod tests {
         );
         assert!(after_second.hits > after_first.hits);
         let _ = graph;
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_open_answers_and_counts_identically() {
+        let (dir, graph, renum, _) = build_repo("resident", 120);
+        let plain = SNode::open(&dir, 1 << 20).unwrap();
+        let resident = SNode::open_resident(&dir, 1 << 20).unwrap();
+        assert!(!plain.is_resident());
+        assert!(resident.is_resident());
+        assert!(resident.resident_bytes() > 0);
+        assert_eq!(plain.resident_bytes(), 0);
+        for new_id in 0..graph.num_nodes() {
+            assert_eq!(
+                resident.out_neighbors(new_id).unwrap(),
+                expected_neighbors(&graph, &renum, new_id),
+                "page {new_id}"
+            );
+            plain.out_neighbors(new_id).unwrap();
+        }
+        // Same physical-read and cache accounting on both paths.
+        assert_eq!(plain.disk_reads(), resident.disk_reads());
+        assert_eq!(plain.cache_stats(), resident.cache_stats());
+        // Checksums still verify on the zero-copy path.
+        let (checks, failures) = resident.integrity_stats();
+        assert!(checks > 0);
+        assert_eq!(failures, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resident_open_surfaces_corruption() {
+        let (dir, graph, _renum, _) = build_repo("residentcrc", 80);
+        flip_first_index_byte(&dir);
+        let snode = SNode::open_resident(&dir, 1 << 20).unwrap();
+        let err = (0..graph.num_nodes()).find_map(|p| snode.out_neighbors(p).err());
+        assert!(err.is_some(), "resident mode is strict about corruption");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,283 @@
+//! Domain sharding for the out-of-core build.
+//!
+//! The sharded builder ([`crate::build::build_snode_sharded`]) splits the
+//! *work*, never the *result*: shards are contiguous domain-id ranges
+//! balanced by page count, each shard remaps and encodes only the
+//! supernodes whose domain falls in its range, and the stitch phase
+//! concatenates every shard's blobs back into the single global supernode
+//! order — so the directory it writes is byte-identical to the in-memory
+//! builder's (`shards.bin` aside). This module holds the plan (which
+//! domain goes where) and the manifest persisted as `shards.bin`,
+//! checksummed by `sums.bin` like every other section.
+//!
+//! Domains — not supernodes — are the sharding unit because partition
+//! refinement keeps every element domain-pure (§3.1, Property 2): a
+//! domain's supernodes never straddle shards, which is what lets one
+//! shard own a supernode's entire remap/encode work.
+
+use crate::disk::read_whole_file;
+use crate::{Result, SNodeError};
+use std::io::Write;
+use std::path::Path;
+
+/// File name of the shard manifest inside an S-Node directory.
+pub const SHARDS_FILE: &str = "shards.bin";
+
+const SHARDS_MAGIC: &[u8; 4] = b"SNSH";
+const SHARDS_VERSION: u32 = 1;
+
+/// One shard of the build plan: a contiguous domain-id range plus the
+/// work accounting filled in as the build runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardInfo {
+    /// First domain id owned by this shard.
+    pub domain_start: u32,
+    /// One past the last domain id owned by this shard.
+    pub domain_end: u32,
+    /// Pages whose domain falls in the range.
+    pub pages: u32,
+    /// Supernodes encoded by this shard.
+    pub supernodes: u32,
+    /// Blobs (intranode + superedge) this shard produced.
+    pub blobs: u64,
+    /// Encoded payload bytes this shard produced.
+    pub encoded_bytes: u64,
+}
+
+/// The persisted shard plan: how the build's work was partitioned.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardManifest {
+    /// Per-shard domain ranges and work accounting.
+    pub shards: Vec<ShardInfo>,
+}
+
+impl ShardManifest {
+    /// Plans `num_shards` contiguous domain ranges over `domains` (the
+    /// per-page domain ids), greedily balanced by page count. Shards never
+    /// split a domain; fewer shards come back when there are fewer
+    /// non-empty domains than requested.
+    pub fn plan(domains: &[u32], num_shards: u32) -> ShardManifest {
+        let num_domains = domains.iter().copied().max().map_or(0, |d| d + 1);
+        let mut domain_pages = vec![0u64; num_domains as usize];
+        for &d in domains {
+            domain_pages[d as usize] += 1;
+        }
+        let total = domains.len() as u64;
+        let want = num_shards.max(1);
+        let mut shards = Vec::with_capacity(want as usize);
+        let mut start = 0u32;
+        let mut acc = 0u64;
+        let mut pages_left = total;
+        for d in 0..num_domains {
+            acc += domain_pages[d as usize];
+            let shards_left = u64::from(want) - shards.len() as u64;
+            // Close the shard once it reaches an equal share of the pages
+            // still unassigned — while leaving at least one domain per
+            // remaining shard.
+            let fair = pages_left.div_ceil(shards_left.max(1));
+            let domains_left = num_domains - d - 1;
+            if (acc >= fair || u64::from(domains_left) < shards_left) && shards_left > 1 {
+                shards.push(ShardInfo {
+                    domain_start: start,
+                    domain_end: d + 1,
+                    pages: acc as u32,
+                    ..Default::default()
+                });
+                pages_left -= acc;
+                start = d + 1;
+                acc = 0;
+            }
+        }
+        if start < num_domains || shards.is_empty() {
+            shards.push(ShardInfo {
+                domain_start: start,
+                domain_end: num_domains,
+                pages: acc as u32,
+                ..Default::default()
+            });
+        }
+        ShardManifest { shards }
+    }
+
+    /// Shard owning domain `d`, by binary search over the ranges.
+    pub fn shard_of_domain(&self, d: u32) -> u32 {
+        (self
+            .shards
+            .partition_point(|s| s.domain_end <= d)
+            .min(self.shards.len().saturating_sub(1))) as u32
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the plan is empty (no shards).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Serialises into `dir/shards.bin`; returns bytes written.
+    pub fn write(&self, dir: &Path) -> Result<u64> {
+        let mut buf = Vec::with_capacity(16 + self.shards.len() * 32);
+        buf.extend_from_slice(SHARDS_MAGIC);
+        buf.extend_from_slice(&SHARDS_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for s in &self.shards {
+            buf.extend_from_slice(&s.domain_start.to_le_bytes());
+            buf.extend_from_slice(&s.domain_end.to_le_bytes());
+            buf.extend_from_slice(&s.pages.to_le_bytes());
+            buf.extend_from_slice(&s.supernodes.to_le_bytes());
+            buf.extend_from_slice(&s.blobs.to_le_bytes());
+            buf.extend_from_slice(&s.encoded_bytes.to_le_bytes());
+        }
+        let mut f = std::fs::File::create(dir.join(SHARDS_FILE))?;
+        f.write_all(&buf)?;
+        f.sync_data()?;
+        Ok(buf.len() as u64)
+    }
+
+    /// Reads `dir/shards.bin`. `Ok(None)` when the directory was built
+    /// unsharded (no manifest present).
+    pub fn read(dir: &Path) -> Result<Option<ShardManifest>> {
+        let path = dir.join(SHARDS_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let bytes = read_whole_file(&path)?;
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = bytes
+                .get(*pos..*pos + n)
+                .ok_or(SNodeError::Corrupt("shards.bin truncated"))?;
+            *pos += n;
+            Ok(s)
+        };
+        let u32_at = |s: &[u8]| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(s);
+            u32::from_le_bytes(a)
+        };
+        let u64_at = |s: &[u8]| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(s);
+            u64::from_le_bytes(a)
+        };
+        if take(&mut pos, 4)? != SHARDS_MAGIC {
+            return Err(SNodeError::Corrupt("bad shards.bin magic"));
+        }
+        if u32_at(take(&mut pos, 4)?) != SHARDS_VERSION {
+            return Err(SNodeError::Corrupt("unsupported shards.bin version"));
+        }
+        let count = u32_at(take(&mut pos, 4)?) as usize;
+        // A damaged count must not drive allocation (SN213): the record
+        // size bounds it from the file length.
+        if count > bytes.len() / 32 {
+            return Err(SNodeError::Corrupt("shards.bin count exceeds file size"));
+        }
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            shards.push(ShardInfo {
+                domain_start: u32_at(take(&mut pos, 4)?),
+                domain_end: u32_at(take(&mut pos, 4)?),
+                pages: u32_at(take(&mut pos, 4)?),
+                supernodes: u32_at(take(&mut pos, 4)?),
+                blobs: u64_at(take(&mut pos, 8)?),
+                encoded_bytes: u64_at(take(&mut pos, 8)?),
+            });
+        }
+        if pos != bytes.len() {
+            return Err(SNodeError::Corrupt("shards.bin has trailing bytes"));
+        }
+        Ok(Some(ShardManifest { shards }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_every_domain_once() {
+        let domains: Vec<u32> = (0..1000u32).map(|i| i % 17).collect();
+        for n in [1u32, 2, 3, 8, 17, 40] {
+            let plan = ShardManifest::plan(&domains, n);
+            assert!(!plan.is_empty());
+            assert!(plan.len() <= 17, "never more shards than domains");
+            assert_eq!(plan.shards[0].domain_start, 0);
+            assert_eq!(plan.shards.last().unwrap().domain_end, 17);
+            for w in plan.shards.windows(2) {
+                assert_eq!(w[0].domain_end, w[1].domain_start, "contiguous");
+                assert!(w[0].domain_start < w[0].domain_end, "non-empty range");
+            }
+            let pages: u64 = plan.shards.iter().map(|s| u64::from(s.pages)).sum();
+            assert_eq!(pages, domains.len() as u64);
+            for d in 0..17 {
+                let k = plan.shard_of_domain(d);
+                let s = plan.shards[k as usize];
+                assert!(s.domain_start <= d && d < s.domain_end);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_balances_skewed_domains() {
+        // Zipf-ish: domain 0 owns half the pages.
+        let mut domains = vec![0u32; 500];
+        for d in 1..=100u32 {
+            domains.extend(std::iter::repeat_n(d, 5));
+        }
+        let plan = ShardManifest::plan(&domains, 4);
+        assert_eq!(plan.len(), 4);
+        // The giant domain is alone-ish in its shard; the rest spread out.
+        let max = plan.shards.iter().map(|s| s.pages).max().unwrap();
+        assert!(max <= 520, "no shard should take much more than the giant");
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let dir = std::env::temp_dir().join(format!("wg_shardman_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut m = ShardManifest::plan(&[0, 0, 1, 2, 2, 2], 2);
+        for (i, s) in m.shards.iter_mut().enumerate() {
+            s.supernodes = i as u32 + 1;
+            s.blobs = 10 * (i as u64 + 1);
+            s.encoded_bytes = 1000 * (i as u64 + 1);
+        }
+        m.write(&dir).unwrap();
+        let back = ShardManifest::read(&dir).unwrap().unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn absent_manifest_reads_as_none() {
+        let dir = std::env::temp_dir().join(format!("wg_shardnone_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(ShardManifest::read(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_manifest_is_corrupt_not_panic() {
+        let dir = std::env::temp_dir().join(format!("wg_shardbad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for bytes in [
+            &b"XXXX"[..],
+            &b"SNSH\x02\x00\x00\x00\x00\x00\x00\x00"[..],
+            &b"SNSH\x01\x00\x00\x00\xff\xff\xff\xff"[..],
+            &b"SNSH\x01\x00\x00\x00\x01\x00\x00\x00\x01\x02"[..],
+        ] {
+            std::fs::write(dir.join(SHARDS_FILE), bytes).unwrap();
+            assert!(ShardManifest::read(&dir).is_err(), "bytes {bytes:?}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_input_plans_one_empty_shard() {
+        let plan = ShardManifest::plan(&[], 4);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.shards[0].pages, 0);
+    }
+}

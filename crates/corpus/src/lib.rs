@@ -28,6 +28,7 @@
 pub mod links;
 pub mod names;
 pub mod stats;
+pub mod stream;
 pub mod textio;
 
 use rand::rngs::SmallRng;

@@ -26,7 +26,7 @@ pub struct Universe {
 }
 
 /// Word stock for domain labels.
-const DOMAIN_WORDS: &[&str] = &[
+pub(crate) const DOMAIN_WORDS: &[&str] = &[
     "stanford",
     "acme",
     "berkeley",
@@ -71,7 +71,7 @@ const DOMAIN_WORDS: &[&str] = &[
 
 /// TLDs with sampling weights; .edu is guaranteed at least a handful of
 /// domains because the paper's queries predicate on it.
-const TLDS: &[(&str, u32)] = &[
+pub(crate) const TLDS: &[(&str, u32)] = &[
     ("com", 45),
     ("edu", 20),
     ("org", 15),
@@ -80,13 +80,13 @@ const TLDS: &[(&str, u32)] = &[
 ];
 
 /// Host labels beyond `www`.
-const HOST_WORDS: &[&str] = &[
+pub(crate) const HOST_WORDS: &[&str] = &[
     "www", "cs", "ee", "physics", "math", "lib", "news", "mail", "shop", "blog", "dev", "docs",
     "research", "labs", "media", "support", "forum", "wiki", "archive", "portal",
 ];
 
 /// Directory-name stock.
-const DIR_WORDS: &[&str] = &[
+pub(crate) const DIR_WORDS: &[&str] = &[
     "students",
     "grad",
     "undergrad",

@@ -1,0 +1,622 @@
+//! Streaming corpus writer: generates the text-format corpus straight to
+//! disk in bounded memory.
+//!
+//! [`Corpus::generate`](crate::Corpus::generate) materialises every URL
+//! string, the full CSR graph (plus the builder's edge list), and every
+//! phrase set before [`write_corpus`](crate::textio::write_corpus) puts a
+//! byte on disk — at a million pages that is most of a gigabyte of peak
+//! resident set for data that is written out linearly anyway. This module
+//! runs the *same* three generation phases against the same RNG but emits
+//! each file while its phase runs, holding only the compact cross-phase
+//! state the copying model actually needs:
+//!
+//! * per page: owning host and domain ids (16 bytes with the transient
+//!   directory/number pair), never the URL string;
+//! * per host: the URL-sorted page-id list and the directory-tree strings
+//!   (dropped once ranks are computed);
+//! * for link generation: a flat adjacency arena of `O(edges)` ids — the
+//!   copying model's prototypes are inherently the whole history — plus
+//!   the preferential-attachment pool.
+//!
+//! **Byte identity is the contract**: for any config, the four files this
+//! writer produces are identical to `write_corpus(dir,
+//! &Corpus::generate(config))`, because both consume the seeded RNG in
+//! exactly the same call sequence. A proptest pins this; treat any edit
+//! to `names.rs`/`links.rs`/`generate_phrases` as an edit to this file
+//! too.
+
+use crate::names::{self, DIR_WORDS, DOMAIN_WORDS, HOST_WORDS, TLDS};
+use crate::textio::TextIoError;
+use crate::{CorpusConfig, DomainId, HostId, PhraseId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use wg_graph::PageId;
+
+/// Summary counts from a streamed generation (the data itself is on disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Pages generated.
+    pub num_pages: u32,
+    /// Edges written to `edges.txt`.
+    pub num_edges: u64,
+    /// Domains generated.
+    pub num_domains: u32,
+    /// Hosts generated.
+    pub num_hosts: u32,
+}
+
+/// Compact cross-phase state: what link and phrase generation need from
+/// the URL universe, minus every string.
+struct StreamedUniverse {
+    num_domains: u32,
+    num_hosts: u32,
+    page_host: Vec<HostId>,
+    page_domain: Vec<DomainId>,
+    /// Per host, its pages in lexicographic URL order.
+    host_pages_by_url: Vec<Vec<PageId>>,
+    /// Per page, its rank within its host's URL-sorted list.
+    url_rank_in_host: Vec<u32>,
+}
+
+/// Generates the corpus for `config` directly into `dir` as the standard
+/// text format (`urls.txt`, `domains.txt`, `edges.txt`, `phrases.txt`),
+/// byte-identical to generating in memory and calling `write_corpus`.
+pub fn stream_corpus(dir: &Path, config: &CorpusConfig) -> Result<StreamStats, TextIoError> {
+    std::fs::create_dir_all(dir)?;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    let mut urls = BufWriter::new(std::fs::File::create(dir.join("urls.txt"))?);
+    let mut doms = BufWriter::new(std::fs::File::create(dir.join("domains.txt"))?);
+    let universe = stream_universe(config, &mut rng, &mut urls, &mut doms)?;
+    urls.flush()?;
+    doms.flush()?;
+    drop(urls);
+    drop(doms);
+
+    let mut edges = BufWriter::new(std::fs::File::create(dir.join("edges.txt"))?);
+    let num_edges = stream_links(config, &universe, &mut rng, &mut edges)?;
+    edges.flush()?;
+    drop(edges);
+
+    // Link-phase state (the adjacency arena, the PA pool) dies here; the
+    // phrase phase only needs each page's domain.
+    let StreamedUniverse {
+        num_domains,
+        num_hosts,
+        page_domain,
+        ..
+    } = universe;
+
+    let mut phrases = BufWriter::new(std::fs::File::create(dir.join("phrases.txt"))?);
+    stream_phrases(config, num_domains, &page_domain, &mut rng, &mut phrases)?;
+    phrases.flush()?;
+
+    Ok(StreamStats {
+        num_pages: page_domain.len() as u32,
+        num_edges,
+        num_domains,
+        num_hosts,
+    })
+}
+
+/// Phase 0 of [`names::generate_universe`], emitting `urls.txt` and
+/// `domains.txt` as pages are created. The RNG call sequence mirrors the
+/// in-memory version exactly: domain names, Zipf page allocation, host
+/// counts, the crawl interleaving order, then per-page host/directory
+/// draws.
+fn stream_universe(
+    config: &CorpusConfig,
+    rng: &mut SmallRng,
+    urls: &mut impl Write,
+    doms: &mut impl Write,
+) -> Result<StreamedUniverse, TextIoError> {
+    let n = config.num_pages;
+    let ndom = config.num_domains.max(1);
+
+    // --- Domains: names stream out as they are drawn -----------------------
+    let mut domains = Vec::with_capacity(ndom as usize);
+    let mut used = std::collections::HashSet::new();
+    let tld_total: u32 = TLDS.iter().map(|&(_, w)| w).sum();
+    for i in 0..ndom {
+        let tld = if (i as usize) < TLDS.len() {
+            TLDS[i as usize].0
+        } else {
+            let mut x = rng.gen_range(0..tld_total);
+            let mut pick = TLDS[0].0;
+            for &(t, w) in TLDS {
+                if x < w {
+                    pick = t;
+                    break;
+                }
+                x -= w;
+            }
+            pick
+        };
+        let base = DOMAIN_WORDS[rng.gen_range(0..DOMAIN_WORDS.len())];
+        let mut name = format!("{base}.{tld}");
+        let mut counter = 2;
+        while !used.insert(name.clone()) {
+            name = format!("{base}{counter}.{tld}");
+            counter += 1;
+        }
+        writeln!(doms, "{name}")?;
+        domains.push(name);
+    }
+    drop(used);
+    writeln!(doms, "--")?;
+
+    // Zipf page allocation across domains (identical arithmetic).
+    let weights: Vec<f64> = (0..ndom).map(|i| 1.0 / (f64::from(i) + 1.0)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut domain_pages = vec![0u32; ndom as usize];
+    let mut assigned = 0u32;
+    for (i, &w) in weights.iter().enumerate() {
+        let share = ((w / wsum) * f64::from(n)) as u32;
+        let share = share.max(1).min(n - assigned);
+        domain_pages[i] = share;
+        assigned += share;
+        if assigned == n {
+            break;
+        }
+    }
+    let mut i = 0usize;
+    while assigned < n {
+        domain_pages[i % ndom as usize] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    drop(weights);
+
+    // --- Hosts -------------------------------------------------------------
+    let mut host_names: Vec<String> = Vec::new();
+    let mut host_domain: Vec<DomainId> = Vec::new();
+    let mut host_of_domain: Vec<Vec<HostId>> = vec![Vec::new(); ndom as usize];
+    for (d, name) in domains.iter().enumerate() {
+        let p_stop = 1.0 / config.hosts_per_domain_mean;
+        let mut count = 1u32;
+        while rng.gen::<f64>() >= p_stop && count < 12 {
+            count += 1;
+        }
+        let count = count.min(domain_pages[d].max(1));
+        for h in 0..count {
+            let label = HOST_WORDS[h as usize % HOST_WORDS.len()];
+            host_of_domain[d].push(host_names.len() as HostId);
+            host_names.push(format!("{label}.{name}"));
+            host_domain.push(d as DomainId);
+        }
+    }
+    let num_hosts = host_names.len() as u32;
+    drop(domains);
+
+    // --- Pages -------------------------------------------------------------
+    struct HostState {
+        dirs: Vec<String>,
+        dir_pages: Vec<u32>,
+        next_page_number: u32,
+    }
+    let mut host_state: Vec<HostState> = host_names
+        .iter()
+        .map(|_| HostState {
+            dirs: vec![String::new()],
+            dir_pages: vec![0],
+            next_page_number: 0,
+        })
+        .collect();
+
+    // Crawl interleaving: the full order is drawn before any page exists,
+    // exactly as in the in-memory generator (all `order` draws precede all
+    // per-page draws in the RNG stream).
+    let mut remaining: Vec<u32> = domain_pages.clone();
+    let mut order: Vec<DomainId> = Vec::with_capacity(n as usize);
+    {
+        let mut live: Vec<DomainId> = (0..ndom).filter(|&d| remaining[d as usize] > 0).collect();
+        while !live.is_empty() {
+            let idx = rng.gen_range(0..live.len());
+            let d = live[idx];
+            order.push(d);
+            remaining[d as usize] -= 1;
+            if remaining[d as usize] == 0 {
+                live.swap_remove(idx);
+            }
+        }
+    }
+    drop(remaining);
+    drop(domain_pages);
+
+    let mut page_host: Vec<HostId> = Vec::with_capacity(n as usize);
+    let mut page_domain: Vec<DomainId> = Vec::with_capacity(n as usize);
+    // Transient per-page (directory, number) pair — the whole URL, given
+    // the host, without storing the string.
+    let mut page_dir: Vec<u32> = Vec::with_capacity(n as usize);
+    let mut page_number: Vec<u32> = Vec::with_capacity(n as usize);
+
+    for d in order {
+        let hs = &host_of_domain[d as usize];
+        let hidx = if hs.len() == 1 {
+            0
+        } else {
+            let r: f64 = rng.gen();
+            ((r * r) * hs.len() as f64) as usize
+        };
+        let host_id = hs[hidx.min(hs.len() - 1)];
+        let st = &mut host_state[host_id as usize];
+
+        let spawn = st.dirs.len() == 1 || rng.gen::<f64>() < 0.03;
+        let dir_idx = if !spawn {
+            let w = |i: usize, c: u32| -> u32 {
+                if i == 0 && st.dirs.len() > 1 {
+                    1
+                } else {
+                    c + 1
+                }
+            };
+            let total: u32 = st.dir_pages.iter().enumerate().map(|(i, &c)| w(i, c)).sum();
+            let mut x = rng.gen_range(0..total);
+            let mut pick = 0usize;
+            for (i, &c) in st.dir_pages.iter().enumerate() {
+                if x < w(i, c) {
+                    pick = i;
+                    break;
+                }
+                x -= w(i, c);
+            }
+            pick
+        } else {
+            let parent = rng.gen_range(0..st.dirs.len());
+            let depth = st.dirs[parent].matches('/').count() as u32
+                + u32::from(!st.dirs[parent].is_empty());
+            if depth >= config.max_path_depth {
+                parent
+            } else {
+                let word = DIR_WORDS[rng.gen_range(0..DIR_WORDS.len())];
+                let path = if st.dirs[parent].is_empty() {
+                    word.to_string()
+                } else {
+                    format!("{}/{}", st.dirs[parent], word)
+                };
+                if let Some(existing) = st.dirs.iter().position(|p| p == &path) {
+                    existing
+                } else {
+                    st.dirs.push(path);
+                    st.dir_pages.push(0);
+                    st.dirs.len() - 1
+                }
+            }
+        };
+        st.dir_pages[dir_idx] += 1;
+        let number = st.next_page_number;
+        st.next_page_number += 1;
+        let dir = &st.dirs[dir_idx];
+        if dir.is_empty() {
+            writeln!(
+                urls,
+                "http://{}/page{:06}.html",
+                host_names[host_id as usize], number
+            )?;
+        } else {
+            writeln!(
+                urls,
+                "http://{}/{}/page{:06}.html",
+                host_names[host_id as usize], dir, number
+            )?;
+        }
+        writeln!(doms, "{d}")?;
+        page_host.push(host_id);
+        page_domain.push(d);
+        page_dir.push(dir_idx as u32);
+        page_number.push(number);
+    }
+    drop(host_names);
+    drop(host_of_domain);
+    drop(host_domain);
+
+    // --- Host page lists in URL order + per-page rank ----------------------
+    // Within one host every URL shares the `http://host/` prefix, so URL
+    // order is path order. Paths are materialised transiently per host for
+    // the comparison (zero-padded page numbers are *not* numeric order
+    // once a host crosses 10^6 pages, so compare real strings).
+    let mut host_pages_by_url: Vec<Vec<PageId>> = vec![Vec::new(); num_hosts as usize];
+    for (pid, &h) in page_host.iter().enumerate() {
+        host_pages_by_url[h as usize].push(pid as PageId);
+    }
+    let mut url_rank_in_host = vec![0u32; page_host.len()];
+    for (h, list) in host_pages_by_url.iter_mut().enumerate() {
+        let st = &host_state[h];
+        let mut keyed: Vec<(String, PageId)> = list
+            .iter()
+            .map(|&p| {
+                let dir = &st.dirs[page_dir[p as usize] as usize];
+                let num = page_number[p as usize];
+                let path = if dir.is_empty() {
+                    format!("page{num:06}.html")
+                } else {
+                    format!("{dir}/page{num:06}.html")
+                };
+                (path, p)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        list.clear();
+        for (rank, (_, p)) in keyed.into_iter().enumerate() {
+            url_rank_in_host[p as usize] = rank as u32;
+            list.push(p);
+        }
+    }
+
+    Ok(StreamedUniverse {
+        num_domains: ndom,
+        num_hosts,
+        page_host,
+        page_domain,
+        host_pages_by_url,
+        url_rank_in_host,
+    })
+}
+
+/// Phase 1 of [`crate::links::generate_links`], emitting `edges.txt`
+/// lines as each page's target list is finalised. Per-page target lists
+/// come out sorted and deduplicated for ascending sources, which is
+/// exactly the order `Graph::edges()` yields after the builder's global
+/// sort — so the streamed lines match the in-memory file byte for byte.
+/// The per-page adjacency lives in a flat arena (`O(edges)` ids, no
+/// per-page `Vec` headers): the copying model needs the full history as
+/// prototype material, so this is the floor for faithful generation.
+fn stream_links(
+    config: &CorpusConfig,
+    u: &StreamedUniverse,
+    rng: &mut SmallRng,
+    out: &mut impl Write,
+) -> Result<u64, TextIoError> {
+    let n = u.page_host.len() as u32;
+    if n == 0 {
+        return Ok(0);
+    }
+
+    let mut adj_data: Vec<PageId> =
+        Vec::with_capacity((f64::from(n) * config.mean_out_degree) as usize + 16);
+    let mut adj_off: Vec<usize> = Vec::with_capacity(n as usize + 1);
+    adj_off.push(0);
+
+    let mut processed_in_host: Vec<Vec<PageId>> = vec![Vec::new(); u.num_hosts as usize];
+    let mut pa_pool: Vec<PageId> = Vec::with_capacity(n as usize * 4);
+    let mut host_profiles: Vec<Vec<Vec<PageId>>> = vec![Vec::new(); u.num_hosts as usize];
+    const PROFILES_PER_HOST: usize = 3;
+    const PROFILE_MAX: usize = 6;
+
+    let p_geom = 1.0 / config.mean_out_degree.max(1.0);
+
+    for v in 0..n {
+        let host = u.page_host[v as usize];
+        let host_pages = &u.host_pages_by_url[host as usize];
+        let my_rank = u.url_rank_in_host[v as usize] as i64;
+
+        let mut degree = 1u32;
+        while rng.gen::<f64>() >= p_geom && degree < 300 {
+            degree += 1;
+        }
+        let degree = degree.min(n - 1);
+
+        let mut targets: Vec<PageId> = Vec::with_capacity(degree as usize);
+
+        // 1. Copying step: the prototype's list is a slice of the arena.
+        if rng.gen::<f64>() < config.copy_page_probability {
+            let proto = if !processed_in_host[host as usize].is_empty() && rng.gen::<f64>() < 0.9 {
+                let list = &processed_in_host[host as usize];
+                Some(list[rng.gen_range(0..list.len())])
+            } else if v > 0 {
+                Some(rng.gen_range(0..v))
+            } else {
+                None
+            };
+            if let Some(p) = proto {
+                let (lo, hi) = (adj_off[p as usize], adj_off[p as usize + 1]);
+                for &t in &adj_data[lo..hi] {
+                    if t != v && rng.gen::<f64>() < config.copy_link_probability {
+                        targets.push(t);
+                    }
+                }
+            }
+        }
+
+        let profile_idx = {
+            let profiles = &mut host_profiles[host as usize];
+            if profiles.is_empty()
+                || (profiles.len() < PROFILES_PER_HOST && rng.gen::<f64>() < 0.15)
+            {
+                profiles.push(Vec::new());
+                profiles.len() - 1
+            } else {
+                let r: f64 = rng.gen();
+                ((r * r) * profiles.len() as f64) as usize % profiles.len()
+            }
+        };
+
+        // 2. Fill remaining slots.
+        let mut attempts = 0u32;
+        while (targets.len() as u32) < degree && attempts < degree * 8 {
+            attempts += 1;
+            let t = if rng.gen::<f64>() < config.intra_host_fraction && host_pages.len() > 1 {
+                if rng.gen::<f64>() < 0.85 {
+                    let nav = host_pages.len().min(6);
+                    host_pages[rng.gen_range(0..nav)]
+                } else {
+                    let mut off = 1i64;
+                    while rng.gen::<f64>() < 0.7 && off < host_pages.len() as i64 {
+                        off += 1;
+                    }
+                    let off = if rng.gen::<bool>() { off } else { -off };
+                    let rank = (my_rank + off).rem_euclid(host_pages.len() as i64);
+                    host_pages[rank as usize]
+                }
+            } else {
+                let profile = &mut host_profiles[host as usize][profile_idx];
+                if !profile.is_empty() && (profile.len() >= PROFILE_MAX || rng.gen::<f64>() < 0.9) {
+                    profile[rng.gen_range(0..profile.len())]
+                } else {
+                    let fresh = if !pa_pool.is_empty() && rng.gen::<f64>() < 0.7 {
+                        pa_pool[rng.gen_range(0..pa_pool.len())]
+                    } else {
+                        rng.gen_range(0..n)
+                    };
+                    profile.push(fresh);
+                    fresh
+                }
+            };
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+
+        targets.sort_unstable();
+        targets.dedup();
+        targets.truncate(degree as usize);
+        for &t in &targets {
+            writeln!(out, "{v} {t}")?;
+            pa_pool.push(t);
+        }
+        adj_data.extend_from_slice(&targets);
+        adj_off.push(adj_data.len());
+        processed_in_host[host as usize].push(v);
+    }
+
+    Ok(adj_data.len() as u64)
+}
+
+/// Phase 2 of [`crate::Corpus::generate`]'s phrase assignment, emitting
+/// `phrases.txt` (vocabulary, `--`, one line per page) as it goes. Only
+/// each page's domain id is consulted, so the whole phase is `O(pages)`
+/// writes over `O(phrases)` state.
+fn stream_phrases(
+    config: &CorpusConfig,
+    num_domains: u32,
+    page_domain: &[DomainId],
+    rng: &mut SmallRng,
+    out: &mut impl Write,
+) -> Result<(), TextIoError> {
+    let nph = config.num_phrases as usize;
+    for i in 0..nph {
+        writeln!(out, "{}", names::phrase_text(i as u32))?;
+    }
+    writeln!(out, "--")?;
+
+    let ndom = num_domains;
+    let mut home_domains: Vec<Vec<DomainId>> = Vec::with_capacity(nph);
+    for _ in 0..nph {
+        let k = rng.gen_range(1..=3usize);
+        let homes = (0..k).map(|_| rng.gen_range(0..ndom)).collect();
+        home_domains.push(homes);
+    }
+
+    let weights: Vec<f64> = (0..nph).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(nph);
+    let mut acc = 0.0;
+    for &w in &weights {
+        acc += w;
+        cdf.push(acc / total_weight);
+    }
+    let sample_phrase = |rng: &mut SmallRng| -> PhraseId {
+        let x: f64 = rng.gen();
+        cdf.partition_point(|&c| c < x).min(nph - 1) as PhraseId
+    };
+
+    let mut line = String::new();
+    for &domain in page_domain {
+        let p_stop = 1.0 / (config.phrases_per_page_mean + 1.0);
+        let mut set = Vec::new();
+        loop {
+            if rng.gen::<f64>() < p_stop || set.len() >= 64 {
+                break;
+            }
+            let ph = if rng.gen::<f64>() < 0.4 {
+                let mut found = None;
+                for _ in 0..8 {
+                    let cand = sample_phrase(rng);
+                    if home_domains[cand as usize].contains(&domain) {
+                        found = Some(cand);
+                        break;
+                    }
+                }
+                found.unwrap_or_else(|| {
+                    let base = (u64::from(domain) * 2654435761) % nph as u64;
+                    base as PhraseId
+                })
+            } else {
+                sample_phrase(rng)
+            };
+            set.push(ph);
+        }
+        set.sort_unstable();
+        set.dedup();
+        line.clear();
+        for (i, p) in set.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&p.to_string());
+        }
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::textio::write_corpus;
+    use crate::Corpus;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wg_stream_{name}_{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    const FILES: [&str; 4] = ["urls.txt", "domains.txt", "edges.txt", "phrases.txt"];
+
+    fn assert_identical(config: CorpusConfig, tag: &str) {
+        let dir_mem = temp(&format!("{tag}_mem"));
+        let dir_str = temp(&format!("{tag}_str"));
+        let corpus = Corpus::generate(config.clone());
+        write_corpus(&dir_mem, &corpus).unwrap();
+        let stats = stream_corpus(&dir_str, &config).unwrap();
+        assert_eq!(stats.num_pages, corpus.num_pages());
+        assert_eq!(stats.num_edges, corpus.graph.num_edges());
+        assert_eq!(stats.num_domains as usize, corpus.domains.len());
+        assert_eq!(stats.num_hosts as usize, corpus.hosts.len());
+        for f in FILES {
+            let a = std::fs::read(dir_mem.join(f)).unwrap();
+            let b = std::fs::read(dir_str.join(f)).unwrap();
+            assert!(a == b, "{f} differs for {tag}");
+        }
+        std::fs::remove_dir_all(&dir_mem).ok();
+        std::fs::remove_dir_all(&dir_str).ok();
+    }
+
+    #[test]
+    fn streamed_files_match_in_memory_writer() {
+        assert_identical(CorpusConfig::scaled(3_000, 42), "s42");
+        assert_identical(CorpusConfig::scaled(777, 7), "s7");
+    }
+
+    #[test]
+    fn tiny_corpora_stream_without_panic() {
+        for n in [1u32, 2, 5, 16] {
+            assert_identical(CorpusConfig::scaled(n, 3), &format!("tiny{n}"));
+        }
+    }
+
+    #[test]
+    fn streamed_corpus_reads_back() {
+        let dir = temp("readback");
+        let config = CorpusConfig::scaled(1_200, 11);
+        let stats = stream_corpus(&dir, &config).unwrap();
+        let corpus = crate::textio::read_corpus(&dir).unwrap();
+        assert_eq!(corpus.num_pages(), stats.num_pages);
+        assert_eq!(corpus.graph.num_edges(), stats.num_edges);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod procstat;
 pub mod registry;
 pub mod rolling;
 pub mod span;
@@ -47,6 +48,7 @@ pub mod telemetry;
 pub mod trace;
 
 pub use metrics::{CacheMetrics, Counter, Gauge, Histogram, HIST_BUCKETS};
+pub use procstat::{sample_self, MemSample, RssGauge};
 pub use registry::{global, Registry, SnapValue, Snapshot};
 pub use rolling::{HistData, RollingHistogram, RollingSnapshot};
 pub use span::{metrics_enabled, record_span, record_span_args, set_metrics_enabled, Stopwatch};

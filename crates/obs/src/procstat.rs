@@ -1,0 +1,142 @@
+//! Process memory accounting from `/proc/self/status`.
+//!
+//! The out-of-core build pipeline's whole point is a bounded peak
+//! resident set, so the bench harness needs a portable-enough way to
+//! read it. Linux exports both the instantaneous resident set (`VmRSS`)
+//! and the high-water mark since process start (`VmHWM`) as text lines
+//! in `/proc/self/status`; parsing two lines of text costs microseconds
+//! and needs no libc, so this stays inside the workspace's
+//! `forbid(unsafe_code)` envelope. On platforms without procfs every
+//! reader returns `None` and the gauges simply stay at zero.
+
+use crate::metrics::Gauge;
+
+/// One sample of the process's memory accounting, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSample {
+    /// Instantaneous resident set size (`VmRSS`).
+    pub rss_bytes: u64,
+    /// Peak resident set size since process start (`VmHWM`).
+    pub peak_rss_bytes: u64,
+}
+
+/// Parses a `VmRSS:`/`VmHWM:`-style field out of `/proc/self/status`
+/// text. Values are reported by the kernel in kB.
+fn field_kb(status: &str, field: &str) -> Option<u64> {
+    status.lines().find_map(|line| {
+        let rest = line.strip_prefix(field)?.strip_prefix(':')?;
+        rest.trim().strip_suffix("kB")?.trim().parse::<u64>().ok()
+    })
+}
+
+/// Parses both memory fields from status-file text. Public for tests;
+/// use [`sample_self`] to read the live process.
+pub fn parse_status(status: &str) -> Option<MemSample> {
+    Some(MemSample {
+        rss_bytes: field_kb(status, "VmRSS")? * 1024,
+        peak_rss_bytes: field_kb(status, "VmHWM")? * 1024,
+    })
+}
+
+/// Reads the current process's memory sample, or `None` where procfs is
+/// unavailable (non-Linux platforms, restricted sandboxes).
+pub fn sample_self() -> Option<MemSample> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status(&status)
+}
+
+/// The process-memory gauge pair, following the same two-tier enablement
+/// as [`CacheMetrics`](crate::CacheMetrics): the gauges always work as
+/// instance handles, and register in the [`global`](crate::global)
+/// registry under `proc.rss_bytes` / `proc.peak_rss_bytes` only when the
+/// process-wide metrics flag was up at construction.
+#[derive(Debug, Clone, Default)]
+pub struct RssGauge {
+    /// Instantaneous resident set, bytes.
+    pub rss: Gauge,
+    /// Peak resident set, bytes.
+    pub peak: Gauge,
+}
+
+impl RssGauge {
+    /// A private, unregistered pair.
+    pub fn unregistered() -> Self {
+        Self::default()
+    }
+
+    /// A pair registered in `reg` under `{prefix}.rss_bytes` and
+    /// `{prefix}.peak_rss_bytes`.
+    pub fn registered(reg: &crate::registry::Registry, prefix: &str) -> Self {
+        Self {
+            rss: reg.gauge(&format!("{prefix}.rss_bytes")),
+            peak: reg.gauge(&format!("{prefix}.peak_rss_bytes")),
+        }
+    }
+
+    /// Registered globally under `proc.*` when metrics are enabled at
+    /// construction time, private otherwise.
+    pub fn auto() -> Self {
+        if crate::span::metrics_enabled() {
+            Self::registered(crate::registry::global(), "proc")
+        } else {
+            Self::unregistered()
+        }
+    }
+
+    /// Samples `/proc/self/status` and stores the result in both gauges.
+    /// Returns the sample so callers can record it in reports without a
+    /// second read. A platform without procfs leaves the gauges alone.
+    pub fn refresh(&self) -> Option<MemSample> {
+        let s = sample_self()?;
+        self.rss.set(s.rss_bytes as i64);
+        self.peak.set(s.peak_rss_bytes as i64);
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATUS: &str = "Name:\twgr\nUmask:\t0022\nVmPeak:\t  202000 kB\n\
+         VmSize:\t  201000 kB\nVmHWM:\t   15360 kB\nVmRSS:\t   12288 kB\n\
+         Threads:\t1\n";
+
+    #[test]
+    fn parses_rss_and_hwm_in_bytes() {
+        let s = parse_status(STATUS).unwrap();
+        assert_eq!(s.rss_bytes, 12288 * 1024);
+        assert_eq!(s.peak_rss_bytes, 15360 * 1024);
+    }
+
+    #[test]
+    fn missing_fields_yield_none() {
+        assert!(parse_status("Name:\twgr\n").is_none());
+        assert!(parse_status("VmRSS:\t10 kB\n").is_none(), "no VmHWM");
+        assert!(parse_status("VmRSS:\tten kB\nVmHWM:\t1 kB\n").is_none());
+    }
+
+    #[test]
+    fn vmrss_prefix_does_not_match_other_fields() {
+        // VmRSS must not be satisfied by VmPeak/VmSize lines.
+        let s = parse_status("VmSize:\t999 kB\nVmRSS:\t5 kB\nVmHWM:\t7 kB\n").unwrap();
+        assert_eq!(s.rss_bytes, 5 * 1024);
+    }
+
+    #[test]
+    fn live_sample_is_plausible_on_linux() {
+        if let Some(s) = sample_self() {
+            assert!(s.rss_bytes > 0);
+            assert!(s.peak_rss_bytes >= s.rss_bytes);
+        }
+    }
+
+    #[test]
+    fn refresh_sets_gauges() {
+        let g = RssGauge::unregistered();
+        if let Some(s) = g.refresh() {
+            assert_eq!(g.rss.get(), s.rss_bytes as i64);
+            assert_eq!(g.peak.get(), s.peak_rss_bytes as i64);
+        }
+    }
+}

@@ -18,6 +18,8 @@
 //!   above.
 //! * [`files`] — the plain uncompressed-file baseline: raw `u32` adjacency
 //!   arrays with an in-memory offset index, one `pread` per list access.
+//! * [`region`] — shared immutable byte regions, the safe `mmap` stand-in
+//!   behind the S-Node zero-copy resident read path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,7 +30,10 @@ pub mod diskmodel;
 pub mod files;
 pub mod heap;
 pub mod pager;
+pub mod region;
 pub mod relational;
+
+pub use region::{Region, RegionSlice};
 
 /// Size of every on-disk page in this crate.
 pub const PAGE_SIZE: usize = 8192;

@@ -33,7 +33,9 @@ use webgraph_repr::query::queries::{QueryEnv, Workload};
 use webgraph_repr::query::reps::SchemeSet;
 use webgraph_repr::query::{DomainTable, PageRankIndex, Scheme, TextIndex};
 use webgraph_repr::serve::{Client, ServeConfig, ServeContext, Server, Status as ServeStatus};
-use webgraph_repr::snode::{build_snode, Renumbering, RepoInput, SNode, SNodeConfig};
+use webgraph_repr::snode::{
+    build_snode, build_snode_sharded, CodecConfig, Renumbering, RepoInput, SNode, SNodeConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -52,12 +54,18 @@ fn main() {
         Some("bench") => cmd_bench(&args[2..]),
         Some("serve") => cmd_serve(&args[2..]),
         Some("lint") => cmd_lint(&args[2..]),
+        // Hidden: one scale-bench measurement in a fresh process, so
+        // VmHWM reflects exactly that step (see `bench_scale`).
+        Some("scale-step") => cmd_scale_step(&args[2..]),
         _ => {
             eprintln!(
                 "usage: wgr <gen|build|query|stats|links|domain|top|verify|check|fsck|corrupt|bench|lint> [options]\n\
                  \n\
                  gen    --pages N [--seed N] --out DIR      generate a synthetic corpus\n\
                  build  --corpus DIR --out DIR [--threads N] build the S-Node representation\n\
+                 \x20      [--codec CELL[/CELL]]              list codec per class (e.g. g+st, z3+iv+cb)\n\
+                 \x20      [--stream --pages N [--seed N]]    generate the corpus on the fly (bounded memory)\n\
+                 \x20      [--shards N]                       domain-sharded out-of-core build\n\
                  query  DIR [--scheme NAME|all] [--budget B] run the observed Q1-6 workload\n\
                  \x20      [--reps DIR] [--reuse]             over the corpus at DIR;\n\
                  \x20                                          exit 3 when answers were degraded\n\
@@ -84,6 +92,11 @@ fn main() {
                  \x20                                          + decode ns/edge per CodecConfig cell\n\
                  \x20                                          → BENCH_compress.json; exit 1 on any\n\
                  \x20                                          fingerprint drift from the γ baseline\n\
+                 \x20      [--scale [--sizes N,N] [--shards N] out-of-core scale benchmark instead:\n\
+                 \x20       [--probes N]]                      streamed corpus → sharded build →\n\
+                 \x20                                          resident query probe per size, each in\n\
+                 \x20                                          a fresh process for clean peak-RSS\n\
+                 \x20                                          accounting → BENCH_scale.json\n\
                  serve  DIR [--port P] [--workers N] [--queue N] [--scheme NAME]\n\
                  \x20      [--reps DIR] [--reuse] [--smoke N] serve Q1-6 + out_neighbors over TCP;\n\
                  \x20      [--slowlog-us N] [--no-telemetry]  --smoke runs an N-client burst and\n\
@@ -135,6 +148,9 @@ fn positional(args: &[String]) -> Option<String> {
                         | "--repair"
                         | "--serve"
                         | "--no-telemetry"
+                        | "--stream"
+                        | "--scale"
+                        | "--resident"
                 );
             i += if boolean { 1 } else { 2 };
         } else {
@@ -227,6 +243,43 @@ fn cmd_build(args: &[String]) -> i32 {
     // 0 = auto: WGR_THREADS env var, else available parallelism. The
     // representation is byte-identical for every thread count.
     let threads: u32 = opt(args, "--threads").map_or(0, |s| s.parse().expect("--threads number"));
+    // --codec exposes the per-list-class codec grid from the ablation
+    // harness (PR 9) on ordinary builds: `g+st`, `z3+iv+cb`, or an
+    // `<intra>/<superedge>` pair. Default stays the γ baseline.
+    let codec = match opt(args, "--codec").as_deref() {
+        None => CodecConfig::default(),
+        Some(s) => match CodecConfig::parse(s) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("invalid --codec {s}: {e}");
+                return 2;
+            }
+        },
+    };
+    // --stream generates the corpus straight into --corpus DIR first
+    // (bounded memory: no URL strings or CSR graph are materialised),
+    // then builds from the on-disk files like any external corpus.
+    if args.iter().any(|a| a == "--stream") {
+        let pages: u32 = req(args, "--pages").parse().expect("--pages number");
+        let seed: u64 = opt(args, "--seed").map_or(42, |s| s.parse().expect("--seed number"));
+        let st = webgraph_repr::corpus::stream::stream_corpus(
+            &corpus_dir,
+            &webgraph_repr::corpus::CorpusConfig::scaled(pages, seed),
+        )
+        .expect("stream corpus");
+        println!(
+            "streamed {} pages, {} links, {} domains to {}",
+            st.num_pages,
+            st.num_edges,
+            st.num_domains,
+            corpus_dir.display()
+        );
+    }
+    // --shards N routes through the out-of-core builder: per-shard
+    // encode + spill, stitched into the same byte-identical directory
+    // (plus the `shards.bin` manifest).
+    let shards: u32 = opt(args, "--shards").map_or(0, |s| s.parse().expect("--shards number"));
+    let rss = obs::RssGauge::auto();
     let corpus = read_corpus(&corpus_dir).expect("read corpus");
     let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
     let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
@@ -237,14 +290,27 @@ fn cmd_build(args: &[String]) -> i32 {
     };
     let config = SNodeConfig {
         threads,
+        codec,
         ..SNodeConfig::default()
     };
     let t0 = obs::Stopwatch::start();
-    let (stats, _renum) = build_snode(input, &config, &out).expect("build");
+    let (stats, _renum) = if shards > 0 {
+        build_snode_sharded(input, &config, &out, shards).expect("build")
+    } else {
+        build_snode(input, &config, &out).expect("build")
+    };
+    rss.refresh();
+    let shard_note = if shards > 0 {
+        format!(", {shards} shards")
+    } else {
+        String::new()
+    };
     println!(
-        "built in {:?} ({} threads): {} supernodes, {} superedges, {:.2} bits/edge → {}",
+        "built in {:?} ({} threads, codec {}{shard_note}): {} supernodes, {} superedges, \
+         {:.2} bits/edge → {}",
         t0.elapsed(),
         stats.timings.threads,
+        codec,
         stats.num_supernodes,
         stats.num_superedges,
         stats.bits_per_edge(),
@@ -896,6 +962,13 @@ fn cmd_bench(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--ablate") {
         return bench_ablate(args, pages, seed, quick);
     }
+    // `--scale`: the out-of-core scale benchmark instead — streamed
+    // corpora, sharded builds, and resident query probes, one fresh
+    // process per measurement so `VmHWM` attributes peak RSS to exactly
+    // that step.
+    if args.iter().any(|a| a == "--scale") {
+        return bench_scale(args, seed, quick);
+    }
     // `--serve`: benchmark the concurrent query service instead of the
     // builder — many clients against one shared representation.
     if args.iter().any(|a| a == "--serve") {
@@ -997,6 +1070,10 @@ fn cmd_bench(args: &[String]) -> i32 {
     ));
     json.push_str(&format!("  \"bits_per_edge\": {bits_per_edge:.4},\n"));
     json.push_str(&format!("  \"identical_output\": {identical},\n"));
+    json.push_str(&format!(
+        "  \"peak_rss_bytes\": {},\n",
+        obs::sample_self().map_or(0, |s| s.peak_rss_bytes)
+    ));
     json.push_str("  \"runs\": [\n");
     for (k, (threads, tm, fp)) in runs.iter().enumerate() {
         let sep = if k + 1 == runs.len() { "" } else { "," };
@@ -1152,6 +1229,442 @@ fn bench_query(
         return 1;
     }
     0
+}
+
+/// Corpus sizes for `wgr bench --scale`: quick mode is the CI smoke
+/// (one streamed 100 k-page build), the full run climbs to the
+/// million-page acceptance point.
+const SCALE_SIZES_FULL: [u32; 3] = [100_000, 300_000, 1_000_000];
+const SCALE_SIZES_QUICK: [u32; 1] = [100_000];
+
+/// Streamed generation must stay in bounded memory at every size: the
+/// writer's only `O(edges)` state is the adjacency arena + PA pool
+/// (≈ 8 bytes/edge), so half a gigabyte covers the million-page point
+/// with a wide margin while still catching an accidental
+/// materialisation of URL strings or the CSR graph (which costs
+/// gigabytes there).
+const SCALE_STREAM_RSS_BOUND: u64 = 512 << 20;
+
+/// `wgr bench --scale` — the out-of-core benchmark behind
+/// `BENCH_scale.json`. Three parts:
+///
+/// 1. **Equivalence** (in process): builds the full scheme set at a
+///    query-workload-sized corpus, records the Q1–6 fingerprints, swaps
+///    a sharded rebuild of the forward S-Node directory into the layout
+///    and reruns the workload — the answers must be identical, and the
+///    payload files byte-identical.
+/// 2. **Scale ladder** (subprocesses): per corpus size, a fresh process
+///    streams the corpus, builds with `--shards`, and reports its RSS
+///    high-water marks; then two more processes probe navigation
+///    latency over the result — once through the zero-copy resident
+///    read path, once through positioned reads — and must agree on an
+///    answer fingerprint.
+/// 3. **Memory gates**: streamed generation stays under a fixed bound,
+///    and resident-query overhead (peak RSS minus the resident index
+///    bytes) stays flat up the ladder modulo the per-page metadata the
+///    paper's model keeps in memory.
+fn bench_scale(args: &[String], seed: u64, quick: bool) -> i32 {
+    let sizes: Vec<u32> = opt(args, "--sizes").map_or_else(
+        || {
+            if quick {
+                SCALE_SIZES_QUICK.to_vec()
+            } else {
+                SCALE_SIZES_FULL.to_vec()
+            }
+        },
+        |s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("--sizes comma list"))
+                .collect()
+        },
+    );
+    let shards: u32 = opt(args, "--shards").map_or(8, |s| s.parse().expect("--shards number"));
+    let probes: u32 = opt(args, "--probes").map_or(if quick { 2_000 } else { 10_000 }, |s| {
+        s.parse().expect("--probes number")
+    });
+    let out = PathBuf::from(opt(args, "--out").unwrap_or_else(|| "BENCH_scale.json".into()));
+    let scratch = std::env::temp_dir().join(format!("wgr_scale_{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
+    let eq_pages: u32 = if quick { 2_000 } else { 20_000 };
+    let (eq_ok, eq_json) = scale_equivalence(&scratch.join("eq"), eq_pages, seed, shards);
+    if !eq_ok {
+        eprintln!("FAILED: sharded build is not equivalent to the in-memory build");
+    }
+
+    let exe = std::env::current_exe().expect("current exe");
+    let mut ok = eq_ok;
+    let mut stream_bounded = true;
+    let mut size_objs: Vec<String> = Vec::new();
+    let mut overheads: Vec<(u32, u64)> = Vec::new();
+    for &pages in &sizes {
+        let dir = scratch.join(format!("s{pages}"));
+        let dir_s = dir.to_string_lossy().into_owned();
+        let b = run_scale_step(
+            &exe,
+            &[
+                "scale-step",
+                "build",
+                "--pages",
+                &pages.to_string(),
+                "--seed",
+                &seed.to_string(),
+                "--dir",
+                &dir_s,
+                "--shards",
+                &shards.to_string(),
+            ],
+        );
+        let Some(b) = b else {
+            ok = false;
+            continue;
+        };
+        let stream_peak = snap_u64(&b, "stream_peak_rss_bytes");
+        stream_bounded &= stream_peak > 0 && stream_peak <= SCALE_STREAM_RSS_BOUND;
+        eprintln!(
+            "scale {pages}: stream {:.1}s (peak {} MiB), build {:.1}s (peak {} MiB), \
+             {:.3} bits/edge",
+            snap_f64(&b, "stream_secs"),
+            stream_peak >> 20,
+            snap_f64(&b, "build_secs"),
+            snap_u64(&b, "peak_rss_bytes") >> 20,
+            snap_f64(&b, "bits_per_edge"),
+        );
+        let repo = dir.join("repo");
+        let repo_s = repo.to_string_lossy().into_owned();
+        let probe_args = [
+            "scale-step",
+            "query",
+            "--repo",
+            &repo_s,
+            "--probes",
+            &probes.to_string(),
+        ];
+        let resident_args: Vec<&str> = probe_args.iter().copied().chain(["--resident"]).collect();
+        let (Some(qr), Some(qp)) = (
+            run_scale_step(&exe, &resident_args),
+            run_scale_step(&exe, &probe_args),
+        ) else {
+            ok = false;
+            std::fs::remove_dir_all(&dir).ok();
+            continue;
+        };
+        let answers_match = !snap_str(&qr, "probe_fingerprint").is_empty()
+            && snap_str(&qr, "probe_fingerprint") == snap_str(&qp, "probe_fingerprint");
+        if !answers_match {
+            eprintln!("FAILED: resident and positioned probes disagree at {pages} pages");
+        }
+        ok &= answers_match;
+        eprintln!(
+            "scale {pages}: probe p50 {} ns / p99 {} ns resident \
+             (vs {} / {} positioned), resident index {} MiB",
+            snap_u64(&qr, "p50_ns"),
+            snap_u64(&qr, "p99_ns"),
+            snap_u64(&qp, "p50_ns"),
+            snap_u64(&qp, "p99_ns"),
+            snap_u64(&qr, "resident_bytes") >> 20,
+        );
+        overheads.push((
+            pages,
+            snap_u64(&qr, "peak_rss_bytes").saturating_sub(snap_u64(&qr, "resident_bytes")),
+        ));
+        size_objs.push(format!(
+            "    {{\"pages\": {pages},\n     \"build\": {b},\n     \"query_resident\": {qr},\n\
+             \x20    \"query_positioned\": {qp},\n     \"answers_match\": {answers_match}}}"
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    // Flat-memory gate: beyond the resident index, a bigger corpus may
+    // only cost the per-page metadata the paper's model keeps in memory
+    // (renumbering + page→supernode maps; 64 B/page is a generous
+    // ceiling) — the decoded-list cache is budget-capped and must not
+    // grow with corpus size.
+    let base_overhead = overheads.iter().map(|&(_, o)| o).min().unwrap_or(0);
+    let query_memory_flat = overheads
+        .iter()
+        .all(|&(p, o)| o <= base_overhead + 64 * u64::from(p) + (32 << 20));
+    if !stream_bounded {
+        eprintln!("FAILED: streamed generation exceeded the bounded-memory gate");
+    }
+    if !query_memory_flat {
+        eprintln!("FAILED: query overhead grows faster than the resident-index model allows");
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"wgr scale\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"shards\": {shards},\n"));
+    json.push_str(&format!("  \"probes\": {probes},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"stream_rss_bound_bytes\": {SCALE_STREAM_RSS_BOUND},\n"
+    ));
+    json.push_str(&format!("  \"stream_rss_bounded\": {stream_bounded},\n"));
+    json.push_str(&format!("  \"query_memory_flat\": {query_memory_flat},\n"));
+    json.push_str(&eq_json);
+    json.push_str("  \"sizes\": [\n");
+    json.push_str(&size_objs.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out, &json).expect("write scale bench json");
+    println!("wrote {}", out.display());
+    i32::from(!(ok && stream_bounded && query_memory_flat))
+}
+
+/// The in-process equivalence leg of [`bench_scale`]: Q1–6 over the
+/// plain build vs the same workload over a sharded rebuild swapped into
+/// the scheme-set layout, plus payload byte-identity. Returns the
+/// verdict and the `"equivalence"` JSON fragment.
+fn scale_equivalence(root: &std::path::Path, pages: u32, seed: u64, shards: u32) -> (bool, String) {
+    let corpus = Corpus::generate(CorpusConfig::scaled(pages, seed));
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let set_root = root.join("queryset");
+    let set = SchemeSet::build(
+        &set_root,
+        &urls,
+        &domains,
+        &corpus.graph,
+        &SNodeConfig::default(),
+        1 << 20,
+    )
+    .expect("build scheme set");
+    let text = TextIndex::build(&corpus, &set.renumbering);
+    let pagerank = PageRankIndex::build(&corpus.graph, &set.renumbering);
+    let domain_table = DomainTable::build(&corpus, &set.renumbering);
+    let env = QueryEnv {
+        text: &text,
+        pagerank: &pagerank,
+        domains: &domain_table,
+    };
+    let workload = Workload::discover(&text, &domain_table);
+    let fps = |set: &SchemeSet| -> Vec<u64> {
+        run_observed(env, set, Scheme::SNode, &workload)
+            .expect("scale equivalence workload")
+            .queries
+            .iter()
+            .map(|q| q.fingerprint)
+            .collect()
+    };
+    let plain = fps(&set);
+    drop(set);
+
+    let input = RepoInput {
+        urls: &urls,
+        domains: &domains,
+        graph: &corpus.graph,
+    };
+    let sh_dir = root.join("snode_sharded");
+    build_snode_sharded(input, &SNodeConfig::default(), &sh_dir, shards).expect("sharded build");
+    let payload_identical = dirs_payload_identical(&set_root.join("snode"), &sh_dir);
+    std::fs::rename(set_root.join("snode"), root.join("snode_plain")).expect("swap out snode");
+    std::fs::rename(&sh_dir, set_root.join("snode")).expect("swap in sharded snode");
+    let set2 = SchemeSet::open_existing(&set_root, &corpus.graph, 1 << 20)
+        .expect("reopen scheme set over sharded build");
+    let sharded = fps(&set2);
+    drop(set2);
+    std::fs::remove_dir_all(root).ok();
+
+    let hex = |v: &[u64]| {
+        v.iter()
+            .map(|f| format!("\"{f:016x}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let ok = payload_identical && !plain.is_empty() && plain == sharded;
+    let json = format!(
+        "  \"equivalence\": {{\n    \"pages\": {pages},\n    \"shards\": {shards},\n\
+         \x20   \"payload_identical\": {payload_identical},\n    \"q_plain\": [{}],\n\
+         \x20   \"q_sharded\": [{}],\n    \"match\": {ok}\n  }},\n",
+        hex(&plain),
+        hex(&sharded),
+    );
+    (ok, json)
+}
+
+/// Byte-compares every payload file of two S-Node directories, ignoring
+/// only `sums.bin` (checksums cover the manifest) and `shards.bin` (the
+/// sharded build's extra manifest).
+fn dirs_payload_identical(a: &std::path::Path, b: &std::path::Path) -> bool {
+    let list = |d: &std::path::Path| -> Vec<(String, Vec<u8>)> {
+        let mut v: Vec<(String, Vec<u8>)> = std::fs::read_dir(d)
+            .expect("read snode dir")
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.is_file())
+            .filter_map(|p| {
+                let name = p.file_name()?.to_string_lossy().into_owned();
+                if name == "sums.bin" || name == "shards.bin" {
+                    return None;
+                }
+                Some((name, wg_fault::read_file(&p).expect("read snode file")))
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    list(a) == list(b)
+}
+
+/// Runs one hidden `scale-step` subprocess and returns the JSON line it
+/// printed (the last `{`-led stdout line), or `None` on failure.
+fn run_scale_step(exe: &std::path::Path, args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new(exe).args(args).output().ok()?;
+    if !out.status.success() {
+        eprintln!(
+            "scale step {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        return None;
+    }
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .map(str::to_string)
+}
+
+/// Dispatcher for the hidden `wgr scale-step` subcommand (the
+/// per-measurement child of `wgr bench --scale`).
+fn cmd_scale_step(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("build") => scale_step_build(&args[1..]),
+        Some("query") => scale_step_query(&args[1..]),
+        _ => {
+            eprintln!("usage: wgr scale-step <build|query> (internal; use `wgr bench --scale`)");
+            2
+        }
+    }
+}
+
+/// `wgr scale-step build --pages N --seed N --dir DIR [--shards K]` —
+/// streams the corpus to `DIR/corpus`, builds the (sharded) S-Node
+/// representation at `DIR/repo`, and prints one JSON line with the
+/// timings, output fingerprint, and this process's RSS high-water
+/// marks: sampled once right after streaming (witnessing the writer's
+/// bounded memory) and once after the build (the whole step).
+fn scale_step_build(args: &[String]) -> i32 {
+    let pages: u32 = req(args, "--pages").parse().expect("--pages number");
+    let seed: u64 = opt(args, "--seed").map_or(42, |s| s.parse().expect("--seed number"));
+    let dir = PathBuf::from(req(args, "--dir"));
+    let shards: u32 = opt(args, "--shards").map_or(0, |s| s.parse().expect("--shards number"));
+    let corpus_dir = dir.join("corpus");
+    let repo = dir.join("repo");
+
+    let sw = obs::Stopwatch::start();
+    webgraph_repr::corpus::stream::stream_corpus(
+        &corpus_dir,
+        &webgraph_repr::corpus::CorpusConfig::scaled(pages, seed),
+    )
+    .expect("stream corpus");
+    let stream_secs = sw.elapsed().as_secs_f64();
+    let stream_peak = obs::sample_self().map_or(0, |s| s.peak_rss_bytes);
+
+    let sw = obs::Stopwatch::start();
+    let corpus = read_corpus(&corpus_dir).expect("read streamed corpus");
+    let read_secs = sw.elapsed().as_secs_f64();
+    let urls: Vec<&str> = corpus.pages.iter().map(|p| p.url.as_str()).collect();
+    let domains: Vec<u32> = corpus.pages.iter().map(|p| p.domain).collect();
+    let input = RepoInput {
+        urls: &urls,
+        domains: &domains,
+        graph: &corpus.graph,
+    };
+    let config = SNodeConfig::default();
+    let sw = obs::Stopwatch::start();
+    let (stats, _renum) = if shards > 0 {
+        build_snode_sharded(input, &config, &repo, shards)
+    } else {
+        build_snode(input, &config, &repo)
+    }
+    .expect("scale build");
+    let build_secs = sw.elapsed().as_secs_f64();
+    let peak = obs::sample_self().map_or(0, |s| s.peak_rss_bytes);
+    let fp = fingerprint_dir(&repo);
+    println!(
+        "{{\"step\":\"build\",\"pages\":{},\"edges\":{},\"shards\":{shards},\
+         \"stream_secs\":{stream_secs:.3},\"read_secs\":{read_secs:.3},\
+         \"build_secs\":{build_secs:.3},\"supernodes\":{},\"superedges\":{},\
+         \"bits_per_edge\":{:.4},\"fingerprint\":\"{fp:016x}\",\
+         \"stream_peak_rss_bytes\":{stream_peak},\"peak_rss_bytes\":{peak}}}",
+        corpus.num_pages(),
+        corpus.graph.num_edges(),
+        stats.num_supernodes,
+        stats.num_superedges,
+        stats.bits_per_edge(),
+    );
+    0
+}
+
+/// `wgr scale-step query --repo DIR [--probes N] [--resident]
+/// [--budget B]` — opens the representation (zero-copy resident mode
+/// with `--resident`, the positioned-read path otherwise), runs N
+/// deterministic `out_neighbors` probes, and prints one JSON line with
+/// the latency distribution, an answer fingerprint both modes must
+/// agree on, the resident index bytes, and this process's peak RSS.
+fn scale_step_query(args: &[String]) -> i32 {
+    let repo = PathBuf::from(req(args, "--repo"));
+    let probes: u32 = opt(args, "--probes").map_or(10_000, |s| s.parse().expect("--probes number"));
+    let budget: usize =
+        opt(args, "--budget").map_or(1 << 20, |s| s.parse().expect("--budget bytes"));
+    let resident = args.iter().any(|a| a == "--resident");
+    let snode = if resident {
+        SNode::open_resident(&repo, budget)
+    } else {
+        SNode::open(&repo, budget)
+    }
+    .expect("open repo");
+    let n = snode.num_pages();
+    if n == 0 || probes == 0 {
+        eprintln!("nothing to probe");
+        return 2;
+    }
+    let mut lat: Vec<u64> = Vec::with_capacity(probes as usize);
+    let mut edges = 0u64;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut buf: Vec<u32> = Vec::new();
+    for i in 0..probes {
+        // Knuth multiplicative scatter: deterministic, spread across the
+        // id space, identical for both open modes.
+        let p = ((u64::from(i) * 2_654_435_761) % u64::from(n)) as u32;
+        let sw = obs::Stopwatch::start();
+        snode.out_neighbors_into(p, &mut buf).expect("navigate");
+        lat.push(sw.elapsed().as_nanos() as u64);
+        edges += buf.len() as u64;
+        for &t in std::iter::once(&p).chain(buf.iter()) {
+            for b in t.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_0000_01b3);
+            }
+        }
+    }
+    lat.sort_unstable();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p).round() as usize];
+    let mean = lat.iter().sum::<u64>() / lat.len() as u64;
+    let peak = obs::sample_self().map_or(0, |s| s.peak_rss_bytes);
+    println!(
+        "{{\"step\":\"query\",\"pages\":{n},\"probes\":{probes},\"resident\":{resident},\
+         \"p50_ns\":{},\"p99_ns\":{},\"mean_ns\":{mean},\"edges_touched\":{edges},\
+         \"probe_fingerprint\":\"{h:016x}\",\"resident_bytes\":{},\"peak_rss_bytes\":{peak}}}",
+        pct(0.50),
+        pct(0.99),
+        snode.resident_bytes(),
+    );
+    0
+}
+
+/// Extracts `"key":<number>` (integer or decimal) from a snapshot line.
+fn snap_f64(line: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    line.find(&pat)
+        .map(|i| {
+            line[i + pat.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect::<String>()
+        })
+        .and_then(|d| d.parse().ok())
+        .unwrap_or(0.0)
 }
 
 /// Builds the serve context (representations + auxiliary indexes) for a

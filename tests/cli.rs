@@ -114,7 +114,7 @@ fn build_threads_flag_and_env_produce_identical_repos() {
         .output()
         .unwrap();
     assert!(out.status.success(), "serial build failed: {out:?}");
-    assert!(String::from_utf8_lossy(&out.stdout).contains("(1 threads)"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(1 threads,"));
 
     let repo_par = root.join("repo_par");
     let out = wgr()
@@ -126,7 +126,7 @@ fn build_threads_flag_and_env_produce_identical_repos() {
         .output()
         .unwrap();
     assert!(out.status.success(), "parallel build failed: {out:?}");
-    assert!(String::from_utf8_lossy(&out.stdout).contains("(4 threads)"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(4 threads,"));
 
     let repo_env = root.join("repo_env");
     let out = wgr()
@@ -138,7 +138,7 @@ fn build_threads_flag_and_env_produce_identical_repos() {
         .output()
         .unwrap();
     assert!(out.status.success(), "env build failed: {out:?}");
-    assert!(String::from_utf8_lossy(&out.stdout).contains("(2 threads)"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("(2 threads,"));
 
     for other in [&repo_par, &repo_env] {
         let mut names: Vec<String> = std::fs::read_dir(&repo_serial)
@@ -325,6 +325,160 @@ fn build_metrics_and_trace_and_stats_json() {
         "\"domains\"",
     ] {
         assert!(sjson.contains(key), "missing {key} in: {sjson}");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn build_codec_flag_round_trips() {
+    let root = temp_dir("codecflag");
+    let corpus = root.join("corpus");
+    let out = wgr()
+        .args(["gen", "--pages", "600", "--seed", "3", "--out"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "gen failed: {out:?}");
+
+    // The cell string round-trips through CodecConfig::parse → Display:
+    // the build banner echoes the normalised `<intra>/<superedge>` form,
+    // and the directory it writes decodes cleanly (verify re-reads the
+    // codec from the meta.bin header).
+    for (flag, echoed) in [
+        ("g+st", "codec g+st/g+st"),
+        ("z3+iv+cb/g", "codec z3+iv+cb/g"),
+    ] {
+        let repo = root.join(format!("repo_{}", flag.replace('/', "_")));
+        let out = wgr()
+            .args(["build", "--corpus"])
+            .arg(&corpus)
+            .arg("--out")
+            .arg(&repo)
+            .args(["--codec", flag])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "build --codec {flag} failed: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(echoed),
+            "missing {echoed:?} in: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let out = wgr()
+            .args(["verify", "--repo"])
+            .arg(&repo)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "verify {flag} failed: {out:?}");
+    }
+
+    // `--codec g` is the γ baseline spelled explicitly: byte-identical to
+    // a default build.
+    let repo_default = root.join("repo_default");
+    let repo_g = root.join("repo_g");
+    for (repo, extra) in [(&repo_default, None), (&repo_g, Some("g"))] {
+        let mut cmd = wgr();
+        cmd.args(["build", "--corpus"])
+            .arg(&corpus)
+            .arg("--out")
+            .arg(repo);
+        if let Some(c) = extra {
+            cmd.args(["--codec", c]);
+        }
+        assert!(cmd.output().unwrap().status.success());
+    }
+    for entry in std::fs::read_dir(&repo_default).unwrap() {
+        let name = entry.unwrap().file_name();
+        assert_eq!(
+            std::fs::read(repo_default.join(&name)).unwrap(),
+            std::fs::read(repo_g.join(&name)).unwrap(),
+            "file {name:?} differs between default and --codec g builds"
+        );
+    }
+
+    // Unparseable cells are a usage error, not a panic.
+    let out = wgr()
+        .args(["build", "--corpus"])
+        .arg(&corpus)
+        .arg("--out")
+        .arg(root.join("repo_bad"))
+        .args(["--codec", "z99+zz"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad codec must exit 2: {out:?}");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn build_stream_and_shards_flags_round_trip() {
+    let root = temp_dir("stream_shards");
+    let corpus = root.join("corpus");
+    let repo_sharded = root.join("repo_sharded");
+    let repo_plain = root.join("repo_plain");
+
+    // --stream generates the corpus on disk before building; --shards
+    // routes through the out-of-core pipeline and leaves a manifest.
+    let out = wgr()
+        .args(["build", "--stream", "--pages", "1500", "--seed", "9"])
+        .arg("--corpus")
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&repo_sharded)
+        .args(["--shards", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "streamed sharded build failed: {out:?}"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("streamed 1500 pages"),
+        "stream banner missing: {text}"
+    );
+    assert!(text.contains("3 shards"), "shard note missing: {text}");
+    assert!(
+        corpus.join("urls.txt").exists(),
+        "streamed corpus not written"
+    );
+    assert!(
+        repo_sharded.join("shards.bin").exists(),
+        "shard manifest missing"
+    );
+
+    let out = wgr()
+        .arg("verify")
+        .arg("--repo")
+        .arg(&repo_sharded)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "sharded repo failed verify: {out:?}");
+
+    // A plain in-memory build from the same streamed corpus must produce
+    // byte-identical payload files — sharding only adds its manifest.
+    let out = wgr()
+        .arg("build")
+        .arg("--corpus")
+        .arg(&corpus)
+        .arg("--out")
+        .arg(&repo_plain)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "plain build failed: {out:?}");
+    for entry in std::fs::read_dir(&repo_plain).unwrap() {
+        let path = entry.unwrap().path();
+        if !path.is_file() {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name == "sums.bin" {
+            continue;
+        }
+        let plain = std::fs::read(&path).unwrap();
+        let sharded = std::fs::read(repo_sharded.join(&name)).unwrap();
+        assert!(
+            plain == sharded,
+            "file {name:?} differs between plain and sharded builds"
+        );
     }
     std::fs::remove_dir_all(&root).ok();
 }
